@@ -1,0 +1,27 @@
+"""Shared helper for the per-experiment benchmarks.
+
+Every benchmark regenerates one surveyed claim (see DESIGN.md section 4 and
+EXPERIMENTS.md): it times the experiment via pytest-benchmark, prints the
+reproduced table, and asserts the claim's *shape* holds.
+
+Experiments are deterministic (fixed seeds throughout), so the shape
+assertions are stable; only the measured wall-clock varies run to run.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+
+def run_and_assert(benchmark, experiment_id: str, scale: str = "small",
+                   require_pass: bool = True):
+    """Benchmark one experiment (single round) and check its shape."""
+    result = benchmark.pedantic(
+        run_experiment, args=(experiment_id,), kwargs={"scale": scale},
+        rounds=1, iterations=1, warmup_rounds=0)
+    print()
+    print(result.summary())
+    if require_pass:
+        assert result.passed, (
+            f"{experiment_id} shape mismatch:\n{result.summary()}")
+    return result

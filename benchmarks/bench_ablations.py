@@ -1,0 +1,123 @@
+"""Ablation benchmarks for design choices DESIGN.md calls out.
+
+Each ablation fixes the budget and sweeps one design axis, printing the
+quality table alongside the timing:
+
+* JSSP decode mode: semi-active vs Giffler-Thompson active vs graph,
+* cellular neighbourhood shape: L5 / L9 / C9 / C13,
+* generation gap: full generational vs partial replacement,
+* crossover: generic job-based vs the GT three-parent operator [17].
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import GAConfig, MaxGenerations, SimpleGA
+from repro.encodings import OperationBasedEncoding, Problem
+from repro.instances import get_instance
+from repro.operators import GTThreeParentCrossover, JobBasedCrossover
+from repro.parallel import CellularGA
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return get_instance("ft06")
+
+
+def _table(rows):
+    from repro.experiments import format_table
+    print()
+    print(format_table(rows))
+
+
+def test_ablation_decode_modes(benchmark, instance):
+    """Active (G&T) decoding buys quality per evaluation over semi-active."""
+    def sweep():
+        rows = []
+        out = {}
+        for mode in ("semi_active", "active", "graph"):
+            problem = Problem(OperationBasedEncoding(instance, mode=mode))
+            result = SimpleGA(problem, GAConfig(population_size=20),
+                              MaxGenerations(15), seed=8).run()
+            out[mode] = result.best_objective
+            rows.append({"decode_mode": mode,
+                         "best": result.best_objective,
+                         "evaluations": result.evaluations})
+        _table(rows)
+        return out
+
+    out = benchmark.pedantic(sweep, rounds=1, iterations=1, warmup_rounds=0)
+    # graph mode must agree with semi-active (same semantics, different
+    # evaluator); active schedules dominate semi-active ones
+    assert out["graph"] == out["semi_active"]
+    assert out["active"] <= out["semi_active"]
+
+
+def test_ablation_cellular_neighborhoods(benchmark, instance):
+    """Bigger neighbourhoods mix faster; all shapes must stay functional."""
+    problem = Problem(OperationBasedEncoding(instance))
+
+    def sweep():
+        rows = []
+        bests = {}
+        for shape in ("L5", "L9", "C9", "C13"):
+            result = CellularGA(problem, rows=5, cols=5, neighborhood=shape,
+                                termination=MaxGenerations(12),
+                                seed=9).run()
+            bests[shape] = result.best_objective
+            rows.append({"neighborhood": shape,
+                         "best": result.best_objective})
+        _table(rows)
+        return bests
+
+    bests = benchmark.pedantic(sweep, rounds=1, iterations=1,
+                               warmup_rounds=0)
+    assert all(v < 90 for v in bests.values())
+
+
+def test_ablation_generation_gap(benchmark, instance):
+    """Partial replacement spends fewer evaluations per generation."""
+    problem = Problem(OperationBasedEncoding(instance))
+
+    def sweep():
+        rows = []
+        evals = {}
+        for gap in (1.0, 0.5, 0.25):
+            result = SimpleGA(problem,
+                              GAConfig(population_size=24,
+                                       generation_gap=gap),
+                              MaxGenerations(15), seed=10).run()
+            evals[gap] = result.evaluations
+            rows.append({"generation_gap": gap,
+                         "best": result.best_objective,
+                         "evaluations": result.evaluations})
+        _table(rows)
+        return evals
+
+    evals = benchmark.pedantic(sweep, rounds=1, iterations=1,
+                               warmup_rounds=0)
+    assert evals[0.25] < evals[0.5] < evals[1.0]
+
+
+def test_ablation_gt_crossover(benchmark, instance):
+    """The GT three-parent crossover embeds schedule construction in the
+    operator; at equal budget it should not lose to the generic operator."""
+    problem = Problem(OperationBasedEncoding(instance))
+
+    def sweep():
+        rows = []
+        out = {}
+        for label, xover in (("job-based", JobBasedCrossover()),
+                             ("gt-3-parent",
+                              GTThreeParentCrossover(instance))):
+            result = SimpleGA(problem,
+                              GAConfig(population_size=16, crossover=xover),
+                              MaxGenerations(10), seed=11).run()
+            out[label] = result.best_objective
+            rows.append({"crossover": label,
+                         "best": result.best_objective})
+        _table(rows)
+        return out
+
+    out = benchmark.pedantic(sweep, rounds=1, iterations=1, warmup_rounds=0)
+    assert out["gt-3-parent"] <= out["job-based"] * 1.1

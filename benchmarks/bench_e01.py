@@ -1,0 +1,10 @@
+"""Benchmark E01: AitZai et al. [14][15]: GPU master-slave explores ~15x more solutions than the CPU star network in a fixed 300 s budget (blocking JSSP, pop 1056).
+
+See EXPERIMENTS.md (E01) for the paper-vs-measured record.
+"""
+
+from _common import run_and_assert
+
+
+def test_e01(benchmark):
+    run_and_assert(benchmark, "E01", scale="small")

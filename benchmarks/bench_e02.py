@@ -1,0 +1,10 @@
+"""Benchmark E02: Somani & Singh [16]: topological-sort GPU GA ~9x faster than sequential; gap grows with instance size.
+
+See EXPERIMENTS.md (E02) for the paper-vs-measured record.
+"""
+
+from _common import run_and_assert
+
+
+def test_e02(benchmark):
+    run_and_assert(benchmark, "E02", scale="small")

@@ -1,0 +1,10 @@
+"""Benchmark E03: Mui et al. [17]: REAL 6-worker master-slave pool saves 3-4x wall-clock vs serial with identical results.
+
+See EXPERIMENTS.md (E03) for the paper-vs-measured record.
+"""
+
+from _common import run_and_assert
+
+
+def test_e03(benchmark):
+    run_and_assert(benchmark, "E03", scale="small")

@@ -1,0 +1,10 @@
+"""Benchmark E04: Akhshabi et al. [18]: batched master-slave up to ~9x faster than serial; batches amortise dispatch.
+
+See EXPERIMENTS.md (E04) for the paper-vs-measured record.
+"""
+
+from _common import run_and_assert
+
+
+def test_e04(benchmark):
+    run_and_assert(benchmark, "E04", scale="small")

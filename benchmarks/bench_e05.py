@@ -1,0 +1,10 @@
+"""Benchmark E05: Tamaki et al. [20]: 16-node Transputer fine-grained GA cuts time dramatically but sub-ideal (no shared memory).
+
+See EXPERIMENTS.md (E05) for the paper-vs-measured record.
+"""
+
+from _common import run_and_assert
+
+
+def test_e05(benchmark):
+    run_and_assert(benchmark, "E05", scale="small")

@@ -1,0 +1,10 @@
+"""Benchmark E06: Lin et al. [21]: island GAs reach single-GA quality with fewer evaluations (paper: 4.7x / 18.5x).
+
+See EXPERIMENTS.md (E06) for the paper-vs-measured record.
+"""
+
+from _common import run_and_assert
+
+
+def test_e06(benchmark):
+    run_and_assert(benchmark, "E06", scale="small")

@@ -1,0 +1,10 @@
+"""Benchmark E07: Huang et al. [24]: CUDA fuzzy flow shop random-keys GA ~19x at 200 jobs; speedup grows with size.
+
+See EXPERIMENTS.md (E07) for the paper-vs-measured record.
+"""
+
+from _common import run_and_assert
+
+
+def test_e07(benchmark):
+    run_and_assert(benchmark, "E07", scale="small")

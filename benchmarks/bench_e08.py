@@ -1,0 +1,10 @@
+"""Benchmark E08: Zajicek & Sucha [25]: all-on-GPU island GA 60-120x vs sequential CPU.
+
+See EXPERIMENTS.md (E08) for the paper-vs-measured record.
+"""
+
+from _common import run_and_assert
+
+
+def test_e08(benchmark):
+    run_and_assert(benchmark, "E08", scale="small")

@@ -1,0 +1,10 @@
+"""Benchmark E09: Park et al. [26]: ring island GA improves best AND average JSSP solutions over the single GA.
+
+See EXPERIMENTS.md (E09) for the paper-vs-measured record.
+"""
+
+from _common import run_and_assert
+
+
+def test_e09(benchmark):
+    run_and_assert(benchmark, "E09", scale="small")

@@ -1,0 +1,10 @@
+"""Benchmark E10: Asadzadeh & Zamanifar [27]: 8 agents on a virtual cube get shorter schedules and faster convergence.
+
+See EXPERIMENTS.md (E10) for the paper-vs-measured record.
+"""
+
+from _common import run_and_assert
+
+
+def test_e10(benchmark):
+    run_and_assert(benchmark, "E10", scale="small")

@@ -1,0 +1,10 @@
+"""Benchmark E11: Gu et al. [28]: parallel quantum island GA beats serial quantum GA on the stochastic JSSP.
+
+See EXPERIMENTS.md (E11) for the paper-vs-measured record.
+"""
+
+from _common import run_and_assert
+
+
+def test_e11(benchmark):
+    run_and_assert(benchmark, "E11", scale="small")

@@ -1,0 +1,10 @@
+"""Benchmark E12: Spanos et al. [29]: merge-on-stagnation islands comparable to the plain island GA.
+
+See EXPERIMENTS.md (E12) for the paper-vs-measured record.
+"""
+
+from _common import run_and_assert
+
+
+def test_e12(benchmark):
+    run_and_assert(benchmark, "E12", scale="small")

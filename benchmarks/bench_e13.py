@@ -1,0 +1,10 @@
+"""Benchmark E13: Bozejko & Wodecki [30]: diff-start + diff-operators + cooperation is the best island strategy.
+
+See EXPERIMENTS.md (E13) for the paper-vs-measured record.
+"""
+
+from _common import run_and_assert
+
+
+def test_e13(benchmark):
+    run_and_assert(benchmark, "E13", scale="small")

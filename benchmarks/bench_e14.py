@@ -1,0 +1,10 @@
+"""Benchmark E14: Bozejko & Wodecki [31]: 8-processor island GA best among {1,2,4,8} for sum w_j C_j at equal wall-clock.
+
+See EXPERIMENTS.md (E14) for the paper-vs-measured record.
+"""
+
+from _common import run_and_assert
+
+
+def test_e14(benchmark):
+    run_and_assert(benchmark, "E14", scale="small")

@@ -1,0 +1,10 @@
+"""Benchmark E15: Kokosinski & Studzienny [32]: open shop islands show NO clear advantage over serial (negative result).
+
+See EXPERIMENTS.md (E15) for the paper-vs-measured record.
+"""
+
+from _common import run_and_assert
+
+
+def test_e15(benchmark):
+    run_and_assert(benchmark, "E15", scale="small")

@@ -1,0 +1,10 @@
+"""Benchmark E16: Harmanani et al. [33]: 5-node Beowulf island GA speedup between 2.28 and 2.89.
+
+See EXPERIMENTS.md (E16) for the paper-vs-measured record.
+"""
+
+from _common import run_and_assert
+
+
+def test_e16(benchmark):
+    run_and_assert(benchmark, "E16", scale="small")

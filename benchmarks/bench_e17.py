@@ -1,0 +1,10 @@
+"""Benchmark E17: Defersha & Chen [35]: lot-streaming HFS: island helps; fully-connected topology best; policy indifferent.
+
+See EXPERIMENTS.md (E17) for the paper-vs-measured record.
+"""
+
+from _common import run_and_assert
+
+
+def test_e17(benchmark):
+    run_and_assert(benchmark, "E17", scale="small")

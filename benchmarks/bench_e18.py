@@ -1,0 +1,10 @@
+"""Benchmark E18: Defersha & Chen [36]: FJSP+SDST random-topology island beats serial at equal wall-clock, medium and large.
+
+See EXPERIMENTS.md (E18) for the paper-vs-measured record.
+"""
+
+from _common import run_and_assert
+
+
+def test_e18(benchmark):
+    run_and_assert(benchmark, "E18", scale="small")

@@ -1,0 +1,10 @@
+"""Benchmark E19: Belkadi et al. [37]: migration interval decisive; topology/replacement insignificant; many islands hurt.
+
+See EXPERIMENTS.md (E19) for the paper-vs-measured record.
+"""
+
+from _common import run_and_assert
+
+
+def test_e19(benchmark):
+    run_and_assert(benchmark, "E19", scale="small")

@@ -1,0 +1,10 @@
+"""Benchmark E20: Rashidi et al. [38]: weighted-island MOGA + local search/Redirect yields the better Pareto front.
+
+See EXPERIMENTS.md (E20) for the paper-vs-measured record.
+"""
+
+from _common import run_and_assert
+
+
+def test_e20(benchmark):
+    run_and_assert(benchmark, "E20", scale="small")

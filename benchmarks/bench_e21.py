@@ -1,0 +1,10 @@
+"""Benchmark E21: Survey Tables II-V: engines structurally conform to the published pseudo-code.
+
+See EXPERIMENTS.md (E21) for the paper-vs-measured record.
+"""
+
+from _common import run_and_assert
+
+
+def test_e21(benchmark):
+    run_and_assert(benchmark, "E21", scale="small")

@@ -1,0 +1,10 @@
+"""Benchmark E22: Survey Section IV / Cantu-Paz: master-slave pays off only for expensive evaluations; P* = sqrt(n*Tf/Tc).
+
+See EXPERIMENTS.md (E22) for the paper-vs-measured record.
+"""
+
+from _common import run_and_assert
+
+
+def test_e22(benchmark):
+    run_and_assert(benchmark, "E22", scale="small")

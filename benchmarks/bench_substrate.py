@@ -1,0 +1,69 @@
+"""Micro-benchmarks of the hot substrate paths.
+
+Not tied to a surveyed table; these guard the performance assumptions the
+experiments rest on (the HPC-guide "profile before optimising" loop):
+
+* vectorised population flow-shop evaluation vs the scalar path,
+* JSSP semi-active decode throughput (the island/cellular inner loop),
+* Giffler-Thompson active decoding,
+* disjunctive-graph longest-path evaluation (Somani's kernel 2).
+"""
+
+import numpy as np
+import pytest
+
+from repro.instances import flow_shop, get_instance, job_shop
+from repro.scheduling import (DisjunctiveGraph, flowshop_makespan,
+                              flowshop_makespan_population,
+                              giffler_thompson,
+                              operation_sequence_makespan)
+
+
+@pytest.fixture(scope="module")
+def fs_instance():
+    return flow_shop(50, 10, seed=1)
+
+
+@pytest.fixture(scope="module")
+def fs_population(fs_instance):
+    rng = np.random.default_rng(0)
+    return np.stack([rng.permutation(50) for _ in range(256)])
+
+
+def test_flowshop_population_vectorised(benchmark, fs_instance,
+                                        fs_population):
+    out = benchmark(flowshop_makespan_population, fs_instance, fs_population)
+    assert out.shape == (256,)
+
+
+def test_flowshop_scalar_loop(benchmark, fs_instance, fs_population):
+    def scalar():
+        return [flowshop_makespan(fs_instance, p) for p in fs_population]
+    out = benchmark(scalar)
+    assert len(out) == 256
+
+
+def test_jobshop_semi_active_decode(benchmark):
+    inst = job_shop(20, 10, seed=2)
+    rng = np.random.default_rng(0)
+    seq = np.repeat(np.arange(20), 10)
+    rng.shuffle(seq)
+    cmax = benchmark(operation_sequence_makespan, inst, seq)
+    assert cmax > 0
+
+
+def test_giffler_thompson_decode(benchmark):
+    inst = get_instance("ft10-shaped")
+    prio = np.random.default_rng(0).random(100)
+    sched = benchmark(giffler_thompson, inst, prio)
+    assert len(sched.operations) == 100
+
+
+def test_disjunctive_graph_longest_path(benchmark):
+    inst = job_shop(10, 8, seed=3)
+    dg = DisjunctiveGraph(inst)
+    rng = np.random.default_rng(0)
+    seq = np.repeat(np.arange(10), 8)
+    rng.shuffle(seq)
+    cmax = benchmark(dg.makespan_of_sequence, seq)
+    assert cmax == pytest.approx(operation_sequence_makespan(inst, seq))

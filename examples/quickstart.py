@@ -1,0 +1,48 @@
+"""Quickstart: solve the classic ft06 job shop with the simple GA.
+
+Run with::
+
+    python examples/quickstart.py
+
+Demonstrates the core workflow every other example builds on:
+instance -> encoding -> Problem -> engine -> decoded schedule.
+"""
+
+from repro import GAConfig, MaxGenerations, Problem, SimpleGA
+from repro.core import TargetObjective
+from repro.encodings import OperationBasedEncoding
+from repro.instances import FT06_OPTIMUM, get_instance
+
+
+def main() -> None:
+    instance = get_instance("ft06")
+    print(f"instance: {instance.name} "
+          f"({instance.n_jobs} jobs x {instance.n_machines} machines), "
+          f"known optimum makespan = {FT06_OPTIMUM:g}")
+
+    problem = Problem(OperationBasedEncoding(instance))
+    ga = SimpleGA(
+        problem,
+        GAConfig(population_size=80, crossover_rate=0.9, mutation_rate=0.25,
+                 n_elites=2),
+        termination=TargetObjective(FT06_OPTIMUM) | MaxGenerations(150),
+        seed=42,
+    )
+    result = ga.run()
+
+    print(f"best makespan: {result.best_objective:g} "
+          f"after {result.generations} generations "
+          f"({result.evaluations} evaluations)")
+    print(f"stopped because: {result.termination_reason}")
+
+    schedule = problem.decode(result.best.genome)
+    schedule.audit(instance)  # feasibility oracle: raises on any violation
+    print("\nGantt chart (digits are job ids):")
+    print(schedule.gantt())
+
+    gap = (result.best_objective - FT06_OPTIMUM) / FT06_OPTIMUM
+    print(f"\ngap to optimum: {100 * gap:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""repro: parallel genetic algorithms for shop scheduling problems.
+
+A library-scale reproduction of Luo & El Baz, "A Survey on Parallel
+Genetic Algorithms for Shop Scheduling Problems" (IPPS 2018):
+
+* :mod:`repro.scheduling` -- flow/job/open/flexible shop substrates,
+* :mod:`repro.encodings` -- chromosome representations,
+* :mod:`repro.operators` -- every selection/crossover/mutation the survey
+  names,
+* :mod:`repro.core` -- the simple GA of Table II,
+* :mod:`repro.parallel` -- master-slave (Table III), fine-grained
+  (Table IV), island (Table V) and hybrid models, plus simulated HPC
+  platforms for speedup studies,
+* :mod:`repro.extensions` -- fuzzy, stochastic, quantum, energy-aware,
+  dynamic and multi-objective variants,
+* :mod:`repro.instances` -- ft06 + shaped benchmark stand-ins + generators,
+* :mod:`repro.experiments` -- the 22 reproduced claims (E01-E22).
+
+Quickstart::
+
+    from repro import SimpleGA, GAConfig, MaxGenerations, Problem
+    from repro.encodings import OperationBasedEncoding
+    from repro.instances import get_instance
+
+    problem = Problem(OperationBasedEncoding(get_instance("ft06")))
+    result = SimpleGA(problem, GAConfig(population_size=60),
+                      MaxGenerations(100), seed=42).run()
+    print(result.best_objective)
+"""
+
+from .core import (GAConfig, GAResult, Individual, MaxEvaluations,
+                   MaxGenerations, Population, SimpleGA, Stagnation,
+                   TargetObjective, TimeLimit)
+from .encodings import Problem
+from .parallel import (CellularGA, IslandGA, MasterSlaveGA, MigrationPolicy)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SimpleGA", "GAConfig", "GAResult", "Individual", "Population",
+    "MaxGenerations", "MaxEvaluations", "TimeLimit", "TargetObjective",
+    "Stagnation",
+    "Problem",
+    "MasterSlaveGA", "IslandGA", "CellularGA", "MigrationPolicy",
+    "__version__",
+]

@@ -1,0 +1,131 @@
+"""Command-line interface.
+
+::
+
+    repro list                          # experiment ids + instance names
+    repro run E07 [--scale small]       # run one reproduced experiment
+    repro run-all [--scale smoke]       # regenerate the whole evaluation
+    repro solve ft06 [--engine island]  # solve an instance, print Gantt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import GAConfig, MaxGenerations, SimpleGA
+from .encodings import (FlowShopPermutationEncoding, OpenShopPermutationEncoding,
+                        OperationBasedEncoding, Problem)
+from .experiments import EXPERIMENTS, run_all, run_experiment
+from .instances import available_instances, get_instance
+from .parallel import CellularGA, IslandGA, MasterSlaveGA
+from .scheduling import (FlowShopInstance, JobShopInstance, OpenShopInstance)
+
+__all__ = ["main"]
+
+
+def _build_problem(name: str) -> Problem:
+    instance = get_instance(name)
+    if isinstance(instance, JobShopInstance):
+        return Problem(OperationBasedEncoding(instance))
+    if isinstance(instance, FlowShopInstance):
+        return Problem(FlowShopPermutationEncoding(instance))
+    if isinstance(instance, OpenShopInstance):
+        return Problem(OpenShopPermutationEncoding(instance))
+    raise TypeError(f"no default encoding for {type(instance).__name__}")
+
+
+def _cmd_list(_args) -> int:
+    print("experiments:")
+    for key in sorted(EXPERIMENTS):
+        print(f"  {key}: {EXPERIMENTS[key].__doc__.strip().splitlines()[0]}")
+    print("\ninstances:")
+    for name in available_instances():
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    result = run_experiment(args.experiment, scale=args.scale)
+    print(result.summary())
+    return 0 if result.passed else 1
+
+
+def _cmd_run_all(args) -> int:
+    results = run_all(scale=args.scale, verbose=True)
+    failed = [k for k, r in results.items() if not r.passed]
+    print(f"\n{len(results) - len(failed)}/{len(results)} shape checks OK")
+    if failed:
+        print("mismatches:", ", ".join(failed))
+    return 0 if not failed else 1
+
+
+def _cmd_solve(args) -> int:
+    problem = _build_problem(args.instance)
+    term = MaxGenerations(args.generations)
+    cfg = GAConfig(population_size=args.population)
+    if args.engine == "simple":
+        result = SimpleGA(problem, cfg, term, seed=args.seed).run()
+        best, evals = result.best, result.evaluations
+    elif args.engine == "master-slave":
+        result = MasterSlaveGA(problem, cfg, term, seed=args.seed,
+                               n_workers=args.workers).run()
+        best, evals = result.best, result.evaluations
+    elif args.engine == "island":
+        result = IslandGA(problem, n_islands=args.workers,
+                          config=GAConfig(population_size=max(
+                              4, args.population // args.workers)),
+                          termination=term, seed=args.seed).run()
+        best, evals = result.best, result.evaluations
+    elif args.engine == "cellular":
+        side = max(2, int(args.population ** 0.5))
+        result = CellularGA(problem, rows=side, cols=side,
+                            termination=term, seed=args.seed).run()
+        best, evals = result.best, result.evaluations
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(args.engine)
+    print(f"instance={args.instance} engine={args.engine} "
+          f"best={best.objective:g} evaluations={evals}")
+    schedule = problem.decode(best.genome)
+    print(schedule.gantt())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel GAs for shop scheduling (survey reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and instances") \
+        .set_defaults(fn=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run one experiment")
+    p_run.add_argument("experiment")
+    p_run.add_argument("--scale", default="small",
+                       choices=("smoke", "small", "paper"))
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_all = sub.add_parser("run-all", help="run every experiment")
+    p_all.add_argument("--scale", default="small",
+                       choices=("smoke", "small", "paper"))
+    p_all.set_defaults(fn=_cmd_run_all)
+
+    p_solve = sub.add_parser("solve", help="solve a named instance")
+    p_solve.add_argument("instance")
+    p_solve.add_argument("--engine", default="simple",
+                         choices=("simple", "master-slave", "island",
+                                  "cellular"))
+    p_solve.add_argument("--population", type=int, default=60)
+    p_solve.add_argument("--generations", type=int, default=100)
+    p_solve.add_argument("--workers", type=int, default=4)
+    p_solve.add_argument("--seed", type=int, default=42)
+    p_solve.set_defaults(fn=_cmd_solve)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

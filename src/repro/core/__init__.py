@@ -1,0 +1,24 @@
+"""GA engine core: individuals, populations, fitness, termination, engine."""
+
+from .individual import Individual
+from .population import Population, PopulationStats, hamming_distance
+from .fitness import (HeuristicOffsetFitness, NegationFitness, RankFitness,
+                      ReciprocalFitness, apply_fitness)
+from .termination import (AllOf, AnyOf, MaxEvaluations, MaxGenerations,
+                          Stagnation, TargetObjective, Termination,
+                          TerminationState, TimeLimit)
+from .observers import (CallbackObserver, GenerationRecord, HistoryRecorder,
+                        Observer)
+from .rng import RngStream, derive_rng, make_rng, spawn_rngs, spawn_seeds
+from .ga import GAConfig, GAResult, SimpleGA
+
+__all__ = [
+    "Individual", "Population", "PopulationStats", "hamming_distance",
+    "HeuristicOffsetFitness", "ReciprocalFitness", "RankFitness",
+    "NegationFitness", "apply_fitness",
+    "Termination", "TerminationState", "MaxGenerations", "MaxEvaluations",
+    "TimeLimit", "TargetObjective", "Stagnation", "AnyOf", "AllOf",
+    "Observer", "HistoryRecorder", "CallbackObserver", "GenerationRecord",
+    "make_rng", "spawn_rngs", "spawn_seeds", "derive_rng", "RngStream",
+    "GAConfig", "GAResult", "SimpleGA",
+]

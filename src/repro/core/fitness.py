@@ -1,0 +1,138 @@
+"""Fitness transforms from Section III.A of the survey.
+
+Shop-scheduling objectives are minimised, but classic selection operators
+(roulette wheel, stochastic universal sampling) expect a maximised,
+non-negative fitness.  The survey quotes the two standard transforms:
+
+Equation (1), the *heuristic offset*::
+
+    FIT(i) = max(F_bar - F_i(S_i), 0)
+
+where ``F_bar`` is the objective value of some heuristic (reference)
+solution, and Equation (2), the *reciprocal*::
+
+    FIT(i) = 1 / F_i(S_i)
+
+Both are provided, plus a rank-based transform that is scale-free (useful
+when objective magnitudes vary wildly across instances, e.g. ΣwjCj).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, Sequence
+
+import numpy as np
+
+from .individual import Individual
+
+__all__ = [
+    "FitnessTransform",
+    "HeuristicOffsetFitness",
+    "ReciprocalFitness",
+    "RankFitness",
+    "NegationFitness",
+    "apply_fitness",
+]
+
+
+class FitnessTransform(Protocol):
+    """Maps a vector of minimised objectives to maximised fitness values."""
+
+    def __call__(self, objectives: np.ndarray) -> np.ndarray:  # pragma: no cover
+        ...
+
+
+class HeuristicOffsetFitness:
+    """Equation (1): ``FIT(i) = max(F_bar - F_i, 0)``.
+
+    Parameters
+    ----------
+    reference:
+        ``F_bar``, the objective of a heuristic solution.  If ``None`` the
+        transform uses ``(1 + margin) * max(objectives)`` of the current
+        population, which guarantees strictly positive fitness for every
+        member while preserving ordering -- the common practical reading of
+        Eq. (1) when no heuristic bound is available.
+    margin:
+        Relative safety margin used when ``reference`` is adaptive.
+    """
+
+    def __init__(self, reference: float | None = None, margin: float = 0.05):
+        if reference is not None and reference <= 0:
+            raise ValueError("reference objective must be positive")
+        if margin < 0:
+            raise ValueError("margin must be non-negative")
+        self.reference = reference
+        self.margin = margin
+
+    def __call__(self, objectives: np.ndarray) -> np.ndarray:
+        obj = np.asarray(objectives, dtype=float)
+        ref = self.reference
+        if ref is None:
+            ref = float(obj.max()) * (1.0 + self.margin)
+            if ref == 0.0:
+                ref = 1.0
+        return np.maximum(ref - obj, 0.0)
+
+
+class ReciprocalFitness:
+    """Equation (2): ``FIT(i) = 1 / F_i`` (objectives must be positive)."""
+
+    def __init__(self, epsilon: float = 1e-12):
+        self.epsilon = epsilon
+
+    def __call__(self, objectives: np.ndarray) -> np.ndarray:
+        obj = np.asarray(objectives, dtype=float)
+        if (obj < 0).any():
+            raise ValueError("reciprocal fitness requires non-negative objectives")
+        return 1.0 / (obj + self.epsilon)
+
+
+class RankFitness:
+    """Linear rank-based fitness: best gets ``len(pop)``, worst gets 1.
+
+    Scale-free; ties share the mean of their rank block so the transform is
+    deterministic and permutation-invariant.
+    """
+
+    def __call__(self, objectives: np.ndarray) -> np.ndarray:
+        obj = np.asarray(objectives, dtype=float)
+        n = obj.size
+        order = np.argsort(obj, kind="stable")
+        ranks = np.empty(n, dtype=float)
+        # rank 0 = best => fitness n; average ties
+        ranks[order] = np.arange(n, dtype=float)
+        fitness = n - ranks
+        # average tied objective values
+        for val in np.unique(obj):
+            mask = obj == val
+            if mask.sum() > 1:
+                fitness[mask] = fitness[mask].mean()
+        return fitness
+
+
+class NegationFitness:
+    """``FIT(i) = -F_i``; simplest order-preserving transform.
+
+    Produces negative values, so only suitable for operators that use
+    fitness comparisons (tournament), never for roulette sampling.
+    """
+
+    def __call__(self, objectives: np.ndarray) -> np.ndarray:
+        return -np.asarray(objectives, dtype=float)
+
+
+def apply_fitness(population: Sequence[Individual],
+                  transform: FitnessTransform) -> None:
+    """Fill ``Individual.fitness`` for every member, in place.
+
+    Raises if any member lacks an objective value.
+    """
+    objectives = []
+    for ind in population:
+        if ind.objective is None:
+            raise ValueError("cannot compute fitness of unevaluated individual")
+        objectives.append(ind.objective)
+    fits = transform(np.asarray(objectives, dtype=float))
+    for ind, fit in zip(population, fits):
+        ind.fitness = float(fit)

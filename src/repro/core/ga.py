@@ -1,0 +1,266 @@
+"""The simple (serial) genetic algorithm -- Table II of the survey.
+
+::
+
+    1: initialize();
+    2: while (termination criteria are not satisfied) do
+    3:   Generation++
+    4:   Selection();
+    5:   Crossover();
+    6:   Mutation();
+    7:   FitnessValueEvaluation();
+    8: end while
+
+:class:`SimpleGA` implements exactly that loop over a
+:class:`~repro.encodings.base.Problem`.  The evaluation step is pluggable
+(an ``evaluator`` callable mapping a list of genomes to objective values),
+which is the single seam the master-slave model replaces with a parallel
+pool (Table III) while everything else stays identical -- the survey's
+observation that master-slave parallelism "does not affect the behavior of
+the algorithm".
+
+The engine exposes both ``run()`` (full loop) and ``step()`` (one
+generation), the latter reused verbatim by the island model where every
+island is a SimpleGA.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..encodings.base import Problem
+from ..operators.crossover import Crossover, default_crossover_for
+from ..operators.mutation import Mutation, default_mutation_for
+from ..operators.selection import Selection, RouletteWheelSelection
+from .fitness import FitnessTransform, HeuristicOffsetFitness, apply_fitness
+from .individual import Individual
+from .observers import HistoryRecorder, Observer
+from .population import Population
+from .rng import make_rng
+from .termination import MaxGenerations, Termination, TerminationState
+
+__all__ = ["GAConfig", "GAResult", "SimpleGA", "Evaluator"]
+
+Evaluator = Callable[[Sequence[Any]], np.ndarray]
+
+
+@dataclass
+class GAConfig:
+    """Hyper-parameters of the simple GA (and of each island/cell engine).
+
+    Attributes
+    ----------
+    population_size:
+        number of individuals.
+    crossover_rate:
+        probability a selected pair undergoes crossover (else cloned).
+    mutation_rate:
+        probability each offspring undergoes mutation.
+    n_elites:
+        individuals copied unchanged into the next generation ("an elitist
+        strategy is hired afterwards to keep limited number of individuals
+        with the best fitness values", Section III.A).
+    immigration_rate:
+        fraction of each new generation replaced by fresh random
+        individuals -- the ``c%`` immigration of Huang et al. [24].
+    generation_gap:
+        fraction of the population bred each generation; 1.0 is the full
+        generational model of Table II, smaller values give the *partial
+        replacement* of Akhshabi et al. [18] (only the bred fraction can
+        displace parents, the rest survive unchanged).
+    selection / crossover / mutation:
+        operator instances; ``None`` picks a default for the problem's
+        genome kind.
+    fitness_transform:
+        maps minimised objectives to maximised fitness (Eq. (1)/(2)).
+    """
+
+    population_size: int = 60
+    crossover_rate: float = 0.9
+    mutation_rate: float = 0.25
+    n_elites: int = 2
+    immigration_rate: float = 0.0
+    generation_gap: float = 1.0
+    selection: Selection | None = None
+    crossover: Crossover | None = None
+    mutation: Mutation | None = None
+    fitness_transform: FitnessTransform | None = None
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise ValueError("population_size must be >= 2")
+        for nm in ("crossover_rate", "mutation_rate", "immigration_rate"):
+            v = getattr(self, nm)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{nm} must be in [0, 1]")
+        if not 0.0 < self.generation_gap <= 1.0:
+            raise ValueError("generation_gap must be in (0, 1]")
+        if not 0 <= self.n_elites <= self.population_size:
+            raise ValueError("n_elites must be in [0, population_size]")
+
+    def resolved(self, problem: Problem) -> "GAConfig":
+        """Copy with operator defaults filled in for ``problem``."""
+        part_kinds = getattr(problem.encoding, "part_kinds", ())
+        return replace(
+            self,
+            selection=self.selection or RouletteWheelSelection(),
+            crossover=self.crossover or default_crossover_for(
+                problem.kind, part_kinds),
+            mutation=self.mutation or default_mutation_for(
+                problem.kind, part_kinds),
+            fitness_transform=self.fitness_transform or HeuristicOffsetFitness(),
+        )
+
+
+@dataclass
+class GAResult:
+    """Outcome of a GA run."""
+
+    best: Individual
+    population: Population
+    history: HistoryRecorder
+    generations: int
+    evaluations: int
+    elapsed: float
+    termination_reason: str
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def best_objective(self) -> float:
+        return float(self.best.objective)
+
+
+class SimpleGA:
+    """Serial GA engine over a :class:`Problem`.
+
+    Parameters
+    ----------
+    problem:
+        encoding + objective.
+    config:
+        hyper-parameters; operator defaults resolved per genome kind.
+    termination:
+        stop criterion (default: 100 generations).
+    seed:
+        root seed (int) or an existing Generator.
+    evaluator:
+        optional replacement for the evaluation step; receives the list of
+        genomes to score and returns objectives.  This is the master-slave
+        seam -- see :mod:`repro.parallel.master_slave`.
+    observers:
+        extra observers beyond the built-in history recorder.
+    """
+
+    def __init__(self, problem: Problem, config: GAConfig | None = None,
+                 termination: Termination | None = None,
+                 seed: int | np.random.Generator | None = None,
+                 evaluator: Evaluator | None = None,
+                 observers: Sequence[Observer] = ()):  # noqa: D401
+        self.problem = problem
+        self.config = (config or GAConfig()).resolved(problem)
+        self.termination = termination or MaxGenerations(100)
+        self.rng = make_rng(seed)
+        self.evaluator = evaluator or problem.evaluate_many
+        self.history = HistoryRecorder()
+        self.observers: list[Observer] = [self.history, *observers]
+        self.state = TerminationState()
+        self.population: Population | None = None
+
+    # -- building blocks ---------------------------------------------------------
+    def initialize(self) -> Population:
+        """Line 1 of Table II: random initial population, evaluated."""
+        pop = Population(
+            Individual(self.problem.random_genome(self.rng))
+            for _ in range(self.config.population_size)
+        )
+        self._evaluate(pop.members)
+        self.population = pop
+        self._notify()
+        return pop
+
+    def _evaluate(self, individuals: Sequence[Individual]) -> None:
+        """Score unevaluated individuals (lines 7 of Tables II/III)."""
+        todo = [ind for ind in individuals if not ind.evaluated]
+        if not todo:
+            return
+        objectives = self.evaluator([ind.genome for ind in todo])
+        for ind, obj in zip(todo, objectives):
+            ind.objective = float(obj)
+        self.state.evaluations += len(todo)
+
+    def _notify(self) -> None:
+        best = self.population.best()
+        self.state.record_best(float(best.objective))
+        for obs in self.observers:
+            obs.observe(self.state.generation, self.population,
+                        self.state.evaluations, self.state.elapsed())
+
+    def make_offspring(self, population: Population,
+                       count: int) -> list[Individual]:
+        """Selection + crossover + mutation producing ``count`` offspring.
+
+        Shared by the serial loop, the master-slave engine and the island
+        engine (each island calls it on its own subpopulation).
+        """
+        cfg = self.config
+        apply_fitness(population.members, cfg.fitness_transform)
+        n_immigrants = int(round(cfg.immigration_rate * count))
+        n_bred = count - n_immigrants
+        parents = cfg.selection(population, n_bred + (n_bred % 2), self.rng)
+        offspring: list[Individual] = []
+        for i in range(0, len(parents) - 1, 2):
+            pa, pb = parents[i], parents[i + 1]
+            if self.rng.random() < cfg.crossover_rate:
+                ga, gb = cfg.crossover(pa.genome, pb.genome, self.rng)
+            else:
+                ga = pa.copy().genome
+                gb = pb.copy().genome
+            offspring.append(Individual(ga))
+            offspring.append(Individual(gb))
+        offspring = offspring[:n_bred]
+        for k, child in enumerate(offspring):
+            if self.rng.random() < cfg.mutation_rate:
+                offspring[k] = Individual(cfg.mutation(child.genome, self.rng))
+        for _ in range(n_immigrants):
+            offspring.append(Individual(self.problem.random_genome(self.rng)))
+        return offspring
+
+    def step(self) -> Population:
+        """One generation (lines 3-7 of Table II).
+
+        With ``generation_gap < 1`` only the bred fraction of the
+        population is produced and the unbred remainder survives via a
+        larger elite carry-over (partial replacement, Akhshabi [18]).
+        """
+        if self.population is None:
+            self.initialize()
+        self.state.generation += 1
+        cfg = self.config
+        n_bred = max(2, int(round(cfg.generation_gap * cfg.population_size)))
+        n_keep = max(cfg.n_elites, cfg.population_size - n_bred)
+        offspring = self.make_offspring(self.population, n_bred)
+        self._evaluate(offspring)
+        self.population = self.population.elitist_merge(offspring, n_keep)
+        self._notify()
+        return self.population
+
+    # -- full loop ---------------------------------------------------------------
+    def run(self) -> GAResult:
+        """Run Table II until the termination criterion fires."""
+        if self.population is None:
+            self.initialize()
+        while not self.termination.done(self.state):
+            self.step()
+        return GAResult(
+            best=self.population.best().copy(),
+            population=self.population,
+            history=self.history,
+            generations=self.state.generation,
+            evaluations=self.state.evaluations,
+            elapsed=self.state.elapsed(),
+            termination_reason=self.termination.reason(),
+        )

@@ -1,0 +1,94 @@
+"""Individuals: a genome plus cached evaluation results.
+
+An :class:`Individual` is deliberately dumb -- it knows nothing about shop
+scheduling.  The *encoding* (see :mod:`repro.encodings`) interprets the
+genome; the *problem* (see :mod:`repro.scheduling`) scores the decoded
+schedule.  This separation mirrors the survey's Section III.A: the same GA
+machinery runs over direct permutations, permutations with repetition,
+random keys, dispatching-rule strings or two-part flexible-shop genomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+import numpy as np
+
+__all__ = ["Individual"]
+
+
+def _copy_genome(genome: Any) -> Any:
+    """Deep-enough copy of a genome (ndarray, tuple of ndarrays, or list)."""
+    if isinstance(genome, np.ndarray):
+        return genome.copy()
+    if isinstance(genome, tuple):
+        return tuple(_copy_genome(g) for g in genome)
+    if isinstance(genome, list):
+        return [_copy_genome(g) for g in genome]
+    return genome
+
+
+@dataclass(slots=True)
+class Individual:
+    """One member of a population.
+
+    Attributes
+    ----------
+    genome:
+        Encoding-specific data.  A single ``ndarray`` for permutation /
+        random-key encodings, a ``tuple`` of arrays for two-part flexible
+        shop genomes.
+    objective:
+        Minimised objective value (e.g. makespan).  ``None`` until evaluated.
+    fitness:
+        Maximised fitness derived from ``objective`` via a transform from
+        :mod:`repro.core.fitness`.  ``None`` until evaluated.
+    objectives:
+        Optional vector of objective values for multi-objective problems.
+    meta:
+        Free-form annotations (birth generation, island id, ...).
+    """
+
+    genome: Any
+    objective: float | None = None
+    fitness: float | None = None
+    objectives: tuple[float, ...] | None = None
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def evaluated(self) -> bool:
+        """True once the individual has an objective value."""
+        return self.objective is not None
+
+    def invalidate(self) -> None:
+        """Drop cached evaluation results (call after mutating the genome)."""
+        self.objective = None
+        self.fitness = None
+        self.objectives = None
+
+    def copy(self) -> "Individual":
+        """Deep copy; the genome is duplicated, evaluation cache preserved."""
+        return replace(
+            self,
+            genome=_copy_genome(self.genome),
+            meta=dict(self.meta),
+        )
+
+    def with_genome(self, genome: Any) -> "Individual":
+        """A fresh, unevaluated individual carrying ``genome``."""
+        return Individual(genome=genome)
+
+    def genome_key(self) -> tuple:
+        """Hashable projection of the genome (used for diversity metrics)."""
+        if isinstance(self.genome, np.ndarray):
+            return tuple(np.asarray(self.genome).ravel().tolist())
+        if isinstance(self.genome, tuple):
+            return tuple(
+                tuple(np.asarray(g).ravel().tolist()) for g in self.genome
+            )
+        return tuple(self.genome)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        obj = "unevaluated" if self.objective is None else f"{self.objective:.4g}"
+        return f"Individual(obj={obj})"

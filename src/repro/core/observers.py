@@ -1,0 +1,112 @@
+"""Run observers: per-generation history and convergence diagnostics.
+
+Most surveyed papers report convergence curves (best objective per
+generation) and population-quality statistics (Park et al. [26] compare
+best *and* average solution; Bozejko & Wodecki [30] report the standard
+deviation improvement).  The :class:`HistoryRecorder` captures everything
+those comparisons need; engines call ``observe`` once per generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from .population import Population
+
+__all__ = ["GenerationRecord", "HistoryRecorder", "CallbackObserver", "Observer"]
+
+
+@dataclass(slots=True)
+class GenerationRecord:
+    """One generation's snapshot."""
+
+    generation: int
+    best: float
+    mean: float
+    std: float
+    worst: float
+    evaluations: int
+    elapsed: float
+    extra: dict[str, Any] = field(default_factory=dict)
+
+
+class Observer:
+    """Base observer; engines call :meth:`observe` each generation."""
+
+    def observe(self, generation: int, population: Population,
+                evaluations: int, elapsed: float, **extra: Any) -> None:
+        raise NotImplementedError  # pragma: no cover
+
+
+class HistoryRecorder(Observer):
+    """Records a :class:`GenerationRecord` per generation.
+
+    Also exposes the derived series the benchmarks print: best-so-far curve,
+    generations-to-target, and area-under-curve convergence speed (smaller =
+    converges faster), the metric we use for "higher convergence speed"
+    claims such as Asadzadeh et al. [27].
+    """
+
+    def __init__(self) -> None:
+        self.records: list[GenerationRecord] = []
+
+    def observe(self, generation: int, population: Population,
+                evaluations: int, elapsed: float, **extra: Any) -> None:
+        stats = population.stats()
+        self.records.append(GenerationRecord(
+            generation=generation,
+            best=stats.best,
+            mean=stats.mean,
+            std=stats.std,
+            worst=stats.worst,
+            evaluations=evaluations,
+            elapsed=elapsed,
+            extra=dict(extra),
+        ))
+
+    # -- derived series ----------------------------------------------------------
+    def best_curve(self) -> np.ndarray:
+        """Best-so-far objective per generation (monotone non-increasing)."""
+        if not self.records:
+            return np.empty(0)
+        return np.minimum.accumulate(np.array([r.best for r in self.records]))
+
+    def mean_curve(self) -> np.ndarray:
+        return np.array([r.mean for r in self.records])
+
+    def final_best(self) -> float:
+        if not self.records:
+            raise ValueError("no generations recorded")
+        return float(self.best_curve()[-1])
+
+    def generations_to_reach(self, target: float) -> int | None:
+        """First generation whose best-so-far <= target, else ``None``."""
+        curve = self.best_curve()
+        hits = np.nonzero(curve <= target)[0]
+        return int(hits[0]) if hits.size else None
+
+    def convergence_auc(self) -> float:
+        """Normalised area under the best-so-far curve.
+
+        Curves are normalised by the initial best so runs on different
+        instances are comparable; a faster-converging run has smaller AUC.
+        """
+        curve = self.best_curve()
+        if curve.size == 0:
+            raise ValueError("no generations recorded")
+        return float(np.mean(curve / curve[0])) if curve[0] != 0 else 0.0
+
+
+class CallbackObserver(Observer):
+    """Adapter turning a plain function into an observer."""
+
+    def __init__(self, fn: Callable[..., None]):
+        self.fn = fn
+
+    def observe(self, generation: int, population: Population,
+                evaluations: int, elapsed: float, **extra: Any) -> None:
+        self.fn(generation=generation, population=population,
+                evaluations=evaluations, elapsed=elapsed, **extra)

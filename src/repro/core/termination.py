@@ -1,0 +1,183 @@
+"""Termination criteria ("while termination criteria are not satisfied").
+
+Tables II-V of the survey all loop on an abstract termination test.  The
+surveyed works use (at least) four concrete criteria, sometimes combined:
+
+* a generation budget (most papers),
+* a wall-clock budget (AitZai et al. [14]: fixed 300 s),
+* a fitness-evaluation budget (fair serial-vs-parallel comparisons),
+* a target objective / stagnation window (Spanos et al. [29]).
+
+Criteria are composable with ``|`` (any) and ``&`` (all).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+__all__ = [
+    "TerminationState",
+    "Termination",
+    "MaxGenerations",
+    "MaxEvaluations",
+    "TimeLimit",
+    "TargetObjective",
+    "Stagnation",
+    "AnyOf",
+    "AllOf",
+]
+
+
+class TerminationState:
+    """Mutable counters the engine updates every generation."""
+
+    __slots__ = ("generation", "evaluations", "start_time", "best_objective",
+                 "best_generation", "clock")
+
+    def __init__(self, clock=time.perf_counter):
+        self.generation = 0
+        self.evaluations = 0
+        self.clock = clock
+        self.start_time = clock()
+        self.best_objective: Optional[float] = None
+        self.best_generation = 0
+
+    def elapsed(self) -> float:
+        """Wall-clock seconds since the state was created."""
+        return self.clock() - self.start_time
+
+    def record_best(self, objective: float) -> None:
+        """Track best-so-far; remembers when it last improved (stagnation)."""
+        if self.best_objective is None or objective < self.best_objective:
+            self.best_objective = objective
+            self.best_generation = self.generation
+
+
+class Termination:
+    """Base class; subclasses implement :meth:`done`."""
+
+    def done(self, state: TerminationState) -> bool:  # pragma: no cover
+        raise NotImplementedError
+
+    def reason(self) -> str:
+        return type(self).__name__
+
+    def __or__(self, other: "Termination") -> "AnyOf":
+        return AnyOf(self, other)
+
+    def __and__(self, other: "Termination") -> "AllOf":
+        return AllOf(self, other)
+
+
+class MaxGenerations(Termination):
+    """Stop after ``limit`` generations."""
+
+    def __init__(self, limit: int):
+        if limit < 0:
+            raise ValueError("generation limit must be non-negative")
+        self.limit = limit
+
+    def done(self, state: TerminationState) -> bool:
+        return state.generation >= self.limit
+
+    def reason(self) -> str:
+        return f"max generations ({self.limit}) reached"
+
+
+class MaxEvaluations(Termination):
+    """Stop once at least ``limit`` fitness evaluations were spent.
+
+    The canonical fair-comparison budget for serial vs. parallel GAs: both
+    sides spend the same number of objective-function calls.
+    """
+
+    def __init__(self, limit: int):
+        if limit < 0:
+            raise ValueError("evaluation limit must be non-negative")
+        self.limit = limit
+
+    def done(self, state: TerminationState) -> bool:
+        return state.evaluations >= self.limit
+
+    def reason(self) -> str:
+        return f"evaluation budget ({self.limit}) exhausted"
+
+
+class TimeLimit(Termination):
+    """Stop after ``seconds`` of wall-clock time (AitZai et al. [14])."""
+
+    def __init__(self, seconds: float):
+        if seconds < 0:
+            raise ValueError("time limit must be non-negative")
+        self.seconds = seconds
+
+    def done(self, state: TerminationState) -> bool:
+        return state.elapsed() >= self.seconds
+
+    def reason(self) -> str:
+        return f"time limit ({self.seconds} s) reached"
+
+
+class TargetObjective(Termination):
+    """Stop when best objective <= ``target`` (e.g. a known optimum)."""
+
+    def __init__(self, target: float):
+        self.target = target
+
+    def done(self, state: TerminationState) -> bool:
+        return (state.best_objective is not None
+                and state.best_objective <= self.target)
+
+    def reason(self) -> str:
+        return f"target objective ({self.target}) attained"
+
+
+class Stagnation(Termination):
+    """Stop when the best objective has not improved for ``window`` gens."""
+
+    def __init__(self, window: int):
+        if window <= 0:
+            raise ValueError("stagnation window must be positive")
+        self.window = window
+
+    def done(self, state: TerminationState) -> bool:
+        return state.generation - state.best_generation >= self.window
+
+    def reason(self) -> str:
+        return f"no improvement for {self.window} generations"
+
+
+class AnyOf(Termination):
+    """Disjunction: stop when any sub-criterion fires."""
+
+    def __init__(self, *criteria: Termination):
+        if not criteria:
+            raise ValueError("AnyOf needs at least one criterion")
+        self.criteria = criteria
+        self._fired: Optional[Termination] = None
+
+    def done(self, state: TerminationState) -> bool:
+        for c in self.criteria:
+            if c.done(state):
+                self._fired = c
+                return True
+        return False
+
+    def reason(self) -> str:
+        return self._fired.reason() if self._fired else "not terminated"
+
+
+class AllOf(Termination):
+    """Conjunction: stop only when every sub-criterion fires."""
+
+    def __init__(self, *criteria: Termination):
+        if not criteria:
+            raise ValueError("AllOf needs at least one criterion")
+        self.criteria = criteria
+
+    def done(self, state: TerminationState) -> bool:
+        return all(c.done(state) for c in self.criteria)
+
+    def reason(self) -> str:
+        return " and ".join(c.reason() for c in self.criteria)

@@ -1,0 +1,21 @@
+"""Chromosome representations (Section III.A of the survey)."""
+
+from .base import Encoding, GenomeKind, Problem
+from .permutation import FlowShopPermutationEncoding, OpenShopPermutationEncoding
+from .operation_based import OperationBasedEncoding
+from .random_keys import (RandomKeysFlowShopEncoding, RandomKeysJobShopEncoding,
+                          keys_to_permutation)
+from .dispatch_rules import DispatchRuleEncoding
+from .assignment_sequence import (FlexibleJobShopEncoding,
+                                  HybridFlowShopEncoding,
+                                  LotStreamingEncoding)
+
+__all__ = [
+    "Encoding", "GenomeKind", "Problem",
+    "FlowShopPermutationEncoding", "OpenShopPermutationEncoding",
+    "OperationBasedEncoding",
+    "RandomKeysFlowShopEncoding", "RandomKeysJobShopEncoding",
+    "keys_to_permutation",
+    "DispatchRuleEncoding",
+    "FlexibleJobShopEncoding", "HybridFlowShopEncoding", "LotStreamingEncoding",
+]

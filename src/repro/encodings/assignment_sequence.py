@@ -1,0 +1,124 @@
+"""Two-part genomes for flexible shops.
+
+Belkadi et al. [37]: "genome constituted one assignment chromosome and a
+sequencing chromosome".  The composite genome is a tuple; part 0 assigns
+operations to machines, part 1 orders them.  Composite operators in
+:mod:`repro.operators.crossover` recombine the parts independently, which
+is how [36][37] describe their assignment vs. sequencing operators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..scheduling.flexible import (LotStreamingPlan, decode_fjsp,
+                                   decode_hybrid_flowshop,
+                                   decode_lot_streaming, fjsp_random_genome)
+from ..scheduling.instance import (FlexibleFlowShopInstance,
+                                   FlexibleJobShopInstance)
+from ..scheduling.schedule import Schedule
+from .base import GenomeKind
+
+__all__ = ["FlexibleJobShopEncoding", "HybridFlowShopEncoding",
+           "LotStreamingEncoding"]
+
+
+class FlexibleJobShopEncoding:
+    """(assignment indices, operation sequence) for the FJSP [36]."""
+
+    kind = GenomeKind.COMPOSITE
+    part_kinds = ("assignment", "repetition")
+
+    def __init__(self, instance: FlexibleJobShopInstance):
+        self.instance = instance
+
+    def random_genome(self, rng: np.random.Generator
+                      ) -> tuple[np.ndarray, np.ndarray]:
+        return fjsp_random_genome(self.instance, rng)
+
+    def decode(self, genome: tuple[np.ndarray, np.ndarray]) -> Schedule:
+        assignment, sequence = genome
+        return decode_fjsp(self.instance, assignment, sequence)
+
+    def fast_makespan(self, genome: tuple[np.ndarray, np.ndarray]) -> float:
+        return self.decode(genome).makespan
+
+    def assignment_domain_sizes(self) -> np.ndarray:
+        """Eligible-machine count per flattened operation (for mutation)."""
+        sizes = []
+        for j in range(self.instance.n_jobs):
+            for s in range(self.instance.stages_of(j)):
+                sizes.append(len(self.instance.eligible_machines(j, s)))
+        return np.asarray(sizes, dtype=np.int64)
+
+
+class HybridFlowShopEncoding:
+    """(assignment matrix, job permutation) for hybrid flow shops [37].
+
+    ``use_assignment=False`` degrades to a pure permutation genome decoded
+    with earliest-finish machine selection, the common simplification.
+    """
+
+    kind = GenomeKind.COMPOSITE
+    part_kinds = ("assignment", "permutation")
+
+    def __init__(self, instance: FlexibleFlowShopInstance,
+                 use_assignment: bool = True):
+        self.instance = instance
+        self.use_assignment = use_assignment
+
+    def random_genome(self, rng: np.random.Generator
+                      ) -> tuple[np.ndarray, np.ndarray]:
+        perm = rng.permutation(self.instance.n_jobs).astype(np.int64)
+        if self.use_assignment:
+            assign = np.stack([
+                rng.integers(0, k, size=self.instance.n_jobs)
+                for k in self.instance.machines_per_stage
+            ], axis=1)  # (n_jobs, n_stages)
+        else:
+            assign = np.zeros((self.instance.n_jobs, self.instance.n_stages),
+                              dtype=np.int64)
+        return assign, perm
+
+    def decode(self, genome: tuple[np.ndarray, np.ndarray]) -> Schedule:
+        assign, perm = genome
+        return decode_hybrid_flowshop(
+            self.instance, perm, assign if self.use_assignment else None)
+
+    def fast_makespan(self, genome: tuple[np.ndarray, np.ndarray]) -> float:
+        return self.decode(genome).makespan
+
+
+class LotStreamingEncoding:
+    """(sublot-size keys, job permutation) for HFS with lot streaming [35].
+
+    Part 0 is a positive real vector of length ``n_jobs * sublots`` giving
+    (unnormalised) consistent sublot sizes; part 1 the job permutation.
+    """
+
+    kind = GenomeKind.COMPOSITE
+    part_kinds = ("real", "permutation")
+
+    def __init__(self, instance: FlexibleFlowShopInstance, sublots: int = 2):
+        if sublots < 1:
+            raise ValueError("need at least one sublot")
+        self.instance = instance
+        self.sublots = sublots
+
+    def random_genome(self, rng: np.random.Generator
+                      ) -> tuple[np.ndarray, np.ndarray]:
+        keys = rng.random(self.instance.n_jobs * self.sublots) + 0.05
+        perm = rng.permutation(self.instance.n_jobs).astype(np.int64)
+        return keys, perm
+
+    def plan(self, genome: tuple[np.ndarray, np.ndarray]) -> LotStreamingPlan:
+        keys, _ = genome
+        return LotStreamingPlan.from_genome(keys, self.instance.n_jobs,
+                                            self.sublots)
+
+    def decode(self, genome: tuple[np.ndarray, np.ndarray]) -> Schedule:
+        keys, perm = genome
+        return decode_lot_streaming(self.instance, perm, self.plan(genome))
+
+    def fast_makespan(self, genome: tuple[np.ndarray, np.ndarray]) -> float:
+        return self.decode(genome).makespan

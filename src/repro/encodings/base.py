@@ -1,0 +1,133 @@
+"""Encoding/Problem abstraction.
+
+Section III.A of the survey: "An individual is representative by a
+chromosome ... For flow shop problems a standard chromosome consists of a
+string of length n ... For job shop problems there are two ways of
+chromosome representation: direct way and indirect way."
+
+An :class:`Encoding` owns everything chromosome-specific for one problem
+instance:
+
+* sampling a random genome,
+* decoding a genome to a :class:`~repro.scheduling.schedule.Schedule`,
+* a fast objective evaluation (defaults to decode-then-score but decoders
+  frequently provide a cheaper path),
+* the *genome kind* tag that tells variation operators which space they act
+  on (``permutation``, ``repetition``, ``real``, ``composite``).
+
+A :class:`Problem` pairs an encoding with a minimised objective; GA engines
+only ever see Problems, never raw instances.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol
+
+import numpy as np
+
+from ..scheduling.instance import ShopInstance
+from ..scheduling.objectives import Makespan, Objective
+from ..scheduling.schedule import Schedule
+
+__all__ = ["GenomeKind", "Encoding", "Problem"]
+
+
+class GenomeKind:
+    """Tags naming the search space a genome lives in."""
+
+    PERMUTATION = "permutation"   # permutation of range(n)
+    REPETITION = "repetition"     # permutation with repetitions (multiset)
+    REAL = "real"                 # real vector (random keys, fractions)
+    COMPOSITE = "composite"       # tuple of sub-genomes
+
+
+class Encoding(Protocol):
+    """Chromosome representation bound to a specific instance."""
+
+    instance: ShopInstance
+    kind: str
+
+    def random_genome(self, rng: np.random.Generator) -> Any:
+        """Sample a uniformly random feasible genome."""
+        ...  # pragma: no cover
+
+    def decode(self, genome: Any) -> Schedule:
+        """Decode a genome into a complete schedule."""
+        ...  # pragma: no cover
+
+
+class Problem:
+    """Encoding + minimised objective = what a GA optimises.
+
+    Parameters
+    ----------
+    encoding:
+        the chromosome representation (already bound to its instance).
+    objective:
+        minimised criterion; defaults to makespan, by far the most common
+        choice across the surveyed papers.
+    eval_cost:
+        optional artificial per-evaluation CPU cost in seconds (busy loop).
+        Used by master-slave experiments to emulate the "fitness value
+        calculation is complex and requires considerable computation"
+        regime the survey highlights, without changing results.
+    """
+
+    def __init__(self, encoding: Encoding, objective: Objective | None = None,
+                 eval_cost: float = 0.0):
+        self.encoding = encoding
+        self.objective = objective if objective is not None else Makespan()
+        self.eval_cost = float(eval_cost)
+
+    @property
+    def instance(self) -> ShopInstance:
+        return self.encoding.instance
+
+    @property
+    def kind(self) -> str:
+        return self.encoding.kind
+
+    def random_genome(self, rng: np.random.Generator) -> Any:
+        return self.encoding.random_genome(rng)
+
+    def decode(self, genome: Any) -> Schedule:
+        return self.encoding.decode(genome)
+
+    def evaluate(self, genome: Any) -> float:
+        """Minimised objective value of ``genome``.
+
+        Uses the encoding's fast path when it matches the default makespan
+        objective; otherwise decodes and scores.
+        """
+        if self.eval_cost > 0.0:
+            _burn_cpu(self.eval_cost)
+        fast = getattr(self.encoding, "fast_makespan", None)
+        if fast is not None and isinstance(self.objective, Makespan):
+            return float(fast(genome))
+        schedule = self.encoding.decode(genome)
+        return float(self.objective(schedule, self.encoding.instance))
+
+    def evaluate_many(self, genomes: list[Any]) -> np.ndarray:
+        """Vector of objective values; uses batched fast paths if available."""
+        if self.eval_cost == 0.0 and isinstance(self.objective, Makespan):
+            batch = getattr(self.encoding, "fast_makespan_batch", None)
+            if batch is not None:
+                return np.asarray(batch(genomes), dtype=float)
+        return np.array([self.evaluate(g) for g in genomes], dtype=float)
+
+    def objective_vector(self, genome: Any) -> tuple[float, ...]:
+        """Multi-objective vector when the objective supports it."""
+        vec = getattr(self.objective, "vector", None)
+        schedule = self.encoding.decode(genome)
+        if vec is None:
+            return (float(self.objective(schedule, self.encoding.instance)),)
+        return vec(schedule, self.encoding.instance)
+
+
+def _burn_cpu(seconds: float) -> None:
+    """Spend ~``seconds`` of CPU time (deterministic busy arithmetic)."""
+    import time
+    end = time.perf_counter() + seconds
+    x = 1.0001
+    while time.perf_counter() < end:
+        x = x * 1.0000001 % 10.0

@@ -1,0 +1,46 @@
+"""Indirect encoding: dispatching-rule chromosomes.
+
+The survey's "indirect way" (Cheng, Gen & Tsujimura [12]): the chromosome
+is a sequence of dispatching rules; decoding applies rule k at construction
+step k.  The genome is an integer vector indexing into a rule alphabet, so
+standard discrete crossover/mutation apply with no repair at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..scheduling.instance import JobShopInstance
+from ..scheduling.jobshop import DISPATCH_RULES, priority_rule_schedule
+from ..scheduling.schedule import Schedule
+from .base import GenomeKind
+
+__all__ = ["DispatchRuleEncoding"]
+
+
+class DispatchRuleEncoding:
+    """Integer genome over a dispatching-rule alphabet."""
+
+    kind = GenomeKind.REAL  # integer lattice; real-style ops + rounding apply
+
+    def __init__(self, instance: JobShopInstance,
+                 rules: tuple[str, ...] = ("SPT", "LPT", "MWR", "LWR", "FIFO")):
+        unknown = [r for r in rules if r not in DISPATCH_RULES]
+        if unknown:
+            raise ValueError(f"unknown rules: {unknown}")
+        self.instance = instance
+        self.rules = tuple(rules)
+        self.length = instance.n_jobs * instance.n_stages
+
+    def random_genome(self, rng: np.random.Generator) -> np.ndarray:
+        return rng.integers(0, len(self.rules), size=self.length)
+
+    def rule_names(self, genome: np.ndarray) -> list[str]:
+        idx = np.asarray(genome, dtype=np.int64) % len(self.rules)
+        return [self.rules[i] for i in idx]
+
+    def decode(self, genome: np.ndarray) -> Schedule:
+        return priority_rule_schedule(self.instance, self.rule_names(genome))
+
+    def fast_makespan(self, genome: np.ndarray) -> float:
+        return self.decode(genome).makespan

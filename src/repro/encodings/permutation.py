@@ -1,0 +1,76 @@
+"""Job-permutation encoding (flow shop, open shop).
+
+The standard flow shop chromosome: a string of length ``n`` whose i-th gene
+is the job at position i.  For open shops the same genome drives the
+LPT-Task/LPT-Machine greedy decoders of Kokosinski & Studzienny [32] --
+there the permutation is expanded to a permutation with repetitions by
+cycling, or used directly when the caller supplies repetition genomes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..scheduling.flowshop import (flowshop_makespan,
+                                   flowshop_makespan_population,
+                                   flowshop_schedule)
+from ..scheduling.instance import FlowShopInstance, OpenShopInstance
+from ..scheduling.openshop import (decode_job_repetition_lpt_machine,
+                                   decode_job_repetition_lpt_task)
+from ..scheduling.schedule import Schedule
+from .base import GenomeKind
+
+__all__ = ["FlowShopPermutationEncoding", "OpenShopPermutationEncoding"]
+
+
+class FlowShopPermutationEncoding:
+    """Permutation of job indices; decoded by the flow-shop recurrence."""
+
+    kind = GenomeKind.PERMUTATION
+
+    def __init__(self, instance: FlowShopInstance):
+        self.instance = instance
+
+    def random_genome(self, rng: np.random.Generator) -> np.ndarray:
+        return rng.permutation(self.instance.n_jobs).astype(np.int64)
+
+    def decode(self, genome: np.ndarray) -> Schedule:
+        return flowshop_schedule(self.instance, genome)
+
+    # fast paths used by Problem.evaluate / evaluate_many
+    def fast_makespan(self, genome: np.ndarray) -> float:
+        return flowshop_makespan(self.instance, genome)
+
+    def fast_makespan_batch(self, genomes: list[np.ndarray]) -> np.ndarray:
+        return flowshop_makespan_population(self.instance, np.stack(genomes))
+
+
+class OpenShopPermutationEncoding:
+    """Permutation with repetitions + greedy LPT decoder [32].
+
+    The genome contains each job index exactly ``n_machines`` times; the
+    ``decoder`` argument selects LPT-Task (default) or LPT-Machine.
+    """
+
+    kind = GenomeKind.REPETITION
+
+    def __init__(self, instance: OpenShopInstance, decoder: str = "lpt_task"):
+        if decoder not in ("lpt_task", "lpt_machine"):
+            raise ValueError("decoder must be 'lpt_task' or 'lpt_machine'")
+        self.instance = instance
+        self.decoder = decoder
+        self.repeats = instance.n_machines
+
+    def random_genome(self, rng: np.random.Generator) -> np.ndarray:
+        base = np.repeat(np.arange(self.instance.n_jobs, dtype=np.int64),
+                         self.repeats)
+        rng.shuffle(base)
+        return base
+
+    def decode(self, genome: np.ndarray) -> Schedule:
+        if self.decoder == "lpt_task":
+            return decode_job_repetition_lpt_task(self.instance, genome)
+        return decode_job_repetition_lpt_machine(self.instance, genome)
+
+    def fast_makespan(self, genome: np.ndarray) -> float:
+        return self.decode(genome).makespan

@@ -1,0 +1,7 @@
+"""Reproduced experiments: one per surveyed paper's quantitative claim."""
+
+from .harness import SCALES, ExperimentResult, Scale, format_table
+from .registry import EXPERIMENTS, run_all, run_experiment
+
+__all__ = ["ExperimentResult", "Scale", "SCALES", "format_table",
+           "EXPERIMENTS", "run_experiment", "run_all"]

@@ -1,0 +1,103 @@
+"""Experiment harness: run configurations, result tables, shape checks.
+
+Every experiment in :mod:`repro.experiments.registry` returns an
+:class:`ExperimentResult`: the survey's claim, the reproduced table rows,
+derived observations, and a boolean *shape check* -- does the reproduction
+agree with the claim's direction/ordering (who wins, roughly by what
+factor)?  Exact constants are never asserted: our substrate is a simulator
+and a laptop, not the authors' 2003-2014 testbeds.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+__all__ = ["ExperimentResult", "format_table", "Scale", "SCALES",
+           "repeat_seeds", "relative_improvement"]
+
+
+@dataclass
+class Scale:
+    """Effort knob shared by all experiments.
+
+    ``small`` keeps each experiment within a few seconds (CI / benches);
+    ``paper`` approaches the surveyed papers' populations and budgets.
+    """
+
+    name: str
+    pop: int
+    generations: int
+    repeats: int
+    size_factor: float = 1.0
+
+
+SCALES: dict[str, Scale] = {
+    "smoke": Scale("smoke", pop=16, generations=10, repeats=1,
+                   size_factor=0.5),
+    "small": Scale("small", pop=30, generations=30, repeats=2,
+                   size_factor=1.0),
+    "paper": Scale("paper", pop=100, generations=150, repeats=5,
+                   size_factor=2.0),
+}
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one reproduced experiment."""
+
+    experiment: str
+    source: str
+    claim: str
+    rows: list[dict[str, Any]]
+    observations: dict[str, Any] = field(default_factory=dict)
+    passed: bool = True
+    elapsed: float = 0.0
+
+    def table(self) -> str:
+        return format_table(self.rows)
+
+    def summary(self) -> str:
+        status = "SHAPE OK" if self.passed else "SHAPE MISMATCH"
+        lines = [f"[{self.experiment}] {self.source}",
+                 f"claim: {self.claim}",
+                 self.table(),
+                 f"observations: {self.observations}",
+                 f"=> {status} ({self.elapsed:.2f}s)"]
+        return "\n".join(lines)
+
+
+def format_table(rows: Sequence[dict[str, Any]]) -> str:
+    """Monospace table of dict rows (columns from the first row)."""
+    if not rows:
+        return "(empty)"
+    cols = list(rows[0].keys())
+    rendered = [[_fmt(r.get(c)) for c in cols] for r in rows]
+    widths = [max(len(c), *(len(row[i]) for row in rendered))
+              for i, c in enumerate(cols)]
+    def line(cells):
+        return "  ".join(cell.rjust(w) for cell, w in zip(cells, widths))
+    out = [line(cols), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rendered)
+    return "\n".join(out)
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, float):
+        return f"{v:.3g}"
+    return str(v)
+
+
+def repeat_seeds(base: int, repeats: int) -> list[int]:
+    """Deterministic per-repeat seeds."""
+    return [base * 1000 + k for k in range(repeats)]
+
+
+def relative_improvement(baseline: float, improved: float) -> float:
+    """(baseline - improved) / baseline; positive = improved is better."""
+    if baseline == 0:
+        return 0.0
+    return (baseline - improved) / baseline

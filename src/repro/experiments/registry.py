@@ -1,0 +1,75 @@
+"""Experiment registry: every reproduced claim, by id.
+
+``run_experiment("E07")`` executes one experiment;
+``run_all(scale="small")`` regenerates the whole evaluation (this is what
+EXPERIMENTS.md is built from, and each benchmark wraps exactly one entry).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .conformance import e21_pseudocode_conformance
+from .flexible import (e17_defersha_lot_streaming, e18_defersha_fjsp_sdst,
+                       e19_belkadi_parameters, e20_rashidi_weighted_islands)
+from .harness import ExperimentResult
+from .quality import (e06_lin_models, e09_park_island_vs_single,
+                      e10_asadzadeh_cube, e11_gu_quantum, e12_spanos_merging,
+                      e13_bozejko_strategies, e14_bozejko_weighted_completion,
+                      e15_kokosinski_openshop)
+from .speedups import (e01_aitzai_gpu_vs_cpu, e02_somani_topological,
+                       e03_mui_master_slave_real, e04_akhshabi_batched,
+                       e05_tamaki_fine_grained, e07_huang_fuzzy_cuda,
+                       e08_zajicek_gpu_island,
+                       e16_harmanani_two_level_speedup,
+                       e22_perfmodel_design_space)
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all"]
+
+EXPERIMENTS: dict[str, Callable[[str], ExperimentResult]] = {
+    "E01": e01_aitzai_gpu_vs_cpu,
+    "E02": e02_somani_topological,
+    "E03": e03_mui_master_slave_real,
+    "E04": e04_akhshabi_batched,
+    "E05": e05_tamaki_fine_grained,
+    "E06": e06_lin_models,
+    "E07": e07_huang_fuzzy_cuda,
+    "E08": e08_zajicek_gpu_island,
+    "E09": e09_park_island_vs_single,
+    "E10": e10_asadzadeh_cube,
+    "E11": e11_gu_quantum,
+    "E12": e12_spanos_merging,
+    "E13": e13_bozejko_strategies,
+    "E14": e14_bozejko_weighted_completion,
+    "E15": e15_kokosinski_openshop,
+    "E16": e16_harmanani_two_level_speedup,
+    "E17": e17_defersha_lot_streaming,
+    "E18": e18_defersha_fjsp_sdst,
+    "E19": e19_belkadi_parameters,
+    "E20": e20_rashidi_weighted_islands,
+    "E21": e21_pseudocode_conformance,
+    "E22": e22_perfmodel_design_space,
+}
+
+
+def run_experiment(experiment_id: str, scale: str = "small"
+                   ) -> ExperimentResult:
+    """Run one experiment by id ('E01' ... 'E22')."""
+    key = experiment_id.upper()
+    if key not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {experiment_id!r}; "
+                       f"available: {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[key](scale)
+
+
+def run_all(scale: str = "small", verbose: bool = False
+            ) -> dict[str, ExperimentResult]:
+    """Run the full evaluation; returns results keyed by experiment id."""
+    out = {}
+    for key in sorted(EXPERIMENTS):
+        result = EXPERIMENTS[key](scale)
+        out[key] = result
+        if verbose:
+            print(result.summary())
+            print()
+    return out

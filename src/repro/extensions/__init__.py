@@ -1,0 +1,35 @@
+"""Modern integrated factors (Section II) + surveyed special algorithms."""
+
+from .fuzzy import (TFN, FuzzyFlowShopEncoding, FuzzyFlowShopInstance,
+                    agreement_index, fuzzy_flowshop_makespan)
+from .stochastic import StochasticJobShopEncoding, StochasticJobShopInstance
+from .quantum import (QBitIndividual, QuantumGA, not_gate_mutation,
+                      penetration_migration, quantum_crossover)
+from .energy import (EnergyAwareObjective, EnergyMakespanVector, PowerModel,
+                     SpeedScaling, apply_speed_scaling, energy_consumption,
+                     peak_power, power_profile)
+from .multiobjective import (ParetoArchive, WeightedIslandMOGA, coverage,
+                             dominates, hypervolume_2d, non_dominated_sort,
+                             weight_vectors)
+from .local_search import (critical_path_descent, insertion_hill_climb,
+                           make_local_search, redirect_procedure,
+                           swap_hill_climb)
+from .dynamic import (Event, EventStream, JobArrival, MachineBreakdown,
+                      PredictiveReactiveScheduler, ReschedulePoint)
+
+__all__ = [
+    "TFN", "FuzzyFlowShopInstance", "FuzzyFlowShopEncoding",
+    "fuzzy_flowshop_makespan", "agreement_index",
+    "StochasticJobShopInstance", "StochasticJobShopEncoding",
+    "QBitIndividual", "QuantumGA", "quantum_crossover", "not_gate_mutation",
+    "penetration_migration",
+    "PowerModel", "energy_consumption", "power_profile", "peak_power",
+    "EnergyAwareObjective", "EnergyMakespanVector", "SpeedScaling",
+    "apply_speed_scaling",
+    "dominates", "non_dominated_sort", "ParetoArchive", "hypervolume_2d",
+    "coverage", "weight_vectors", "WeightedIslandMOGA",
+    "swap_hill_climb", "insertion_hill_climb", "redirect_procedure",
+    "critical_path_descent", "make_local_search",
+    "Event", "JobArrival", "MachineBreakdown", "EventStream",
+    "PredictiveReactiveScheduler", "ReschedulePoint",
+]

@@ -1,0 +1,200 @@
+"""Energy-aware shop scheduling (Section II "new integrated factors").
+
+Two surveyed primary works motivate this module:
+
+* Xu, Weng & Fujimura [8]: MIP models trading *peak power* against
+  "traditional production efficiency" in flexible flow shops -- we model
+  per-machine power draw and expose the instantaneous power profile plus a
+  peak-power-capped objective;
+* Tang et al. [9]: "reducing the energy consumption and the makespan" in
+  dynamic flexible flow shops -- we provide the (energy, makespan)
+  bi-objective used with the weighted-island multi-objective machinery.
+
+Model: each machine draws ``processing_power`` W while busy and
+``idle_power`` W while idle inside its busy window; optional per-machine
+speed scaling multiplies duration by ``1/v`` and power by ``v**alpha``
+(the classic cube-law knob, default alpha=2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..scheduling.instance import ShopInstance
+from ..scheduling.schedule import Schedule
+
+__all__ = ["PowerModel", "energy_consumption", "power_profile", "peak_power",
+           "EnergyAwareObjective", "EnergyMakespanVector",
+           "SpeedScaling", "apply_speed_scaling"]
+
+
+@dataclass
+class PowerModel:
+    """Per-machine electrical model.
+
+    Attributes
+    ----------
+    processing_power:
+        watts while processing, per machine.
+    idle_power:
+        watts while idle inside the machine's busy horizon.
+    """
+
+    processing_power: np.ndarray
+    idle_power: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.processing_power = np.asarray(self.processing_power, dtype=float)
+        self.idle_power = np.asarray(self.idle_power, dtype=float)
+        if self.processing_power.shape != self.idle_power.shape:
+            raise ValueError("power vectors must have equal shapes")
+        if (self.processing_power < 0).any() or (self.idle_power < 0).any():
+            raise ValueError("power draws must be non-negative")
+
+    @staticmethod
+    def uniform(n_machines: int, processing: float = 10.0,
+                idle: float = 2.0) -> "PowerModel":
+        """Identical machines."""
+        return PowerModel(np.full(n_machines, processing),
+                          np.full(n_machines, idle))
+
+
+def energy_consumption(schedule: Schedule, power: PowerModel) -> float:
+    """Total energy: busy time * processing power + idle gaps * idle power.
+
+    Idle power is charged only between a machine's first start and last
+    end (machines are off outside their busy window).
+    """
+    total = 0.0
+    for m, seq in enumerate(schedule.machine_sequences()):
+        if not seq:
+            continue
+        busy = sum(op.duration for op in seq)
+        horizon = seq[-1].end - seq[0].start
+        idle = max(0.0, horizon - busy)
+        total += busy * power.processing_power[m] + idle * power.idle_power[m]
+    return total
+
+
+def power_profile(schedule: Schedule, power: PowerModel,
+                  resolution: int = 512) -> tuple[np.ndarray, np.ndarray]:
+    """Instantaneous total power draw sampled on a time grid."""
+    horizon = schedule.makespan
+    if horizon <= 0:
+        return np.zeros(1), np.zeros(1)
+    ts = np.linspace(0.0, horizon, resolution, endpoint=False)
+    draw = np.zeros(resolution)
+    for m, seq in enumerate(schedule.machine_sequences()):
+        if not seq:
+            continue
+        window = (ts >= seq[0].start) & (ts < seq[-1].end)
+        machine_draw = np.where(window, power.idle_power[m], 0.0)
+        for op in seq:
+            busy = (ts >= op.start) & (ts < op.end)
+            machine_draw = np.where(busy, power.processing_power[m],
+                                    machine_draw)
+        draw += machine_draw
+    return ts, draw
+
+
+def peak_power(schedule: Schedule, power: PowerModel,
+               resolution: int = 512) -> float:
+    """Maximum instantaneous draw over the schedule."""
+    _, draw = power_profile(schedule, power, resolution)
+    return float(draw.max()) if draw.size else 0.0
+
+
+class EnergyAwareObjective:
+    """Xu et al. [8]-style criterion: makespan + peak-power-cap penalty.
+
+    ``objective = Cmax + penalty * max(0, peak - cap)``; with a generous
+    cap this reduces to plain makespan, with a tight cap the GA is pushed
+    toward schedules that stagger power-hungry operations.
+    """
+
+    def __init__(self, power: PowerModel, peak_cap: float,
+                 penalty: float = 10.0):
+        self.power = power
+        self.peak_cap = peak_cap
+        self.penalty = penalty
+        self.name = f"energy-capped-makespan(cap={peak_cap:g})"
+
+    def __call__(self, schedule: Schedule, instance: ShopInstance) -> float:
+        overshoot = max(0.0, peak_power(schedule, self.power) - self.peak_cap)
+        return schedule.makespan + self.penalty * overshoot
+
+
+class EnergyMakespanVector:
+    """Tang et al. [9] bi-objective: (total energy, makespan).
+
+    Scalarised with ``weights`` for single-objective engines; exposes
+    ``vector`` for Pareto archiving (the multi-objective island model).
+    """
+
+    def __init__(self, power: PowerModel,
+                 weights: tuple[float, float] = (0.5, 0.5)):
+        self.power = power
+        self.weights = weights
+        self.name = f"energy+makespan{weights}"
+
+    def __call__(self, schedule: Schedule, instance: ShopInstance) -> float:
+        e, c = self.vector(schedule, instance)
+        return self.weights[0] * e + self.weights[1] * c
+
+    def vector(self, schedule: Schedule, instance: ShopInstance
+               ) -> tuple[float, float]:
+        return (energy_consumption(schedule, self.power), schedule.makespan)
+
+
+@dataclass
+class SpeedScaling:
+    """Per-machine speed levels with the cube-law power trade-off.
+
+    Running machine m at relative speed ``v`` divides its processing times
+    by ``v`` and multiplies its processing power by ``v ** alpha`` (alpha =
+    2 by default; 3 for the strict cube law).  This is the
+    energy/makespan dial of Tang et al. [9]: faster schedules burn more
+    energy.
+    """
+
+    speeds: np.ndarray
+    alpha: float = 2.0
+
+    def __post_init__(self) -> None:
+        self.speeds = np.asarray(self.speeds, dtype=float)
+        if (self.speeds <= 0).any():
+            raise ValueError("speeds must be positive")
+        if self.alpha < 1.0:
+            raise ValueError("alpha must be >= 1")
+
+    def scale_power(self, base: PowerModel) -> PowerModel:
+        """Power model at the configured speeds."""
+        if base.processing_power.shape != self.speeds.shape:
+            raise ValueError("speed vector must cover every machine")
+        return PowerModel(base.processing_power * self.speeds ** self.alpha,
+                          base.idle_power.copy())
+
+
+def apply_speed_scaling(instance, scaling: SpeedScaling):
+    """New flow shop instance with machine-column times divided by speed.
+
+    Only flow/open shop style instances (2-D ``processing`` with machine
+    columns) are supported; a faster machine k shortens column k for every
+    job.  Combine with :meth:`SpeedScaling.scale_power` to evaluate the
+    energy cost of the acceleration.
+    """
+    from ..scheduling.instance import FlowShopInstance, OpenShopInstance
+    if not isinstance(instance, (FlowShopInstance, OpenShopInstance)):
+        raise TypeError("speed scaling supports flow/open shop instances")
+    if instance.processing.shape[1] != scaling.speeds.size:
+        raise ValueError("speed vector must cover every machine")
+    scaled = instance.processing / scaling.speeds[None, :]
+    cls = type(instance)
+    return cls(name=f"{instance.name}-scaled",
+               processing=scaled,
+               release=instance.release.copy(),
+               due=instance.due.copy(),
+               weights=instance.weights.copy())

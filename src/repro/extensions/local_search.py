@@ -1,0 +1,180 @@
+"""Local search add-ons used by the surveyed hybrid GAs.
+
+* Spanos et al. [29] pair their island GA with path relinking;
+* Rashidi et al. [38] apply "a local search step or a Redirect procedure"
+  after the conventional GA operators;
+* Mui et al. [17] mutate via "neighborhood searching technique".
+
+These helpers operate on raw genomes through a Problem, so they plug into
+any engine (and into :class:`~repro.extensions.multiobjective.
+WeightedIslandMOGA`'s ``local_search`` hook).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..encodings.base import Problem
+
+__all__ = ["swap_hill_climb", "insertion_hill_climb", "redirect_procedure",
+           "critical_path_descent", "make_local_search"]
+
+
+def swap_hill_climb(genome: np.ndarray, problem: Problem,
+                    rng: np.random.Generator, attempts: int = 20
+                    ) -> np.ndarray:
+    """First-improvement hill climbing in the swap neighbourhood.
+
+    Tries up to ``attempts`` random swaps, keeping each one that improves
+    the objective.  Works on flat integer genomes (permutation /
+    repetition); tuple genomes climb on their sequence part (part 1).
+    """
+    tuple_genome = isinstance(genome, tuple)
+    seq = np.asarray(genome[1] if tuple_genome else genome).copy()
+    rest = genome[0] if tuple_genome else None
+
+    def rebuild(s):
+        return (np.asarray(rest).copy(), s) if tuple_genome else s
+
+    best_obj = problem.evaluate(rebuild(seq))
+    n = seq.size
+    for _ in range(attempts):
+        i, j = rng.integers(0, n, size=2)
+        if i == j:
+            continue
+        seq[i], seq[j] = seq[j], seq[i]
+        obj = problem.evaluate(rebuild(seq))
+        if obj < best_obj:
+            best_obj = obj
+        else:
+            seq[i], seq[j] = seq[j], seq[i]  # undo
+    return rebuild(seq)
+
+
+def insertion_hill_climb(genome: np.ndarray, problem: Problem,
+                         rng: np.random.Generator, attempts: int = 20
+                         ) -> np.ndarray:
+    """First-improvement hill climbing in the insertion neighbourhood."""
+    tuple_genome = isinstance(genome, tuple)
+    seq = np.asarray(genome[1] if tuple_genome else genome).copy()
+    rest = genome[0] if tuple_genome else None
+
+    def rebuild(s):
+        return (np.asarray(rest).copy(), s) if tuple_genome else s
+
+    best_obj = problem.evaluate(rebuild(seq))
+    best_seq = seq.copy()
+    n = seq.size
+    for _ in range(attempts):
+        src = int(rng.integers(0, n))
+        dst = int(rng.integers(0, n - 1))
+        v = best_seq[src]
+        cand = np.insert(np.delete(best_seq, src), dst, v)
+        obj = problem.evaluate(rebuild(cand))
+        if obj < best_obj:
+            best_obj = obj
+            best_seq = cand
+    return rebuild(best_seq)
+
+
+def redirect_procedure(genome: np.ndarray, problem: Problem,
+                       rng: np.random.Generator, kicks: int = 3,
+                       attempts: int = 12) -> np.ndarray:
+    """Rashidi's Redirect: perturb (kick) then re-descend, keep if better.
+
+    A small iterated-local-search: apply ``kicks`` random swaps to escape
+    the current basin, hill-climb, and return the better of (input,
+    redirected) genomes.
+    """
+    base_obj = problem.evaluate(genome)
+    tuple_genome = isinstance(genome, tuple)
+    seq = np.asarray(genome[1] if tuple_genome else genome).copy()
+    rest = genome[0] if tuple_genome else None
+
+    def rebuild(s):
+        return (np.asarray(rest).copy(), s) if tuple_genome else s
+
+    for _ in range(kicks):
+        i, j = rng.integers(0, seq.size, size=2)
+        seq[i], seq[j] = seq[j], seq[i]
+    kicked = swap_hill_climb(rebuild(seq), problem, rng, attempts=attempts)
+    return kicked if problem.evaluate(kicked) < base_obj else genome
+
+
+def critical_path_descent(genome: np.ndarray, problem: Problem,
+                          rng: np.random.Generator, attempts: int = 10
+                          ) -> np.ndarray:
+    """Critical-path N1 descent for operation-based JSSP chromosomes.
+
+    The classic job shop neighbourhood: only swapping *adjacent operations
+    on a machine that lie on the critical path* can reduce the makespan.
+    We locate the critical path via the disjunctive graph, try swapping
+    critical machine-adjacent pairs in the chromosome (exchanging the two
+    operations' occurrence positions), and keep improvements.
+
+    Requires the problem's encoding to expose a ``JobShopInstance``
+    (``problem.instance``); falls back to :func:`swap_hill_climb` for
+    other problem types.
+    """
+    from ..scheduling.graph import DisjunctiveGraph
+    from ..scheduling.instance import JobShopInstance
+
+    instance = problem.instance
+    if not isinstance(instance, JobShopInstance) or isinstance(genome, tuple):
+        return swap_hill_climb(genome, problem, rng, attempts=attempts)
+
+    dg = DisjunctiveGraph(instance)
+    current = np.asarray(genome, dtype=np.int64).copy()
+    best_obj = problem.evaluate(current)
+    for _ in range(attempts):
+        selection = dg.selection_from_sequence(current)
+        path = dg.critical_path(selection)
+        # machine-adjacent critical pairs
+        pairs = [(u, v) for u, v in zip(path, path[1:])
+                 if dg.machine(u) == dg.machine(v)]
+        if not pairs:
+            break
+        u, v = pairs[int(rng.integers(0, len(pairs)))]
+        cand = _swap_operations(current, dg, u, v)
+        obj = problem.evaluate(cand)
+        if obj < best_obj:
+            current, best_obj = cand, obj
+    return current
+
+
+def _swap_operations(sequence: np.ndarray, dg, op_u: int, op_v: int
+                     ) -> np.ndarray:
+    """Swap the chromosome positions encoding operations u and v."""
+    ju, su = dg.job_stage(op_u)
+    jv, sv = dg.job_stage(op_v)
+    out = sequence.copy()
+    pos_u = pos_v = -1
+    seen = {}
+    for pos, job in enumerate(out):
+        k = seen.get(int(job), 0)
+        if job == ju and k == su:
+            pos_u = pos
+        if job == jv and k == sv:
+            pos_v = pos
+        seen[int(job)] = k + 1
+    if pos_u >= 0 and pos_v >= 0:
+        out[pos_u], out[pos_v] = out[pos_v], out[pos_u]
+    return out
+
+
+def make_local_search(kind: str = "swap", attempts: int = 20
+                      ) -> Callable:
+    """Factory for the MOGA ``local_search`` hook."""
+    table = {
+        "swap": lambda g, p, r: swap_hill_climb(g, p, r, attempts),
+        "insertion": lambda g, p, r: insertion_hill_climb(g, p, r, attempts),
+        "redirect": lambda g, p, r: redirect_procedure(g, p, r,
+                                                       attempts=attempts),
+        "critical_path": lambda g, p, r: critical_path_descent(
+            g, p, r, attempts),
+    }
+    if kind not in table:
+        raise ValueError(f"unknown local search {kind!r}")
+    return table[kind]

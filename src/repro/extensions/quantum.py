@@ -1,0 +1,181 @@
+"""Quantum-inspired GA components (Gu, Gu & Gu [28]).
+
+[28] solves the stochastic JSSP with "a parallel quantum GA organized by
+the island model with a hybrid star-shaped topology.  The information
+communication was performed through a penetration migration at the upper
+level and through a quantum crossover at the lower level.  Besides, the
+roulette wheel selection, the cycle crossover and the Not Gate mutation
+were designed as GA operators."
+
+Quantum-inspired GAs encode individuals as vectors of Q-bit *angles*
+``theta``; the amplitude pair ``(cos theta, sin theta)`` gives the
+probability ``sin^2 theta`` of observing a 1.  Observation collapses the
+Q-bit string to a classical bit string, which we map to a permutation via
+the random-keys trick (bits weight a key vector).  Learning happens by
+*rotating* angles toward the best observed solution.
+
+Components:
+
+* :class:`QBitIndividual` -- angles + observation + rotation,
+* :class:`QuantumGA` -- a compact quantum evolutionary loop usable
+  standalone or as one island,
+* :func:`quantum_crossover` -- angle blending (the lower-level exchange),
+* :func:`not_gate_mutation` -- flips ``theta -> pi/2 - theta``,
+* :func:`penetration_migration` -- upper-level migration: the source's
+  best angles partially overwrite the target's worst individual.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["QBitIndividual", "QuantumGA", "quantum_crossover",
+           "not_gate_mutation", "penetration_migration"]
+
+
+@dataclass
+class QBitIndividual:
+    """A Q-bit chromosome: one rotation angle per (gene, bit)."""
+
+    angles: np.ndarray  # (n_genes, n_bits) in [0, pi/2]
+    objective: float | None = None
+    keys: np.ndarray | None = None  # last observed key vector
+
+    @staticmethod
+    def random(rng: np.random.Generator, n_genes: int,
+               n_bits: int = 8) -> "QBitIndividual":
+        """Maximum-superposition initialisation (all angles = pi/4)."""
+        jitter = rng.uniform(-0.05, 0.05, size=(n_genes, n_bits))
+        return QBitIndividual(np.clip(np.pi / 4 + jitter, 0.0, np.pi / 2))
+
+    def observe(self, rng: np.random.Generator) -> np.ndarray:
+        """Collapse to a key vector in [0, 1) (bits -> binary fraction)."""
+        probs = np.sin(self.angles) ** 2
+        bits = rng.random(self.angles.shape) < probs
+        weights = 0.5 ** np.arange(1, self.angles.shape[1] + 1)
+        self.keys = bits @ weights
+        return self.keys
+
+    def rotate_toward(self, target_keys: np.ndarray, delta: float = 0.05
+                      ) -> None:
+        """Rotation gate: nudge each Q-bit toward the target's bits."""
+        n_bits = self.angles.shape[1]
+        weights = 0.5 ** np.arange(1, n_bits + 1)
+        # reconstruct target bits greedily from its key values
+        rem = np.asarray(target_keys, dtype=float).copy()
+        for b in range(n_bits):
+            take = rem >= weights[b] - 1e-12
+            direction = np.where(take, 1.0, -1.0)
+            self.angles[:, b] = np.clip(
+                self.angles[:, b] + delta * direction, 0.0, np.pi / 2)
+            rem = np.where(take, rem - weights[b], rem)
+
+
+def quantum_crossover(a: QBitIndividual, b: QBitIndividual,
+                      rng: np.random.Generator
+                      ) -> tuple[QBitIndividual, QBitIndividual]:
+    """Angle-space blend crossover (the lower-level exchange of [28])."""
+    w = rng.random()
+    ca = QBitIndividual(w * a.angles + (1 - w) * b.angles)
+    cb = QBitIndividual((1 - w) * a.angles + w * b.angles)
+    return ca, cb
+
+
+def not_gate_mutation(ind: QBitIndividual, rng: np.random.Generator,
+                      rate: float = 0.05) -> QBitIndividual:
+    """Not-gate: swap the amplitudes of random Q-bits (theta -> pi/2-theta)."""
+    angles = ind.angles.copy()
+    mask = rng.random(angles.shape) < rate
+    angles[mask] = np.pi / 2 - angles[mask]
+    return QBitIndividual(angles)
+
+
+def penetration_migration(source_best: QBitIndividual,
+                          target: QBitIndividual,
+                          fraction: float = 0.3,
+                          rng: np.random.Generator | None = None
+                          ) -> QBitIndividual:
+    """Upper-level migration: copy a fraction of best angles into target."""
+    rng = rng or np.random.default_rng(0)
+    angles = target.angles.copy()
+    mask = rng.random(angles.shape[0]) < fraction
+    angles[mask] = source_best.angles[mask]
+    return QBitIndividual(angles)
+
+
+class QuantumGA:
+    """Quantum-inspired GA over a key-decoded scheduling problem.
+
+    Parameters
+    ----------
+    evaluate_keys:
+        callable mapping a key vector in [0,1)^n to a minimised objective
+        (e.g. random-keys JSSP decoding).
+    n_genes:
+        key-vector length.
+    population_size, n_bits, rotation_delta, mutation_rate:
+        quantum hyper-parameters.
+    """
+
+    def __init__(self, evaluate_keys: Callable[[np.ndarray], float],
+                 n_genes: int, population_size: int = 20, n_bits: int = 8,
+                 rotation_delta: float = 0.05, mutation_rate: float = 0.05,
+                 crossover_rate: float = 0.6,
+                 seed: int | np.random.Generator | None = None):
+        from ..core.rng import make_rng
+        self.evaluate_keys = evaluate_keys
+        self.n_genes = n_genes
+        self.rng = make_rng(seed)
+        self.population = [QBitIndividual.random(self.rng, n_genes, n_bits)
+                           for _ in range(population_size)]
+        self.rotation_delta = rotation_delta
+        self.mutation_rate = mutation_rate
+        self.crossover_rate = crossover_rate
+        self.best_keys: np.ndarray | None = None
+        self.best_objective = np.inf
+        self.evaluations = 0
+        self.history: list[float] = []
+
+    def _observe_and_score(self) -> None:
+        for ind in self.population:
+            keys = ind.observe(self.rng)
+            ind.objective = float(self.evaluate_keys(keys))
+            self.evaluations += 1
+            if ind.objective < self.best_objective:
+                self.best_objective = ind.objective
+                self.best_keys = keys.copy()
+
+    def step(self) -> None:
+        """One quantum generation: observe, select, vary, rotate."""
+        self._observe_and_score()
+        pop = sorted(self.population, key=lambda i: i.objective)
+        n = len(pop)
+        # roulette selection on rank, CX-like quantum crossover on angles
+        next_pop: list[QBitIndividual] = [QBitIndividual(pop[0].angles.copy())]
+        while len(next_pop) < n:
+            i, j = self.rng.integers(0, max(1, n // 2), size=2)
+            if self.rng.random() < self.crossover_rate:
+                ca, cb = quantum_crossover(pop[int(i)], pop[int(j)], self.rng)
+            else:
+                ca = QBitIndividual(pop[int(i)].angles.copy())
+                cb = QBitIndividual(pop[int(j)].angles.copy())
+            for child in (ca, cb):
+                if len(next_pop) >= n:
+                    break
+                child = not_gate_mutation(child, self.rng, self.mutation_rate)
+                if self.best_keys is not None:
+                    child.rotate_toward(self.best_keys, self.rotation_delta)
+                next_pop.append(child)
+        self.population = next_pop
+        self.history.append(self.best_objective)
+
+    def run(self, generations: int) -> float:
+        """Run ``generations`` steps; returns the best objective found."""
+        for _ in range(generations):
+            self.step()
+        # final observation so the last rotation is scored too
+        self._observe_and_score()
+        return self.best_objective

@@ -1,0 +1,123 @@
+"""Stochastic job shop scheduling (Gu, Gu & Gu [28]).
+
+[28] constructs "a stochastic job shop scheduling problem by a stochastic
+expected value model": processing times are random variables and the
+objective is the expected makespan.  The standard computational treatment
+-- and ours -- estimates the expectation by common-random-number (CRN)
+Monte-Carlo sampling: every chromosome is scored against the *same* K
+sampled scenarios, which removes sampling noise from chromosome
+comparisons and keeps the GA deterministic given the scenario seed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..encodings.base import GenomeKind
+from ..scheduling.instance import JobShopInstance
+from ..scheduling.jobshop import (decode_operation_sequence,
+                                  operation_sequence_makespan)
+from ..scheduling.schedule import Schedule
+
+__all__ = ["StochasticJobShopInstance", "StochasticJobShopEncoding"]
+
+
+class StochasticJobShopInstance:
+    """Job shop whose durations are random: ``P_js ~ Uniform or Normal``.
+
+    Parameters
+    ----------
+    base:
+        deterministic instance providing routings and *mean* durations.
+    spread:
+        half-width of the uniform noise / std-dev fraction of the normal.
+    distribution:
+        ``"uniform"`` (mean*(1 +/- spread)) or ``"normal"``
+        (mean, std = spread*mean, truncated at >= 0.05*mean).
+    n_scenarios:
+        CRN sample count K.
+    seed:
+        scenario seed; two instances with equal seeds share scenarios.
+    """
+
+    def __init__(self, base: JobShopInstance, spread: float = 0.25,
+                 distribution: str = "uniform", n_scenarios: int = 16,
+                 seed: int = 0):
+        if distribution not in ("uniform", "normal"):
+            raise ValueError("distribution must be 'uniform' or 'normal'")
+        if not 0 <= spread < 1:
+            raise ValueError("spread must be in [0, 1)")
+        if n_scenarios < 1:
+            raise ValueError("need at least one scenario")
+        self.base = base
+        self.spread = spread
+        self.distribution = distribution
+        self.n_scenarios = n_scenarios
+        self.seed = seed
+        self.name = f"stoch-{base.name}"
+        rng = np.random.default_rng(seed)
+        mean = base.processing
+        scenarios = []
+        for _ in range(n_scenarios):
+            if distribution == "uniform":
+                noise = rng.uniform(1 - spread, 1 + spread, size=mean.shape)
+            else:
+                noise = np.maximum(rng.normal(1.0, spread, size=mean.shape),
+                                   0.05)
+            scenarios.append(mean * noise)
+        self.scenarios: list[np.ndarray] = scenarios
+
+    @property
+    def n_jobs(self) -> int:
+        return self.base.n_jobs
+
+    @property
+    def n_machines(self) -> int:
+        return self.base.n_machines
+
+    def scenario_instance(self, k: int) -> JobShopInstance:
+        """Deterministic instance of scenario ``k``."""
+        return JobShopInstance(name=f"{self.name}-sc{k}",
+                               routing=self.base.routing,
+                               processing=self.scenarios[k],
+                               release=self.base.release,
+                               due=self.base.due,
+                               weights=self.base.weights)
+
+    def expected_makespan(self, sequence: np.ndarray) -> float:
+        """CRN estimate of E[Cmax] for an operation sequence."""
+        total = 0.0
+        for k in range(self.n_scenarios):
+            total += operation_sequence_makespan(self.scenario_instance(k),
+                                                 sequence)
+        return total / self.n_scenarios
+
+
+class StochasticJobShopEncoding:
+    """Operation-based encoding scored by expected makespan."""
+
+    kind = GenomeKind.REPETITION
+
+    def __init__(self, instance: StochasticJobShopInstance):
+        self.instance = instance
+        # cache scenario instances: scenario data is immutable
+        self._scenarios = [instance.scenario_instance(k)
+                           for k in range(instance.n_scenarios)]
+
+    def random_genome(self, rng: np.random.Generator) -> np.ndarray:
+        base = np.repeat(np.arange(self.instance.n_jobs, dtype=np.int64),
+                         self.instance.base.n_stages)
+        rng.shuffle(base)
+        return base
+
+    def decode(self, genome: np.ndarray) -> Schedule:
+        """Schedule under the *mean* scenario (for reporting/Gantt)."""
+        return decode_operation_sequence(self.instance.base, genome)
+
+    def fast_makespan(self, genome: np.ndarray) -> float:
+        total = 0.0
+        for inst in self._scenarios:
+            total += operation_sequence_makespan(inst, genome)
+        return total / len(self._scenarios)

@@ -1,0 +1,170 @@
+"""Instance generators for every shop variant.
+
+All generators are deterministic functions of an explicit ``seed`` driving
+the :class:`~repro.instances.taillard_lcg.TaillardLCG` stream, following
+Taillard's conventions: processing times uniform in [1, 99], job shop
+routings as random permutations of the machines.
+
+Due dates follow the TWK (total-work-content) rule ``D_j = tau * sum_k
+P_jk`` or the slack rule; both are standard in the tardiness literature
+and cover the surveyed papers' weighted-tardiness experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..scheduling.instance import (FlexibleFlowShopInstance,
+                                   FlexibleJobShopInstance, FlowShopInstance,
+                                   JobShopInstance, OpenShopInstance)
+from .taillard_lcg import TaillardLCG
+
+__all__ = [
+    "flow_shop",
+    "job_shop",
+    "open_shop",
+    "flexible_flow_shop",
+    "flexible_job_shop",
+    "with_due_dates_twk",
+    "with_weights",
+]
+
+
+def flow_shop(n_jobs: int, n_machines: int, seed: int = 1,
+              lo: int = 1, hi: int = 99, name: str | None = None
+              ) -> FlowShopInstance:
+    """Taillard-style flow shop: processing times unif[lo, hi]."""
+    gen = TaillardLCG(seed)
+    # Taillard generates machine-major: times for machine 1, then 2, ...
+    p = gen.matrix(n_machines, n_jobs, lo, hi).T.astype(float)
+    return FlowShopInstance(
+        name=name or f"fs-{n_jobs}x{n_machines}-s{seed}", processing=p)
+
+
+def job_shop(n_jobs: int, n_machines: int, seed: int = 1,
+             lo: int = 1, hi: int = 99, blocking: bool = False,
+             name: str | None = None) -> JobShopInstance:
+    """Taillard-style job shop: unif times + random machine permutations."""
+    gen = TaillardLCG(seed)
+    p = gen.matrix(n_jobs, n_machines, lo, hi).astype(float)
+    routing = np.stack([gen.permutation(n_machines) for _ in range(n_jobs)])
+    return JobShopInstance(
+        name=name or f"js-{n_jobs}x{n_machines}-s{seed}",
+        routing=routing, processing=p, blocking=blocking)
+
+
+def open_shop(n_jobs: int, n_machines: int, seed: int = 1,
+              lo: int = 1, hi: int = 99, name: str | None = None
+              ) -> OpenShopInstance:
+    """Taillard-style open shop: processing times unif[lo, hi]."""
+    gen = TaillardLCG(seed)
+    p = gen.matrix(n_jobs, n_machines, lo, hi).astype(float)
+    return OpenShopInstance(
+        name=name or f"os-{n_jobs}x{n_machines}-s{seed}", processing=p)
+
+
+def flexible_flow_shop(n_jobs: int, machines_per_stage: tuple[int, ...],
+                       seed: int = 1, lo: int = 1, hi: int = 99,
+                       unrelated: bool = False,
+                       setups: bool = False, setup_hi: int = 9,
+                       name: str | None = None) -> FlexibleFlowShopInstance:
+    """Hybrid flow shop; optionally unrelated machines and SD setups.
+
+    ``unrelated=True`` draws a distinct duration per (job, stage, machine)
+    -- the Rashidi et al. [38] environment; otherwise machines in a stage
+    are identical.  ``setups=True`` adds sequence-dependent setup matrices
+    per stage with times unif[1, setup_hi].
+    """
+    gen = TaillardLCG(seed)
+    n_stages = len(machines_per_stage)
+    p = gen.matrix(n_jobs, n_stages, lo, hi).astype(float)
+    ppm = None
+    if unrelated:
+        ppm = [gen.matrix(n_jobs, k, lo, hi).astype(float)
+               for k in machines_per_stage]
+    setup = None
+    if setups:
+        setup = [gen.matrix(n_jobs + 1, n_jobs, 1, setup_hi).astype(float)
+                 for _ in range(n_stages)]
+    return FlexibleFlowShopInstance(
+        name=name or f"hfs-{n_jobs}x{machines_per_stage}-s{seed}",
+        processing=p, machines_per_stage=machines_per_stage,
+        processing_per_machine=ppm, setup=setup)
+
+
+def flexible_job_shop(n_jobs: int, n_machines: int, seed: int = 1,
+                      stages: int | None = None, flexibility: int = 2,
+                      lo: int = 1, hi: int = 99,
+                      setups: bool = False, setup_hi: int = 9,
+                      setup_attached: bool = True,
+                      machine_release_hi: int = 0,
+                      time_lag_hi: int = 0,
+                      name: str | None = None) -> FlexibleJobShopInstance:
+    """FJSP generator with the Defersha & Chen [36] realism knobs.
+
+    Each operation is eligible on ``flexibility`` machines (its routed
+    machine plus random alternates) with durations unif[lo, hi] per
+    machine.  Optional: sequence-dependent setups, machine release dates
+    unif[0, machine_release_hi], inter-stage time lags unif[0, time_lag_hi].
+    """
+    gen = TaillardLCG(seed)
+    g = stages or n_machines
+    operations = []
+    for _j in range(n_jobs):
+        job_ops = []
+        route = gen.permutation(n_machines)
+        for s in range(g):
+            base_mach = int(route[s % n_machines])
+            alts = {base_mach: float(gen.unif(lo, hi))}
+            while len(alts) < min(flexibility, n_machines):
+                m = gen.unif(0, n_machines - 1)
+                if m not in alts:
+                    alts[int(m)] = float(gen.unif(lo, hi))
+            job_ops.append(alts)
+        operations.append(job_ops)
+    setup = None
+    if setups:
+        setup = [gen.matrix(n_jobs + 1, n_jobs, 1, setup_hi).astype(float)
+                 for _ in range(n_machines)]
+    machine_release = None
+    if machine_release_hi > 0:
+        machine_release = np.array(
+            [float(gen.unif(0, machine_release_hi)) for _ in range(n_machines)])
+    time_lag = None
+    if time_lag_hi > 0:
+        time_lag = [[float(gen.unif(0, time_lag_hi)) for _ in range(g - 1)]
+                    for _ in range(n_jobs)]
+    return FlexibleJobShopInstance(
+        name=name or f"fjsp-{n_jobs}x{n_machines}-s{seed}",
+        operations=operations, setup=setup, setup_attached=setup_attached,
+        machine_release=machine_release, time_lag=time_lag)
+
+
+def with_due_dates_twk(instance, tau: float = 1.5, seed: int = 1):
+    """Attach TWK due dates ``D_j = tau * (total work of job j)`` in place.
+
+    ``tau`` < 1 makes most jobs late (tight); > 2 makes most early (loose).
+    A small multiplicative jitter from the Taillard stream de-synchronises
+    ties deterministically.
+    """
+    gen = TaillardLCG(seed)
+    if hasattr(instance, "processing") and instance.processing is not None \
+            and np.ndim(instance.processing) == 2:
+        work = np.asarray(instance.processing).sum(axis=1)
+    else:  # flexible job shop: mean duration per operation
+        work = np.array([
+            sum(float(np.mean(list(alts.values()))) for alts in job_ops)
+            for job_ops in instance.operations
+        ])
+    jitter = np.array([0.9 + 0.2 * gen.next_float()
+                       for _ in range(instance.n_jobs)])
+    instance.due = tau * work * jitter
+    return instance
+
+
+def with_weights(instance, lo: int = 1, hi: int = 10, seed: int = 1):
+    """Attach integer job weights unif[lo, hi] in place."""
+    gen = TaillardLCG(seed)
+    instance.weights = np.array(
+        [float(gen.unif(lo, hi)) for _ in range(instance.n_jobs)])
+    return instance

@@ -1,0 +1,69 @@
+"""Taillard's portable pseudo-random generator (Taillard, EJOR 1993).
+
+Taillard's benchmark suites (flow shop, job shop, open shop) are defined by
+a small linear congruential generator so that instances can be re-created
+from a seed on any machine:
+
+    x_{k+1} = (16807 * x_k) mod (2^31 - 1)
+
+implemented with the Schrage decomposition to avoid 64-bit overflow in the
+original Pascal.  ``unif(low, high)`` maps the stream to integers.
+
+We reproduce the *generator algorithm* exactly; the published per-instance
+seed tables are not embedded (offline), so our "ta-like" instances use
+documented seeds of our own (see :mod:`repro.instances.generators`).  Any
+instance is perfectly reproducible from ``(seed, n, m)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["TaillardLCG"]
+
+_M = 2**31 - 1
+_A = 16807
+_B = 127773   # m div a
+_C = 2836     # m mod a
+
+
+class TaillardLCG:
+    """The Taillard (1993) portable uniform generator."""
+
+    def __init__(self, seed: int):
+        if not 0 < seed < _M:
+            raise ValueError(f"seed must be in (0, {_M})")
+        self._x = int(seed)
+
+    def next_raw(self) -> int:
+        """Advance the stream; returns the raw state in (0, 2^31-1)."""
+        k = self._x // _B
+        x = _A * (self._x % _B) - k * _C
+        if x < 0:
+            x += _M
+        self._x = x
+        return x
+
+    def next_float(self) -> float:
+        """Uniform float in (0, 1)."""
+        return self.next_raw() / _M
+
+    def unif(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high] (Taillard's ``unif``)."""
+        return low + int(self.next_float() * (high - low + 1))
+
+    def matrix(self, rows: int, cols: int, low: int, high: int) -> np.ndarray:
+        """Row-major matrix of ``unif(low, high)`` draws."""
+        out = np.empty((rows, cols), dtype=np.int64)
+        for i in range(rows):
+            for j in range(cols):
+                out[i, j] = self.unif(low, high)
+        return out
+
+    def permutation(self, n: int) -> np.ndarray:
+        """Random permutation via Taillard's card-shuffling loop."""
+        perm = np.arange(n, dtype=np.int64)
+        for i in range(n - 1):
+            j = self.unif(i, n - 1)
+            perm[i], perm[j] = perm[j], perm[i]
+        return perm

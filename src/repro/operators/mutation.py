@@ -1,0 +1,203 @@
+"""Mutation operators.
+
+"Different from the binary encoding, the mutation for shop scheduling
+problems works often based on the neighborhoods e.g. shift mutation
+(insertion neighborhood) or pairwise interchange mutation (swap
+neighborhood) to respect feasible solutions" (survey, Section III.A).
+
+All operators are classes with signature ``mut(genome, rng) -> genome``
+returning a *new* genome (inputs are never modified in place).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Mutation",
+    "SwapMutation",
+    "ShiftMutation",
+    "InversionMutation",
+    "ScrambleMutation",
+    "GaussianKeyMutation",
+    "ResampleKeyMutation",
+    "AssignmentMutation",
+    "IntegerResetMutation",
+    "CompositeMutation",
+    "default_mutation_for",
+]
+
+Mutation = Callable[[np.ndarray, np.random.Generator], np.ndarray]
+
+
+class SwapMutation:
+    """Pairwise interchange (swap neighbourhood); ``pairs`` swaps per call."""
+
+    def __init__(self, pairs: int = 1):
+        if pairs < 1:
+            raise ValueError("pairs must be positive")
+        self.pairs = pairs
+
+    def __call__(self, genome: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        g = np.asarray(genome).copy()
+        n = g.size
+        if n < 2:
+            return g
+        for _ in range(self.pairs):
+            i, j = rng.choice(n, size=2, replace=False)
+            g[i], g[j] = g[j], g[i]
+        return g
+
+
+class ShiftMutation:
+    """Shift / insertion neighbourhood: remove one gene, reinsert elsewhere."""
+
+    def __call__(self, genome: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        g = np.asarray(genome).copy()
+        n = g.size
+        if n < 2:
+            return g
+        src = int(rng.integers(0, n))
+        dst = int(rng.integers(0, n - 1))
+        v = g[src]
+        g = np.delete(g, src)
+        return np.insert(g, dst, v)
+
+
+class InversionMutation:
+    """Invert a random segment (Kokosinski's invert mutation [32])."""
+
+    def __call__(self, genome: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        g = np.asarray(genome).copy()
+        n = g.size
+        if n < 2:
+            return g
+        lo, hi = np.sort(rng.choice(n, size=2, replace=False))
+        g[lo:hi + 1] = g[lo:hi + 1][::-1]
+        return g
+
+
+class ScrambleMutation:
+    """Shuffle a random segment."""
+
+    def __call__(self, genome: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        g = np.asarray(genome).copy()
+        n = g.size
+        if n < 2:
+            return g
+        lo, hi = np.sort(rng.choice(n, size=2, replace=False))
+        segment = g[lo:hi + 1].copy()
+        rng.shuffle(segment)
+        g[lo:hi + 1] = segment
+        return g
+
+
+class GaussianKeyMutation:
+    """Gaussian perturbation of random keys (Zajicek & Sucha [25]).
+
+    Each gene is perturbed with probability ``rate``; results are clipped
+    to [0, 1) so the genome stays a valid key vector.
+    """
+
+    def __init__(self, sigma: float = 0.1, rate: float = 0.2):
+        if sigma <= 0:
+            raise ValueError("sigma must be positive")
+        if not 0 <= rate <= 1:
+            raise ValueError("rate must be in [0, 1]")
+        self.sigma = sigma
+        self.rate = rate
+
+    def __call__(self, genome: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        g = np.asarray(genome, dtype=float).copy()
+        mask = rng.random(g.size) < self.rate
+        g[mask] = np.clip(g[mask] + rng.normal(0, self.sigma, mask.sum()),
+                          0.0, 1.0 - 1e-12)
+        return g
+
+
+class ResampleKeyMutation:
+    """Redraw a fraction of keys uniformly (the "immigration" per-gene form)."""
+
+    def __init__(self, rate: float = 0.1):
+        self.rate = rate
+
+    def __call__(self, genome: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        g = np.asarray(genome, dtype=float).copy()
+        mask = rng.random(g.size) < self.rate
+        g[mask] = rng.random(int(mask.sum()))
+        return g
+
+
+class AssignmentMutation:
+    """Reassign operations to random eligible machines (flexible shops).
+
+    ``domain_sizes[k]`` bounds gene k; mutated genes are redrawn uniformly
+    in their own domain (Defersha & Chen's assignment operators [36]).
+    """
+
+    def __init__(self, domain_sizes: np.ndarray, rate: float = 0.1):
+        self.domain_sizes = np.asarray(domain_sizes, dtype=np.int64)
+        self.rate = rate
+
+    def __call__(self, genome: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        g = np.asarray(genome, dtype=np.int64).copy()
+        mask = rng.random(g.size) < self.rate
+        idx = np.nonzero(mask)[0]
+        for i in idx:
+            hi = max(1, int(self.domain_sizes[i % self.domain_sizes.size]))
+            g[i] = rng.integers(0, hi)
+        return g
+
+
+class IntegerResetMutation:
+    """Redraw integer genes uniformly in [0, alphabet) (dispatch rules)."""
+
+    def __init__(self, alphabet: int, rate: float = 0.1):
+        if alphabet < 1:
+            raise ValueError("alphabet must be positive")
+        self.alphabet = alphabet
+        self.rate = rate
+
+    def __call__(self, genome: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        g = np.asarray(genome, dtype=np.int64).copy()
+        mask = rng.random(g.size) < self.rate
+        g[mask] = rng.integers(0, self.alphabet, int(mask.sum()))
+        return g
+
+
+class CompositeMutation:
+    """One mutation per part of a tuple genome; ``None`` copies the part."""
+
+    def __init__(self, parts: Sequence[Mutation | None]):
+        self.parts = list(parts)
+
+    def __call__(self, genome, rng):
+        if not isinstance(genome, tuple) or len(genome) != len(self.parts):
+            raise ValueError("composite mutation needs a matching tuple genome")
+        out = []
+        for op, part in zip(self.parts, genome):
+            out.append(np.asarray(part).copy() if op is None else op(part, rng))
+        return tuple(out)
+
+
+def default_mutation_for(kind: str, part_kinds: tuple[str, ...] = ()
+                         ) -> Mutation:
+    """A sensible default mutation per genome kind."""
+    from ..encodings.base import GenomeKind
+    if kind in (GenomeKind.PERMUTATION, GenomeKind.REPETITION):
+        return SwapMutation()
+    if kind == GenomeKind.REAL:
+        return GaussianKeyMutation()
+    if kind == GenomeKind.COMPOSITE:
+        sub: list[Mutation | None] = []
+        for pk in part_kinds:
+            if pk in ("permutation", "repetition"):
+                sub.append(SwapMutation())
+            elif pk == "assignment":
+                sub.append(None)  # caller should supply AssignmentMutation
+            else:
+                sub.append(GaussianKeyMutation())
+        return CompositeMutation(sub)
+    raise ValueError(f"unknown genome kind {kind!r}")

@@ -1,0 +1,137 @@
+"""Selection operators.
+
+"Some well-known methods are implemented in this step: the roulette wheel
+selection, the stochastic universal sampling, the tournament selection and
+so on" (survey, Section III.A, citing Jebari & Madiafi [13]).
+
+Selections operate on an evaluated :class:`~repro.core.population.
+Population` (individuals carry maximised ``fitness``) and return a list of
+*references* to selected parents; engines copy genomes before variation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.individual import Individual
+from ..core.population import Population
+
+__all__ = [
+    "Selection",
+    "RouletteWheelSelection",
+    "StochasticUniversalSampling",
+    "TournamentSelection",
+    "ElitistRouletteSelection",
+    "RandomSelection",
+    "RankSelection",
+]
+
+Selection = Callable[[Population, int, np.random.Generator], list[Individual]]
+
+
+def _fitness_vector(population: Population) -> np.ndarray:
+    fits = []
+    for ind in population:
+        if ind.fitness is None:
+            raise ValueError("selection requires fitness values; apply a "
+                             "fitness transform first")
+        fits.append(ind.fitness)
+    return np.asarray(fits, dtype=float)
+
+
+def _normalised_probs(fits: np.ndarray) -> np.ndarray:
+    if (fits < 0).any():
+        raise ValueError("roulette-family selection needs non-negative fitness")
+    total = fits.sum()
+    if total <= 0:
+        # degenerate population (all zero fitness): uniform choice
+        return np.full(fits.size, 1.0 / fits.size)
+    return fits / total
+
+
+class RouletteWheelSelection:
+    """Fitness-proportionate sampling with replacement."""
+
+    def __call__(self, population: Population, k: int,
+                 rng: np.random.Generator) -> list[Individual]:
+        probs = _normalised_probs(_fitness_vector(population))
+        idx = rng.choice(len(population), size=k, replace=True, p=probs)
+        return [population[int(i)] for i in idx]
+
+
+class StochasticUniversalSampling:
+    """SUS: one spin, ``k`` equally spaced pointers; lower variance than RWS."""
+
+    def __call__(self, population: Population, k: int,
+                 rng: np.random.Generator) -> list[Individual]:
+        probs = _normalised_probs(_fitness_vector(population))
+        cum = np.cumsum(probs)
+        start = rng.random() / k
+        pointers = start + np.arange(k) / k
+        idx = np.searchsorted(cum, pointers, side="right")
+        idx = np.clip(idx, 0, len(population) - 1)
+        chosen = [population[int(i)] for i in idx]
+        # SUS preserves expected counts; shuffle so pairing is unbiased
+        rng.shuffle(chosen)
+        return chosen
+
+
+class TournamentSelection:
+    """k-way tournament (Defersha & Chen [35][36]; Zajicek [25] uses k=2)."""
+
+    def __init__(self, size: int = 2):
+        if size < 1:
+            raise ValueError("tournament size must be >= 1")
+        self.size = size
+
+    def __call__(self, population: Population, k: int,
+                 rng: np.random.Generator) -> list[Individual]:
+        fits = _fitness_vector(population)
+        n = len(population)
+        winners = []
+        for _ in range(k):
+            entrants = rng.integers(0, n, size=self.size)
+            best = entrants[np.argmax(fits[entrants])]
+            winners.append(population[int(best)])
+        return winners
+
+
+class ElitistRouletteSelection:
+    """Mui et al. [17]: elite fraction passes straight, rest via roulette."""
+
+    def __init__(self, elite_fraction: float = 0.1):
+        if not 0 <= elite_fraction <= 1:
+            raise ValueError("elite_fraction must be in [0, 1]")
+        self.elite_fraction = elite_fraction
+        self._roulette = RouletteWheelSelection()
+
+    def __call__(self, population: Population, k: int,
+                 rng: np.random.Generator) -> list[Individual]:
+        n_elite = min(k, int(round(self.elite_fraction * k)))
+        elites = population.top(n_elite)
+        rest = self._roulette(population, k - n_elite, rng)
+        return list(elites) + rest
+
+
+class RandomSelection:
+    """Uniform random parents (Lin et al. [21] pair THX with random selection)."""
+
+    def __call__(self, population: Population, k: int,
+                 rng: np.random.Generator) -> list[Individual]:
+        idx = rng.integers(0, len(population), size=k)
+        return [population[int(i)] for i in idx]
+
+
+class RankSelection:
+    """Linear-rank-proportionate sampling (scale-free roulette)."""
+
+    def __call__(self, population: Population, k: int,
+                 rng: np.random.Generator) -> list[Individual]:
+        fits = _fitness_vector(population)
+        order = np.argsort(np.argsort(fits))  # 0 = worst
+        weights = (order + 1).astype(float)
+        probs = weights / weights.sum()
+        idx = rng.choice(len(population), size=k, replace=True, p=probs)
+        return [population[int(i)] for i in idx]

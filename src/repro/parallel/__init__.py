@@ -1,0 +1,39 @@
+"""Parallel GA models (Section III.B-D and IV of the survey)."""
+
+from .executors import (ChunkedEvaluator, EvalStats, ProcessPoolEvaluator,
+                        SerialEvaluator)
+from .topology import (BidirectionalRingTopology, FullyConnectedTopology,
+                       HypercubeTopology, MeshTopology, RandomEpochTopology,
+                       RingTopology, StarTopology, Topology, TorusTopology,
+                       topology_by_name)
+from .migration import MigrationPolicy, integrate_immigrants, select_emigrants
+from .master_slave import MasterSlaveGA
+from .island import IslandGA, IslandGAResult
+from .fine_grained import NEIGHBORHOODS, CellularGA, neighborhood_offsets
+from .hybrid import (IslandOfCellularGA, TwoLevelIslandGA,
+                     island_with_torus_topology)
+from .simcluster import (DeviceModel, GATrace, beowulf, cpu_core, gpu_device,
+                         gpu_resident, lan_star, multicore,
+                         simulate_cellular, simulate_island,
+                         simulate_master_slave, simulate_serial,
+                         solutions_explored_in, transputer)
+from .perfmodel import (breakeven_eval_cost, island_epoch_time,
+                        island_speedup, master_slave_speedup,
+                        master_slave_time, optimal_slave_count)
+
+__all__ = [
+    "SerialEvaluator", "ProcessPoolEvaluator", "ChunkedEvaluator", "EvalStats",
+    "Topology", "RingTopology", "BidirectionalRingTopology", "MeshTopology",
+    "TorusTopology", "HypercubeTopology", "FullyConnectedTopology",
+    "StarTopology", "RandomEpochTopology", "topology_by_name",
+    "MigrationPolicy", "select_emigrants", "integrate_immigrants",
+    "MasterSlaveGA", "IslandGA", "IslandGAResult",
+    "CellularGA", "NEIGHBORHOODS", "neighborhood_offsets",
+    "IslandOfCellularGA", "island_with_torus_topology", "TwoLevelIslandGA",
+    "DeviceModel", "GATrace", "cpu_core", "multicore", "lan_star", "beowulf",
+    "transputer", "gpu_device", "gpu_resident",
+    "simulate_serial", "simulate_master_slave", "simulate_island",
+    "simulate_cellular", "solutions_explored_in",
+    "master_slave_time", "master_slave_speedup", "optimal_slave_count",
+    "island_epoch_time", "island_speedup", "breakeven_eval_cost",
+]

@@ -1,0 +1,232 @@
+"""Fine-grained (cellular / diffusion / massively parallel) GA -- Table IV.
+
+::
+
+    1: Initialize();
+    2: while (termination criteria are not satisfied) do
+    3:   Generation++
+    4:   Parallel_NeighborhoodSelection_Individuals();
+    5:   Parallel_NeighborhoodCrossover_Individuals();
+    6:   Parallel_Mutation_Individuals();
+    7:   Parallel_FitnessValueEvaluation_Individuals();
+    8: end while
+
+"The main idea is to map individuals of a single GA population on a
+spatial structure.  An individual is limited to compete and mate with its
+neighbors, while the neighborhoods overlapping makes good solutions
+disseminate through the entire population."
+
+:class:`CellularGA` places one individual per cell of a 2-D toroidal grid
+(the natural GPU/Transputer layout, Section IV) and performs a
+*synchronous* update: all cells compute their offspring against the old
+grid, then the grid is replaced at once -- exactly the lock-step semantics
+of a SIMD device, and the reason results are independent of cell visit
+order (a tested property).
+
+Neighbourhood shapes follow the cellular-GA literature (Alba & Dorronsoro
+[23]): ``L5`` (von Neumann), ``L9`` (axial radius 2), ``C9`` (Moore),
+``C13`` (Moore + axial radius 2).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..core.fitness import HeuristicOffsetFitness, apply_fitness
+from ..core.ga import GAConfig, GAResult
+from ..core.individual import Individual
+from ..core.observers import HistoryRecorder, Observer
+from ..core.population import Population
+from ..core.rng import make_rng
+from ..core.termination import MaxGenerations, Termination, TerminationState
+from ..encodings.base import Problem
+
+__all__ = ["NEIGHBORHOODS", "CellularGA", "neighborhood_offsets"]
+
+NEIGHBORHOODS: dict[str, list[tuple[int, int]]] = {
+    # offsets exclude the centre cell (the current individual)
+    "L5": [(-1, 0), (1, 0), (0, -1), (0, 1)],
+    "L9": [(-1, 0), (1, 0), (0, -1), (0, 1),
+           (-2, 0), (2, 0), (0, -2), (0, 2)],
+    "C9": [(-1, -1), (-1, 0), (-1, 1), (0, -1),
+           (0, 1), (1, -1), (1, 0), (1, 1)],
+    "C13": [(-1, -1), (-1, 0), (-1, 1), (0, -1),
+            (0, 1), (1, -1), (1, 0), (1, 1),
+            (-2, 0), (2, 0), (0, -2), (0, 2)],
+}
+
+
+def neighborhood_offsets(name: str) -> list[tuple[int, int]]:
+    """Offsets of a named neighbourhood (excluding the centre)."""
+    if name not in NEIGHBORHOODS:
+        raise ValueError(f"unknown neighbourhood {name!r}; "
+                         f"options: {sorted(NEIGHBORHOODS)}")
+    return NEIGHBORHOODS[name]
+
+
+class CellularGA:
+    """Synchronous cellular GA on a toroidal grid.
+
+    Parameters
+    ----------
+    problem:
+        encoding + objective.
+    rows, cols:
+        grid dimensions; population size = rows * cols.
+    neighborhood:
+        shape name from :data:`NEIGHBORHOODS`.
+    config:
+        reuses GAConfig for operator choices and rates (population_size is
+        ignored -- the grid defines it).
+    replacement:
+        ``"if_better"`` (offspring replaces the cell only when strictly
+        better -- elitist local replacement, the common cGA choice) or
+        ``"always"``.
+    update:
+        ``"synchronous"`` (SIMD lock-step: all offspring computed against
+        the old grid, then replaced at once -- the GPU/Transputer
+        semantics) or ``"asynchronous"`` (fixed line sweep: cells update
+        in place row-major, so information diffuses within a generation --
+        the uniprocessor emulation Kohlmorgen et al. [19] discuss).
+    """
+
+    def __init__(self, problem: Problem, rows: int = 8, cols: int = 8,
+                 neighborhood: str = "L5",
+                 config: GAConfig | None = None,
+                 termination: Termination | None = None,
+                 seed: int | np.random.Generator | None = None,
+                 replacement: str = "if_better",
+                 update: str = "synchronous",
+                 observers: Sequence[Observer] = ()):  # noqa: D401
+        if rows < 1 or cols < 1:
+            raise ValueError("grid dimensions must be positive")
+        if replacement not in ("if_better", "always"):
+            raise ValueError("replacement must be 'if_better' or 'always'")
+        if update not in ("synchronous", "asynchronous"):
+            raise ValueError("update must be 'synchronous' or 'asynchronous'")
+        self.problem = problem
+        self.rows, self.cols = rows, cols
+        self.offsets = neighborhood_offsets(neighborhood)
+        self.neighborhood = neighborhood
+        base = config or GAConfig()
+        self.config = base.resolved(problem)
+        self.termination = termination or MaxGenerations(100)
+        self.rng = make_rng(seed)
+        self.replacement = replacement
+        self.update = update
+        self.history = HistoryRecorder()
+        self.observers: list[Observer] = [self.history, *observers]
+        self.state = TerminationState()
+        self.grid: list[list[Individual]] | None = None
+
+    # -- helpers -----------------------------------------------------------------
+    @property
+    def population(self) -> Population:
+        """Flat view of the grid (row-major)."""
+        if self.grid is None:
+            raise ValueError("not initialised")
+        return Population(ind for row in self.grid for ind in row)
+
+    def neighbors(self, r: int, c: int) -> list[tuple[int, int]]:
+        """Toroidal neighbour coordinates of cell (r, c)."""
+        return [((r + dr) % self.rows, (c + dc) % self.cols)
+                for dr, dc in self.offsets]
+
+    def _evaluate(self, individuals: Sequence[Individual]) -> None:
+        todo = [ind for ind in individuals if not ind.evaluated]
+        if not todo:
+            return
+        objs = self.problem.evaluate_many([ind.genome for ind in todo])
+        for ind, obj in zip(todo, objs):
+            ind.objective = float(obj)
+        self.state.evaluations += len(todo)
+
+    def initialize(self) -> None:
+        """Random grid, fully evaluated."""
+        self.grid = [[Individual(self.problem.random_genome(self.rng))
+                      for _ in range(self.cols)] for _ in range(self.rows)]
+        self._evaluate([ind for row in self.grid for ind in row])
+        self._notify()
+
+    def _notify(self) -> None:
+        pop = self.population
+        self.state.record_best(float(pop.best().objective))
+        for obs in self.observers:
+            obs.observe(self.state.generation, pop, self.state.evaluations,
+                        self.state.elapsed())
+
+    def _local_mate(self, r: int, c: int) -> Individual:
+        """Pick a mate from (r, c)'s neighbourhood by local tournament."""
+        coords = self.neighbors(r, c)
+        pool = [self.grid[rr][cc] for rr, cc in coords]
+        i, j = self.rng.integers(0, len(pool), size=2)
+        a, b = pool[int(i)], pool[int(j)]
+        return a if a.objective <= b.objective else b
+
+    def _breed_cell(self, r: int, c: int) -> Individual:
+        cfg = self.config
+        centre = self.grid[r][c]
+        mate = self._local_mate(r, c)
+        if self.rng.random() < cfg.crossover_rate:
+            ga, _gb = cfg.crossover(centre.genome, mate.genome, self.rng)
+        else:
+            ga = centre.copy().genome
+        child = Individual(ga)
+        if self.rng.random() < cfg.mutation_rate:
+            child = Individual(cfg.mutation(child.genome, self.rng))
+        return child
+
+    def _replace_cell(self, r: int, c: int, child: Individual) -> None:
+        if (self.replacement == "always"
+                or child.objective < self.grid[r][c].objective):
+            self.grid[r][c] = child
+
+    def step(self) -> None:
+        """One generation (lines 4-7 of Table IV)."""
+        if self.grid is None:
+            self.initialize()
+        self.state.generation += 1
+        if self.update == "synchronous":
+            # compute every cell's offspring against the *old* grid
+            candidates: list[list[Individual]] = [
+                [None] * self.cols for _ in range(self.rows)]  # type: ignore
+            for r in range(self.rows):
+                for c in range(self.cols):
+                    candidates[r][c] = self._breed_cell(r, c)
+            flat = [candidates[r][c] for r in range(self.rows)
+                    for c in range(self.cols)]
+            self._evaluate(flat)
+            for r in range(self.rows):
+                for c in range(self.cols):
+                    self._replace_cell(r, c, candidates[r][c])
+        else:  # asynchronous fixed line sweep: updates visible immediately
+            for r in range(self.rows):
+                for c in range(self.cols):
+                    child = self._breed_cell(r, c)
+                    self._evaluate([child])
+                    self._replace_cell(r, c, child)
+        self._notify()
+
+    def run(self) -> GAResult:
+        """Run Table IV until termination."""
+        if self.grid is None:
+            self.initialize()
+        while not self.termination.done(self.state):
+            self.step()
+        pop = self.population
+        return GAResult(
+            best=pop.best().copy(),
+            population=pop,
+            history=self.history,
+            generations=self.state.generation,
+            evaluations=self.state.evaluations,
+            elapsed=self.state.elapsed(),
+            termination_reason=self.termination.reason(),
+            extra={"rows": self.rows, "cols": self.cols,
+                   "neighborhood": self.neighborhood,
+                   "update": self.update},
+        )

@@ -1,0 +1,218 @@
+"""Hybrid parallel GA models.
+
+"The hybrid model combines any two of the above methods" (survey,
+Section I).  Implemented hybrids and their sources:
+
+* :class:`IslandOfCellularGA` -- Lin et al. [21], first model: "an
+  embedding of the fine-grained GA into the island GA, in which each
+  subpopulation on the ring was a torus.  The migration on the ring was
+  much less frequent than within the torus."
+* :func:`island_with_torus_topology` -- Lin et al. [21], second model:
+  an island GA whose connection topology is the fine-grained torus, with
+  "a relatively large number of nodes".
+* :class:`TwoLevelIslandGA` -- Harmanani et al. [33]: "neighboring islands
+  shared their best chromosomes every GN generations and all islands
+  broadcasted their best chromosome to all other islands every LN
+  generations, where GN << LN."
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..core.ga import GAConfig
+from ..core.individual import Individual
+from ..core.observers import HistoryRecorder
+from ..core.population import Population
+from ..core.rng import spawn_rngs
+from ..core.termination import MaxGenerations, Termination, TerminationState
+from ..encodings.base import Problem
+from .fine_grained import CellularGA
+from .island import IslandGA, IslandGAResult
+from .migration import MigrationPolicy, integrate_immigrants, select_emigrants
+from .topology import RingTopology, Topology, TorusTopology
+
+__all__ = ["IslandOfCellularGA", "island_with_torus_topology",
+           "TwoLevelIslandGA"]
+
+
+class IslandOfCellularGA:
+    """Ring of islands, each island a toroidal cellular GA (Lin [21], model 1).
+
+    Ring migration every ``migration.interval`` cellular generations; the
+    emigrant is each island's best cell, integrated by replacing the
+    target island's worst cell (policy configurable).
+    """
+
+    def __init__(self, problem: Problem, n_islands: int = 4,
+                 rows: int = 5, cols: int = 5, neighborhood: str = "L5",
+                 config: GAConfig | None = None,
+                 migration: MigrationPolicy | None = None,
+                 termination: Termination | None = None,
+                 seed: int | None = None):
+        self.problem = problem
+        self.n_islands = n_islands
+        self.topology = RingTopology(n_islands)
+        self.migration = migration or MigrationPolicy(interval=10)
+        self.termination = termination or MaxGenerations(100)
+        rngs = spawn_rngs(seed, n_islands + 1)
+        self._migration_rng = rngs[-1]
+        self.islands = [
+            CellularGA(problem, rows=rows, cols=cols,
+                       neighborhood=neighborhood, config=config,
+                       seed=rngs[i])
+            for i in range(n_islands)
+        ]
+        self.state = TerminationState()
+        self.global_history = HistoryRecorder()
+
+    def _sync(self) -> None:
+        self.state.evaluations = sum(isl.state.evaluations
+                                     for isl in self.islands)
+        merged = Population([ind for isl in self.islands
+                             for ind in isl.population])
+        self.state.record_best(float(merged.best().objective))
+        self.global_history.observe(self.state.generation, merged,
+                                    self.state.evaluations,
+                                    self.state.elapsed())
+
+    def _migrate(self, epoch: int) -> None:
+        boxes: dict[int, list[Individual]] = {i: [] for i in range(self.n_islands)}
+        for i in range(self.n_islands):
+            for tgt in self.topology.neighbors_out(i, epoch):
+                boxes[tgt].extend(select_emigrants(
+                    self.islands[i].population, self.migration,
+                    self._migration_rng))
+        for tgt, immigrants in boxes.items():
+            if not immigrants:
+                continue
+            isl = self.islands[tgt]
+            # replace worst cells of the grid
+            cells = [(r, c) for r in range(isl.rows) for c in range(isl.cols)]
+            cells.sort(key=lambda rc: isl.grid[rc[0]][rc[1]].objective,
+                       reverse=True)
+            for (r, c), ind in zip(cells, immigrants):
+                isl.grid[r][c] = ind.copy()
+
+    def run(self) -> IslandGAResult:
+        for isl in self.islands:
+            isl.initialize()
+        self._sync()
+        epoch = 0
+        while not self.termination.done(self.state):
+            for _ in range(self.migration.interval):
+                for isl in self.islands:
+                    isl.step()
+            self.state.generation += self.migration.interval
+            epoch += 1
+            self._migrate(epoch)
+            self._sync()
+        best_isl = min(self.islands,
+                       key=lambda isl: isl.population.best().objective)
+        return IslandGAResult(
+            best=best_isl.population.best().copy(),
+            histories=[isl.history for isl in self.islands],
+            global_history=self.global_history,
+            generations=self.state.generation,
+            evaluations=self.state.evaluations,
+            elapsed=self.state.elapsed(),
+            termination_reason=self.termination.reason(),
+            n_islands_final=self.n_islands,
+            extra={"model": "island_of_cellular"},
+        )
+
+
+def island_with_torus_topology(problem: Problem, n_islands: int = 16,
+                               config: GAConfig | None = None,
+                               migration: MigrationPolicy | None = None,
+                               termination: Termination | None = None,
+                               seed: int | None = None,
+                               subpop_size: int = 10) -> IslandGA:
+    """Lin et al. [21], model 2: many small islands on a torus topology.
+
+    "The connection topology used in the island GA was one which is
+    typically found in the fine-grained GA, and a relatively large number
+    of nodes were used.  The migration frequency kept the same."
+    """
+    cfg = config or GAConfig(population_size=subpop_size)
+    return IslandGA(problem, n_islands=n_islands, config=cfg,
+                    topology=TorusTopology(n_islands),
+                    migration=migration or MigrationPolicy(interval=5),
+                    termination=termination, seed=seed)
+
+
+class TwoLevelIslandGA:
+    """Harmanani et al. [33]: frequent local + rare global migration.
+
+    Wraps a standard :class:`IslandGA` on a ring but layers a second,
+    much rarer broadcast exchange on top: every ``broadcast_interval``
+    generations (``LN``), every island's best is broadcast to all others
+    (replacing their worst member), while ring sharing happens every
+    ``migration.interval`` generations (``GN``), with GN << LN.
+    """
+
+    def __init__(self, problem: Problem, n_islands: int = 5,
+                 config: GAConfig | None = None,
+                 migration: MigrationPolicy | None = None,
+                 broadcast_interval: int = 50,
+                 termination: Termination | None = None,
+                 seed: int | None = None):
+        self.migration = migration or MigrationPolicy(interval=5)
+        if broadcast_interval <= self.migration.interval:
+            raise ValueError("broadcast interval LN must exceed the local "
+                             "migration interval GN (GN << LN)")
+        self.broadcast_interval = broadcast_interval
+        self.inner = IslandGA(problem, n_islands=n_islands, config=config,
+                              topology=RingTopology(n_islands),
+                              migration=self.migration,
+                              termination=termination, seed=seed)
+
+    def run(self) -> IslandGAResult:
+        """Run with the extra broadcast level injected between epochs."""
+        inner = self.inner
+        t0 = time.perf_counter()
+        inner.initialize()
+        epoch = 0
+        last_broadcast = 0
+        while not inner.termination.done(inner.state):
+            gens = inner.migration.interval
+            inner._advance_serial(gens)
+            inner.state.generation += gens
+            epoch += 1
+            inner.migrate(epoch)
+            if inner.state.generation - last_broadcast >= self.broadcast_interval:
+                self._broadcast()
+                last_broadcast = inner.state.generation
+            inner._sync_state()
+            inner._record_global()
+        best_isl = min((inner.islands[i] for i in inner._active),
+                       key=lambda isl: isl.population.best().objective)
+        return IslandGAResult(
+            best=best_isl.population.best().copy(),
+            histories=[isl.history for isl in inner.islands],
+            global_history=inner.global_history,
+            generations=inner.state.generation,
+            evaluations=sum(isl.state.evaluations for isl in inner.islands),
+            elapsed=time.perf_counter() - t0,
+            termination_reason=inner.termination.reason(),
+            n_islands_final=len(inner._active),
+            extra={"model": "two_level", "GN": self.migration.interval,
+                   "LN": self.broadcast_interval},
+        )
+
+    def _broadcast(self) -> None:
+        """Every island's best goes to every other island (replace worst)."""
+        inner = self.inner
+        bests = [inner.islands[i].population.best().copy()
+                 for i in inner._active]
+        for k, i in enumerate(inner._active):
+            immigrants = [b.copy() for j, b in enumerate(bests) if j != k]
+            integrate_immigrants(
+                inner.islands[i].population, immigrants,
+                MigrationPolicy(interval=1, rate=len(immigrants),
+                                emigrant="best", replacement="worst"),
+                inner._migration_rng)

@@ -1,0 +1,301 @@
+"""Island (coarse-grained) parallel GA -- Table V of the survey.
+
+::
+
+    1: Initialize();
+    2: while (termination criteria are not satisfied) do
+    3:   Generation++
+    4:   Parallel_SubSelection_Islands();
+    5:   Parallel_SubCrossover_Islands();
+    6:   Parallel_SubMutation_Individuals();
+    7:   Parallel_FitnessValueEvaluation_Individuals();
+    8:   if (generation % migration interval == 0)
+    9:     Parallel_Migration_Islands();
+    10:  end if
+    11: end while
+
+Every island is a full :class:`~repro.core.ga.SimpleGA` over its own
+subpopulation; a :class:`~repro.parallel.topology.Topology` plus a
+:class:`~repro.parallel.migration.MigrationPolicy` drive the exchange.
+
+Features mapped to surveyed papers:
+
+* heterogeneous islands -- per-island GAConfig (operators, rates): Park
+  et al. [26] ("different subpopulations were equipped with different
+  settings"), Bozejko & Wodecki [30] (different crossovers per island);
+* shared vs. distinct initial subpopulations, cooperation on/off --
+  the three strategy axes of [30];
+* merge-on-stagnation -- Spanos et al. [29]: an island whose population
+  collapses (more than half of pairs within a Hamming threshold) merges
+  into its neighbour until one island remains;
+* ``parallel="process"`` -- epochs between migrations run in real OS
+  processes (one task per island); results are identical to the serial
+  schedule because island evolution between migration points is
+  independent by construction.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..core.ga import GAConfig, SimpleGA
+from ..core.individual import Individual
+from ..core.observers import HistoryRecorder
+from ..core.population import Population
+from ..core.rng import spawn_rngs
+from ..core.termination import (MaxGenerations, Termination, TerminationState)
+from ..encodings.base import Problem
+from .migration import (MigrationPolicy, integrate_immigrants,
+                        select_emigrants)
+from .topology import RingTopology, Topology
+
+__all__ = ["IslandGA", "IslandGAResult"]
+
+
+@dataclass
+class IslandGAResult:
+    """Outcome of an island GA run."""
+
+    best: Individual
+    histories: list[HistoryRecorder]
+    global_history: HistoryRecorder
+    generations: int
+    evaluations: int
+    elapsed: float
+    termination_reason: str
+    n_islands_final: int
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def best_objective(self) -> float:
+        return float(self.best.objective)
+
+
+def _advance_island(payload: bytes) -> bytes:
+    """Process-pool task: run one island for ``gens`` generations."""
+    engine, gens = pickle.loads(payload)
+    for _ in range(gens):
+        engine.step()
+    return pickle.dumps(engine)
+
+
+class IslandGA:
+    """Multi-population GA with migration.
+
+    Parameters
+    ----------
+    problem:
+        shared problem definition.
+    n_islands:
+        subpopulation count.
+    config:
+        one GAConfig for all islands, or a sequence of per-island configs
+        (heterogeneous islands).
+    topology:
+        island connectivity (default: unidirectional ring, the most
+        frequent choice per Section IV).
+    migration:
+        migration policy; ``rate=0`` or ``cooperation=False`` yields
+        independent search islands (strategy axis of Bozejko [30]).
+    termination:
+        global criterion, evaluated against total generations (epochs *
+        island generations are synchronous) and the best across islands.
+    shared_start:
+        if True all islands start from one common random subpopulation
+        (the "same start subpopulations" strategy of [30]).
+    cooperation:
+        if False, migration is disabled entirely.
+    merge_on_stagnation:
+        Hamming-distance threshold that triggers island merging (Spanos
+        [29]); ``None`` disables merging.
+    parallel:
+        ``"serial"`` (default) or ``"process"``: run inter-migration
+        epochs in a process pool, one task per island.
+    """
+
+    def __init__(self, problem: Problem, n_islands: int = 4,
+                 config: GAConfig | Sequence[GAConfig] | None = None,
+                 topology: Topology | None = None,
+                 migration: MigrationPolicy | None = None,
+                 termination: Termination | None = None,
+                 seed: int | None = None,
+                 shared_start: bool = False,
+                 cooperation: bool = True,
+                 merge_on_stagnation: int | None = None,
+                 parallel: str = "serial",
+                 n_workers: int | None = None):
+        if n_islands < 1:
+            raise ValueError("need at least one island")
+        if parallel not in ("serial", "process"):
+            raise ValueError("parallel must be 'serial' or 'process'")
+        self.problem = problem
+        self.n_islands = n_islands
+        self.topology = topology or RingTopology(n_islands)
+        if self.topology.n != n_islands:
+            raise ValueError("topology size must equal island count")
+        self.migration = migration or MigrationPolicy()
+        self.termination = termination or MaxGenerations(100)
+        self.cooperation = cooperation
+        self.merge_on_stagnation = merge_on_stagnation
+        self.parallel = parallel
+        self.n_workers = n_workers
+
+        if config is None:
+            configs = [GAConfig()] * n_islands
+        elif isinstance(config, GAConfig):
+            configs = [config] * n_islands
+        else:
+            configs = list(config)
+            if len(configs) != n_islands:
+                raise ValueError("need one config per island")
+        rngs = spawn_rngs(seed, n_islands + 1)
+        self._migration_rng = rngs[-1]
+        self.islands: list[SimpleGA] = [
+            SimpleGA(problem, cfg, termination=MaxGenerations(0),
+                     seed=rngs[i])
+            for i, cfg in enumerate(configs)
+        ]
+        self._shared_start = shared_start
+        self.state = TerminationState()
+        self.global_history = HistoryRecorder()
+        self._active = list(range(n_islands))
+
+    # -- lifecycle ---------------------------------------------------------------
+    def initialize(self) -> None:
+        """Create and evaluate all subpopulations."""
+        if self._shared_start:
+            first = self.islands[0].initialize()
+            for isl in self.islands[1:]:
+                isl.population = first.copy()
+                isl._notify()
+        else:
+            for isl in self.islands:
+                isl.initialize()
+        self._sync_state()
+        self._record_global()
+
+    def _sync_state(self) -> None:
+        self.state.evaluations = sum(isl.state.evaluations
+                                     for isl in self.islands)
+        best = min(isl.population.best().objective for isl in self.islands
+                   if isl.population is not None)
+        self.state.record_best(float(best))
+
+    def _record_global(self) -> None:
+        merged = Population([ind for isl in self.islands
+                             if isl.population is not None
+                             for ind in isl.population])
+        self.global_history.observe(self.state.generation, merged,
+                                    self.state.evaluations,
+                                    self.state.elapsed(),
+                                    n_islands=len(self._active))
+
+    # -- evolution ---------------------------------------------------------------
+    def _advance_serial(self, gens: int) -> None:
+        for i in self._active:
+            isl = self.islands[i]
+            for _ in range(gens):
+                isl.step()
+
+    def _advance_process(self, gens: int) -> None:
+        from concurrent.futures import ProcessPoolExecutor
+        payloads = [pickle.dumps((self.islands[i], gens))
+                    for i in self._active]
+        workers = self.n_workers or min(len(self._active), 8)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(_advance_island, payloads))
+        for i, blob in zip(self._active, results):
+            self.islands[i] = pickle.loads(blob)
+
+    def migrate(self, epoch: int) -> int:
+        """One migration event; returns the number of migrants moved."""
+        if not self.cooperation or self.migration.rate == 0:
+            return 0
+        active = self._active
+        if len(active) < 2:
+            return 0
+        # map active slot -> position so shrunken (merged) systems reuse the
+        # topology over the remaining islands
+        pos_of = {isl: k for k, isl in enumerate(active)}
+        outbox: dict[int, list[Individual]] = {i: [] for i in active}
+        moved = 0
+        for i in active:
+            emigrants_targets = self.topology.neighbors_out(
+                pos_of[i], epoch, self._migration_rng)
+            for tgt_pos in emigrants_targets:
+                tgt = active[tgt_pos % len(active)]
+                if tgt == i:
+                    continue
+                emigrants = select_emigrants(self.islands[i].population,
+                                             self.migration,
+                                             self._migration_rng)
+                outbox[tgt].extend(emigrants)
+                moved += len(emigrants)
+        for tgt, immigrants in outbox.items():
+            integrate_immigrants(self.islands[tgt].population, immigrants,
+                                 self.migration, self._migration_rng)
+        return moved
+
+    def _maybe_merge(self) -> None:
+        """Spanos [29]: merge stagnated islands into their ring successor."""
+        if self.merge_on_stagnation is None or len(self._active) < 2:
+            return
+        threshold = self.merge_on_stagnation
+        for i in list(self._active):
+            if len(self._active) < 2:
+                break
+            pop = self.islands[i].population
+            if pop.stagnation_fraction(threshold) > 0.5:
+                pos = self._active.index(i)
+                tgt = self._active[(pos + 1) % len(self._active)]
+                # absorb: target keeps its size, taking the best of the union
+                union = list(self.islands[tgt].population) + list(pop)
+                union.sort(key=lambda ind: ind.objective)
+                size = len(self.islands[tgt].population)
+                self.islands[tgt].population = Population(
+                    ind.copy() for ind in union[:size])
+                self._active.remove(i)
+
+    def run(self) -> IslandGAResult:
+        """Run Table V until the global termination criterion fires."""
+        t0 = time.perf_counter()
+        self.initialize()
+        epoch = 0
+        while not self.termination.done(self.state):
+            gens = min(self.migration.interval, self._remaining_gens())
+            if gens <= 0:
+                gens = 1
+            if self.parallel == "process" and len(self._active) > 1:
+                self._advance_process(gens)
+            else:
+                self._advance_serial(gens)
+            self.state.generation += gens
+            epoch += 1
+            self.migrate(epoch)
+            self._maybe_merge()
+            self._sync_state()
+            self._record_global()
+        best_island = min(
+            (self.islands[i] for i in self._active),
+            key=lambda isl: isl.population.best().objective)
+        return IslandGAResult(
+            best=best_island.population.best().copy(),
+            histories=[isl.history for isl in self.islands],
+            global_history=self.global_history,
+            generations=self.state.generation,
+            evaluations=self.state.evaluations,
+            elapsed=time.perf_counter() - t0,
+            termination_reason=self.termination.reason(),
+            n_islands_final=len(self._active),
+        )
+
+    def _remaining_gens(self) -> int:
+        limit = getattr(self.termination, "limit", None)
+        if isinstance(self.termination, MaxGenerations):
+            return self.termination.limit - self.state.generation
+        return self.migration.interval

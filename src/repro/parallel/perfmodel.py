@@ -1,0 +1,91 @@
+"""Closed-form parallel-GA performance models (Cantu-Paz [5]).
+
+Section IV of the survey reasons qualitatively about when each parallel
+model pays off ("frequent communication overhead offsets some performance
+gains from slaves' computing ... it is still very efficient when the
+evaluation is complex").  Cantu-Paz's classic analysis makes that
+quantitative; these formulas back experiment E22 and the master-slave
+design guidance tests.
+
+Notation: population ``n``, per-evaluation time ``Tf``, per-slave
+communication time ``Tc``, slave count ``P``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "master_slave_time",
+    "master_slave_speedup",
+    "optimal_slave_count",
+    "island_epoch_time",
+    "island_speedup",
+    "breakeven_eval_cost",
+]
+
+
+def master_slave_time(n: int, t_eval: float, t_comm: float, slaves: int
+                      ) -> float:
+    """Per-generation wall-clock of a master-slave GA.
+
+    ``T_p = n * Tf / P + P * Tc``: evaluation divides across ``P`` slaves,
+    while the master pays one communication round per slave.
+    """
+    if slaves < 1:
+        raise ValueError("need at least one slave")
+    return n * t_eval / slaves + slaves * t_comm
+
+
+def master_slave_speedup(n: int, t_eval: float, t_comm: float, slaves: int
+                         ) -> float:
+    """Speedup over the serial GA (``n * Tf`` per generation)."""
+    serial = n * t_eval
+    return serial / master_slave_time(n, t_eval, t_comm, slaves)
+
+
+def optimal_slave_count(n: int, t_eval: float, t_comm: float) -> float:
+    """Cantu-Paz's optimum ``P* = sqrt(n * Tf / Tc)``.
+
+    Minimises :func:`master_slave_time` over ``P`` (continuous relaxation).
+    """
+    if t_comm <= 0:
+        return math.inf
+    return math.sqrt(n * t_eval / t_comm)
+
+
+def breakeven_eval_cost(n: int, t_comm: float, slaves: int) -> float:
+    """Minimal ``Tf`` for which ``slaves`` workers beat serial execution.
+
+    Solves ``n*Tf > n*Tf/P + P*Tc`` for Tf: the survey's qualitative rule
+    "master-slave pays off when evaluation is expensive" made exact.
+    """
+    if slaves <= 1:
+        return math.inf
+    return slaves ** 2 * t_comm / (n * (slaves - 1))
+
+
+def island_epoch_time(sub_n: int, t_eval: float, t_var: float,
+                      interval: int, migrants: int, t_comm: float) -> float:
+    """Wall-clock of one island epoch (``interval`` generations + 1 swap).
+
+    Each island evolves independently (``interval * (sub_n * Tf + Tvar)``)
+    then pays one migration message of ``migrants`` individuals.
+    """
+    return interval * (sub_n * t_eval + t_var) + migrants * t_comm
+
+
+def island_speedup(n: int, islands: int, t_eval: float, t_var: float,
+                   interval: int, migrants: int, t_comm: float) -> float:
+    """Speedup of an island GA with one island per processor.
+
+    Serial reference: the same total population evolved panmictically.
+    """
+    if islands < 1:
+        raise ValueError("need at least one island")
+    serial = interval * (n * t_eval + t_var)
+    parallel = island_epoch_time(n // islands, t_eval, t_var / islands,
+                                 interval, migrants, t_comm)
+    return serial / parallel

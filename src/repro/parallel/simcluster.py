@@ -1,0 +1,304 @@
+"""Simulated HPC platforms: the documented hardware substitution.
+
+The surveyed speedups were measured on hardware we do not have (NVIDIA
+Quadro/Tesla/GTX GPUs, a 16-node Transputer, Sun MIMD servers, Beowulf
+clusters).  Since a speedup is a *ratio of wall-clock times* and the GA
+itself runs natively (results are unaffected -- the master-slave model
+"does not affect the behavior of the algorithm"), we replace the hardware
+with a discrete cost model that replays a GA execution trace on a device
+description and returns simulated wall-clock seconds.
+
+Model per generation (master-slave semantics)::
+
+    T_gen = T_variation                      (master-side serial work)
+          + dispatch_latency                  (kernel launch / msg round)
+          + payload / bandwidth               (genomes + results transfer)
+          + ceil(n_evals / lanes) * t_eval / eval_speed
+
+Island semantics distribute whole-island work over workers and charge
+migration messages between epochs; a *resident* device (Zajicek [25]:
+"all computations were carried out on the GPU") also runs variation on
+device and pays transfer only once per run.
+
+Device presets are calibrated to land in the published speedup ranges for
+the experiments of EXPERIMENTS.md; the *shape* claims (who wins, how the
+ratio moves with problem size or worker count) are what the benches
+assert, never exact constants.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "DeviceModel",
+    "GATrace",
+    "cpu_core",
+    "multicore",
+    "lan_star",
+    "beowulf",
+    "transputer",
+    "gpu_device",
+    "gpu_resident",
+    "simulate_serial",
+    "simulate_master_slave",
+    "simulate_island",
+    "simulate_cellular",
+    "solutions_explored_in",
+]
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """A parallel execution platform.
+
+    Attributes
+    ----------
+    name:
+        preset label.
+    lanes:
+        concurrent hardware execution lanes (cores, nodes, CUDA threads
+        effectively resident).
+    eval_speed:
+        per-lane throughput relative to the reference CPU core (GPU
+        threads are individually slower: < 1).
+    dispatch_latency:
+        fixed seconds per dispatch round (kernel launch, MPI message
+        latency, scheduling overhead).
+    bandwidth:
+        bytes/second between master and workers.
+    resident:
+        if True the entire algorithm lives on the device: variation runs
+        there too (at ``eval_speed`` on one lane per island/individual
+        group) and per-generation host transfers disappear.
+    variation_speed:
+        relative speed of the device when executing the (serial-ish)
+        variation phase in resident mode.
+    """
+
+    name: str
+    lanes: int
+    eval_speed: float = 1.0
+    dispatch_latency: float = 0.0
+    bandwidth: float = math.inf
+    resident: bool = False
+    variation_speed: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.lanes < 1:
+            raise ValueError("lanes must be >= 1")
+        if self.eval_speed <= 0 or self.variation_speed <= 0:
+            raise ValueError("speeds must be positive")
+        if self.dispatch_latency < 0:
+            raise ValueError("latency must be non-negative")
+
+
+@dataclass(frozen=True)
+class GATrace:
+    """Cost profile of one GA run, platform-independent.
+
+    Attributes
+    ----------
+    generations:
+        generation count.
+    evals_per_generation:
+        fitness evaluations per generation (population or offspring size).
+    eval_cost:
+        reference-core seconds per fitness evaluation.
+    variation_cost:
+        reference-core seconds per generation for selection + crossover +
+        mutation on the master.
+    genome_bytes:
+        serialized genome size (payload per individual each way).
+    migration_interval:
+        island epochs (0 = no migration).
+    migrants_per_event:
+        individuals exchanged per migration event (total).
+    n_islands:
+        island count (1 = panmictic).
+    """
+
+    generations: int
+    evals_per_generation: int
+    eval_cost: float
+    variation_cost: float = 0.0
+    genome_bytes: int = 256
+    migration_interval: int = 0
+    migrants_per_event: int = 0
+    n_islands: int = 1
+
+    def __post_init__(self) -> None:
+        if self.generations < 0 or self.evals_per_generation < 0:
+            raise ValueError("trace counts must be non-negative")
+        if self.eval_cost < 0 or self.variation_cost < 0:
+            raise ValueError("trace costs must be non-negative")
+
+
+# -- presets -----------------------------------------------------------------
+
+def cpu_core() -> DeviceModel:
+    """The reference single core; all speedups are measured against it."""
+    return DeviceModel("cpu-core", lanes=1)
+
+
+def multicore(workers: int) -> DeviceModel:
+    """Shared-memory multi-core host (process pool)."""
+    return DeviceModel(f"multicore-{workers}", lanes=workers,
+                       dispatch_latency=2e-4, bandwidth=2e9)
+
+
+def lan_star(workers: int) -> DeviceModel:
+    """Star network of workstations over Ethernet (AitZai's CPU rig [14],
+    Mui's CSS server [17])."""
+    return DeviceModel(f"lan-star-{workers}", lanes=workers,
+                       dispatch_latency=3e-3, bandwidth=1.2e7)
+
+
+def beowulf(nodes: int) -> DeviceModel:
+    """Linux/MPI Beowulf cluster (Harmanani [33])."""
+    return DeviceModel(f"beowulf-{nodes}", lanes=nodes,
+                       dispatch_latency=1.2e-3, bandwidth=6e7)
+
+
+def transputer(nodes: int = 16) -> DeviceModel:
+    """Transputer MIMD machine (Tamaki [20]): no shared memory, serial
+    links -- high per-message latency relative to its era's compute."""
+    return DeviceModel(f"transputer-{nodes}", lanes=nodes,
+                       dispatch_latency=4e-3, bandwidth=1.5e6)
+
+
+def gpu_device(sm_threads: int = 448, per_thread_speed: float = 0.12,
+               launch_latency: float = 8e-5,
+               bandwidth: float = 4e9) -> DeviceModel:
+    """Discrete GPU used as a fitness co-processor (CUDA master-slave:
+    AitZai [14], Somani [16], Huang [24])."""
+    return DeviceModel(f"gpu-{sm_threads}", lanes=sm_threads,
+                       eval_speed=per_thread_speed,
+                       dispatch_latency=launch_latency, bandwidth=bandwidth)
+
+
+def gpu_resident(sm_threads: int = 960, per_thread_speed: float = 0.12,
+                 launch_latency: float = 8e-5,
+                 bandwidth: float = 4e9) -> DeviceModel:
+    """Whole-algorithm-on-GPU (Zajicek [25]): variation is parallel on
+    device, host transfers vanish."""
+    return DeviceModel(f"gpu-resident-{sm_threads}", lanes=sm_threads,
+                       eval_speed=per_thread_speed,
+                       dispatch_latency=launch_latency, bandwidth=bandwidth,
+                       resident=True, variation_speed=per_thread_speed * 24)
+
+
+# -- simulators ----------------------------------------------------------------
+
+def simulate_serial(trace: GATrace) -> float:
+    """Wall-clock of the serial GA on the reference core."""
+    per_gen = trace.variation_cost + trace.evals_per_generation * trace.eval_cost
+    return trace.generations * per_gen
+
+
+def _eval_phase(n_evals: int, trace: GATrace, device: DeviceModel) -> float:
+    if n_evals == 0:
+        return 0.0
+    waves = math.ceil(n_evals / device.lanes)
+    return waves * trace.eval_cost / device.eval_speed
+
+
+def simulate_master_slave(trace: GATrace, device: DeviceModel) -> float:
+    """Wall-clock of Table III on ``device``.
+
+    Variation stays serial on the master; evaluation is distributed.
+    Payload = genomes out + objectives back (8 bytes each), per generation.
+    """
+    n = trace.evals_per_generation
+    payload = n * (trace.genome_bytes + 8)
+    per_gen = (trace.variation_cost
+               + device.dispatch_latency
+               + payload / device.bandwidth
+               + _eval_phase(n, trace, device))
+    return trace.generations * per_gen
+
+
+def simulate_island(trace: GATrace, device: DeviceModel,
+                    island_variation_parallel: bool = True) -> float:
+    """Wall-clock of Table V on ``device``.
+
+    Islands are whole-GA workers: each lane hosts ``ceil(n_islands /
+    lanes)`` islands and runs both variation and evaluation for them.
+    Migration charges one message round (latency + migrant payload) per
+    epoch across the device interconnect.  Resident devices additionally
+    drop host transfer and run variation at device speed.
+    """
+    if trace.n_islands < 1:
+        raise ValueError("island trace needs n_islands >= 1")
+    islands_per_lane = math.ceil(trace.n_islands / device.lanes)
+    sub_evals = trace.evals_per_generation / trace.n_islands
+    var_speed = (device.variation_speed if device.resident else 1.0)
+    if device.resident:
+        # each island's individuals evaluate in parallel across spare lanes
+        lanes_per_island = max(1, device.lanes // max(1, trace.n_islands))
+        eval_waves = math.ceil(sub_evals / lanes_per_island)
+        per_gen_eval = eval_waves * trace.eval_cost / device.eval_speed
+    else:
+        per_gen_eval = sub_evals * trace.eval_cost / device.eval_speed
+    per_gen = islands_per_lane * (
+        trace.variation_cost / trace.n_islands / var_speed + per_gen_eval)
+    total = trace.generations * per_gen
+    if trace.migration_interval > 0 and trace.n_islands > 1:
+        events = trace.generations // trace.migration_interval
+        payload = trace.migrants_per_event * (trace.genome_bytes + 8)
+        total += events * (device.dispatch_latency
+                           + payload / device.bandwidth)
+    if device.resident:
+        # one-off host <-> device transfer of the whole population
+        total += (2 * trace.evals_per_generation
+                  * trace.genome_bytes / device.bandwidth)
+    else:
+        # per-epoch coordination with the host/master
+        total += trace.generations * device.dispatch_latency
+    return total
+
+
+def simulate_cellular(trace: GATrace, device: DeviceModel,
+                      neighbors: int = 4) -> float:
+    """Wall-clock of Table IV on ``device``.
+
+    Every cell is one lane's work-item per generation; each cell exchanges
+    genomes with its ``neighbors`` each generation.  On machines without
+    shared memory (Transputer) the exchange pays per-message latency,
+    which is exactly why Tamaki [20] saw sub-ideal scaling.
+    """
+    cells = trace.evals_per_generation
+    waves = math.ceil(cells / device.lanes)
+    per_gen_compute = waves * (trace.eval_cost
+                               + trace.variation_cost / max(1, cells)
+                               ) / device.eval_speed
+    # neighbour exchange: one message round per wave of cells
+    per_gen_comm = waves * neighbors * (
+        device.dispatch_latency / max(1, device.lanes ** 0.5)
+        + trace.genome_bytes / device.bandwidth)
+    return trace.generations * (per_gen_compute + per_gen_comm)
+
+
+def solutions_explored_in(budget_seconds: float, trace: GATrace,
+                          device: DeviceModel,
+                          model: str = "master_slave") -> int:
+    """Evaluations completed within a fixed wall-clock budget.
+
+    AitZai et al. [14] compare platforms by "explored solutions" under a
+    300 s budget; this helper inverts the simulators for that metric.
+    """
+    sims = {"serial": lambda: simulate_serial(trace),
+            "master_slave": lambda: simulate_master_slave(trace, device),
+            "island": lambda: simulate_island(trace, device)}
+    if model not in sims:
+        raise ValueError(f"unknown model {model!r}")
+    total_time = sims[model]()
+    if total_time <= 0:
+        return 0
+    total_evals = trace.generations * trace.evals_per_generation
+    rate = total_evals / total_time
+    return int(rate * budget_seconds)

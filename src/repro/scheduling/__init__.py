@@ -1,0 +1,40 @@
+"""Shop-scheduling problem substrate (Section II of the survey)."""
+
+from .instance import (FlexibleFlowShopInstance, FlexibleJobShopInstance,
+                       FlowShopInstance, JobShopInstance, OpenShopInstance,
+                       ShopInstance)
+from .schedule import FeasibilityError, Operation, Schedule
+from .objectives import (Makespan, MaximumTardiness, TotalFlowTime,
+                         TotalWeightedCompletion, TotalWeightedTardiness,
+                         TotalWeightedUnitPenalty, WeightedCombination)
+from .flowshop import (flowshop_completion, flowshop_makespan,
+                       flowshop_makespan_population, flowshop_schedule,
+                       neh_heuristic)
+from .jobshop import (DISPATCH_RULES, decode_blocking,
+                      decode_operation_sequence, giffler_thompson,
+                      operation_sequence_makespan, priority_rule_schedule)
+from .openshop import (decode_job_repetition_lpt_machine,
+                       decode_job_repetition_lpt_task, decode_pair_sequence,
+                       openshop_makespan)
+from .flexible import (LotStreamingPlan, decode_fjsp, decode_hybrid_flowshop,
+                       decode_lot_streaming, fjsp_random_genome)
+from .graph import CyclicSelectionError, DisjunctiveGraph
+
+__all__ = [
+    "ShopInstance", "FlowShopInstance", "JobShopInstance", "OpenShopInstance",
+    "FlexibleFlowShopInstance", "FlexibleJobShopInstance",
+    "Operation", "Schedule", "FeasibilityError",
+    "Makespan", "TotalWeightedCompletion", "TotalWeightedTardiness",
+    "TotalWeightedUnitPenalty", "MaximumTardiness", "TotalFlowTime",
+    "WeightedCombination",
+    "flowshop_completion", "flowshop_makespan", "flowshop_makespan_population",
+    "flowshop_schedule", "neh_heuristic",
+    "decode_operation_sequence", "operation_sequence_makespan",
+    "giffler_thompson", "decode_blocking", "priority_rule_schedule",
+    "DISPATCH_RULES",
+    "decode_job_repetition_lpt_task", "decode_job_repetition_lpt_machine",
+    "decode_pair_sequence", "openshop_makespan",
+    "decode_fjsp", "fjsp_random_genome", "decode_hybrid_flowshop",
+    "LotStreamingPlan", "decode_lot_streaming",
+    "DisjunctiveGraph", "CyclicSelectionError",
+]

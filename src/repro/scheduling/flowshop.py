@@ -1,0 +1,129 @@
+"""Permutation flow shop evaluation.
+
+A flow shop chromosome is a job permutation (Section III.A: "a standard
+chromosome consists of a string of length n, and the i-th gene contains the
+index of the job at position i").  The completion-time recurrence is
+
+    C[i, k] = max(C[i-1, k], C[i, k-1]) + P[pi_i, k]
+
+Evaluating the recurrence is the GA's hot loop, so two paths are provided:
+
+* :func:`flowshop_completion` -- single permutation, returns the full C
+  matrix (used by decoders that need a :class:`Schedule`),
+* :func:`flowshop_makespan_population` -- the whole population at once,
+  vectorised across individuals (the HPC-guide idiom: the scan over jobs and
+  machines stays in Python but every arithmetic op covers P individuals).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .instance import FlowShopInstance
+from .schedule import Operation, Schedule
+
+__all__ = [
+    "flowshop_completion",
+    "flowshop_makespan",
+    "flowshop_makespan_population",
+    "flowshop_schedule",
+    "neh_heuristic",
+]
+
+
+def flowshop_completion(instance: FlowShopInstance,
+                        permutation: np.ndarray) -> np.ndarray:
+    """Completion-time matrix ``C[i, k]`` for jobs in permutation order.
+
+    Honours job release times: the first operation of job ``pi_i`` cannot
+    start before ``R_{pi_i}``.
+    """
+    perm = np.asarray(permutation, dtype=np.int64)
+    p = instance.processing[perm]            # (n, m) in sequence order
+    release = instance.release[perm]
+    n, m = p.shape
+    c = np.zeros((n, m))
+    prev_row = np.zeros(m)
+    for i in range(n):
+        row = np.empty(m)
+        t = max(prev_row[0], release[i]) + p[i, 0]
+        row[0] = t
+        for k in range(1, m):
+            t = max(t, prev_row[k]) + p[i, k]
+            row[k] = t
+        c[i] = row
+        prev_row = row
+    return c
+
+
+def flowshop_makespan(instance: FlowShopInstance,
+                      permutation: np.ndarray) -> float:
+    """Makespan of a single permutation."""
+    c = flowshop_completion(instance, permutation)
+    return float(c[-1, -1]) if c.size else 0.0
+
+
+def flowshop_makespan_population(instance: FlowShopInstance,
+                                 permutations: np.ndarray) -> np.ndarray:
+    """Makespans of ``P`` permutations at once.
+
+    ``permutations`` has shape (P, n).  The recurrence is evaluated with the
+    (n * m) scan in Python and all arithmetic vectorised over the population
+    axis, which is orders of magnitude faster than a per-individual loop for
+    the population sizes the surveyed papers use (hundreds to thousands).
+    """
+    perms = np.asarray(permutations, dtype=np.int64)
+    if perms.ndim != 2:
+        raise ValueError("permutations must be (P, n)")
+    pop, n = perms.shape
+    m = instance.n_machines
+    proc = instance.processing
+    release = instance.release
+    c = np.zeros((pop, m))
+    for i in range(n):
+        jobs = perms[:, i]                 # (P,)
+        p_i = proc[jobs]                   # (P, m)
+        c[:, 0] = np.maximum(c[:, 0], release[jobs]) + p_i[:, 0]
+        for k in range(1, m):
+            c[:, k] = np.maximum(c[:, k - 1], c[:, k]) + p_i[:, k]
+    return c[:, -1].copy()
+
+
+def flowshop_schedule(instance: FlowShopInstance,
+                      permutation: np.ndarray) -> Schedule:
+    """Decode a permutation into a full :class:`Schedule` object."""
+    perm = np.asarray(permutation, dtype=np.int64)
+    c = flowshop_completion(instance, perm)
+    p = instance.processing[perm]
+    ops = []
+    for i, job in enumerate(perm):
+        for k in range(instance.n_machines):
+            end = c[i, k]
+            ops.append(Operation(job=int(job), stage=k, machine=k,
+                                 start=end - p[i, k], end=end))
+    return Schedule(ops, instance.n_jobs, instance.n_machines)
+
+
+def neh_heuristic(instance: FlowShopInstance) -> np.ndarray:
+    """NEH constructive heuristic -- the reference solution for Eq. (1).
+
+    Jobs are sorted by decreasing total work and inserted one by one at the
+    position minimising the partial makespan.  O(n^3 m) with the vectorised
+    evaluator; fine for the laptop-scale instances used here.
+    """
+    order = np.argsort(-instance.processing.sum(axis=1), kind="stable")
+    seq: list[int] = []
+    for job in order:
+        best_perm, best_val = None, np.inf
+        for pos in range(len(seq) + 1):
+            cand = seq[:pos] + [int(job)] + seq[pos:]
+            val = _partial_makespan(instance, cand)
+            if val < best_val:
+                best_perm, best_val = cand, val
+        seq = best_perm
+    return np.asarray(seq, dtype=np.int64)
+
+
+def _partial_makespan(instance: FlowShopInstance, seq: list[int]) -> float:
+    c = flowshop_completion(instance, np.asarray(seq, dtype=np.int64))
+    return float(c[-1, -1]) if c.size else 0.0

@@ -1,0 +1,388 @@
+"""Shop-scheduling problem instances (Section II of the survey).
+
+An instance is a set of ``n`` jobs and ``m`` machines.  Each job comprises a
+number of stages; the processing time of job *j*'s stage *s* on machine *m*
+is the *operation* ``(j, s, m)`` with duration ``P[j, s, m]``, plus optional
+release times ``R_j``, due times ``D_j`` and weights ``w_j``.
+
+The classes here encode the five machine environments the survey covers:
+
+``FlowShopInstance``
+    every job visits machines 0..m-1 in the same order,
+``JobShopInstance``
+    every job has its own machine routing (optionally *blocking*: no
+    intermediate buffers, condition 5 of Table I relaxed),
+``OpenShopInstance``
+    each job needs every machine once, in any order,
+``FlexibleFlowShopInstance`` (a.k.a. hybrid flow shop)
+    flow shop whose stages hold several parallel machines,
+``FlexibleJobShopInstance``
+    job shop where each operation chooses among eligible machines, with the
+    optional realism of Defersha & Chen [36]: sequence-dependent setup
+    times, attached/detached setups, machine release dates and time lags.
+
+Table I's default conditions hold unless a field says otherwise: one machine
+per operation, unit machine capacity, release-time availability, no setups,
+infinite intermediate storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "ShopInstance",
+    "FlowShopInstance",
+    "JobShopInstance",
+    "OpenShopInstance",
+    "FlexibleFlowShopInstance",
+    "FlexibleJobShopInstance",
+]
+
+
+def _as_float_array(x, shape_name: str) -> np.ndarray:
+    arr = np.asarray(x, dtype=float)
+    if (arr < 0).any():
+        raise ValueError(f"{shape_name} must be non-negative")
+    return arr
+
+
+@dataclass
+class ShopInstance:
+    """Common fields of every shop instance.
+
+    Attributes
+    ----------
+    name:
+        Identifier for registries and reports.
+    release:
+        ``R_j`` per job (zeros by default).
+    due:
+        ``D_j`` per job (``+inf`` by default -- no due-date pressure).
+    weights:
+        ``w_j`` per job (ones by default) for weighted objectives.
+    """
+
+    name: str = "unnamed"
+    release: np.ndarray | None = None
+    due: np.ndarray | None = None
+    weights: np.ndarray | None = None
+
+    # subclasses set these in __post_init__
+    n_jobs: int = field(init=False, default=0)
+    n_machines: int = field(init=False, default=0)
+
+    def _init_job_fields(self, n_jobs: int) -> None:
+        if self.release is None:
+            self.release = np.zeros(n_jobs)
+        else:
+            self.release = _as_float_array(self.release, "release times")
+        if self.due is None:
+            self.due = np.full(n_jobs, np.inf)
+        else:
+            self.due = np.asarray(self.due, dtype=float)
+        if self.weights is None:
+            self.weights = np.ones(n_jobs)
+        else:
+            self.weights = _as_float_array(self.weights, "weights")
+        for nm, arr in (("release", self.release), ("due", self.due),
+                        ("weights", self.weights)):
+            if arr.shape != (n_jobs,):
+                raise ValueError(f"{nm} must have shape ({n_jobs},)")
+
+    @property
+    def total_operations(self) -> int:
+        raise NotImplementedError  # pragma: no cover
+
+
+@dataclass
+class FlowShopInstance(ShopInstance):
+    """Permutation flow shop: ``processing[j, k]`` = time of job j on machine k.
+
+    All jobs visit machines ``0, 1, ..., m-1`` in that order.
+    """
+
+    processing: np.ndarray = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.processing is None:
+            raise ValueError("processing matrix is required")
+        self.processing = _as_float_array(self.processing, "processing times")
+        if self.processing.ndim != 2:
+            raise ValueError("processing must be 2-D (jobs x machines)")
+        self.n_jobs, self.n_machines = self.processing.shape
+        self._init_job_fields(self.n_jobs)
+
+    @property
+    def total_operations(self) -> int:
+        return self.n_jobs * self.n_machines
+
+    def total_work(self) -> float:
+        """Sum of all processing times (simple lower-bound ingredient)."""
+        return float(self.processing.sum())
+
+    def makespan_lower_bound(self) -> float:
+        """Classic machine/job-based flow shop lower bound."""
+        p = self.processing
+        # machine bound: load + min head + min tail
+        machine_bounds = []
+        for k in range(self.n_machines):
+            head = p[:, :k].sum(axis=1).min() if k > 0 else 0.0
+            tail = p[:, k + 1:].sum(axis=1).min() if k < self.n_machines - 1 else 0.0
+            machine_bounds.append(p[:, k].sum() + head + tail)
+        job_bound = p.sum(axis=1).max()
+        return float(max(job_bound, max(machine_bounds)))
+
+
+@dataclass
+class JobShopInstance(ShopInstance):
+    """Job shop: per-job machine routing.
+
+    Attributes
+    ----------
+    routing:
+        ``routing[j, s]`` = machine of job j's stage s (int array, n x g).
+    processing:
+        ``processing[j, s]`` = duration of job j's stage s (n x g).
+    blocking:
+        If True, Table I condition 5 is dropped: there is *no* intermediate
+        storage and a finished job blocks its machine until the next machine
+        in its routing is free (AitZai et al. [14][15]).
+    """
+
+    routing: np.ndarray = None  # type: ignore[assignment]
+    processing: np.ndarray = None  # type: ignore[assignment]
+    blocking: bool = False
+
+    def __post_init__(self) -> None:
+        if self.routing is None or self.processing is None:
+            raise ValueError("routing and processing matrices are required")
+        self.routing = np.asarray(self.routing, dtype=np.int64)
+        self.processing = _as_float_array(self.processing, "processing times")
+        if self.routing.shape != self.processing.shape:
+            raise ValueError("routing and processing shapes differ")
+        if self.routing.ndim != 2:
+            raise ValueError("routing must be 2-D (jobs x stages)")
+        self.n_jobs, self.n_stages = self.routing.shape
+        self.n_machines = int(self.routing.max()) + 1 if self.routing.size else 0
+        if (self.routing < 0).any():
+            raise ValueError("machine indices must be non-negative")
+        self._init_job_fields(self.n_jobs)
+
+    @property
+    def total_operations(self) -> int:
+        return self.n_jobs * self.n_stages
+
+    def machine_loads(self) -> np.ndarray:
+        """Total processing time assigned to each machine."""
+        loads = np.zeros(self.n_machines)
+        np.add.at(loads, self.routing.ravel(), self.processing.ravel())
+        return loads
+
+    def makespan_lower_bound(self) -> float:
+        """max(job length, machine load) lower bound."""
+        return float(max(self.processing.sum(axis=1).max(),
+                         self.machine_loads().max()))
+
+
+@dataclass
+class OpenShopInstance(ShopInstance):
+    """Open shop: ``processing[j, k]`` on machine k, order unconstrained."""
+
+    processing: np.ndarray = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.processing is None:
+            raise ValueError("processing matrix is required")
+        self.processing = _as_float_array(self.processing, "processing times")
+        if self.processing.ndim != 2:
+            raise ValueError("processing must be 2-D (jobs x machines)")
+        self.n_jobs, self.n_machines = self.processing.shape
+        self._init_job_fields(self.n_jobs)
+
+    @property
+    def total_operations(self) -> int:
+        return self.n_jobs * self.n_machines
+
+    def makespan_lower_bound(self) -> float:
+        """max(max job length, max machine load) -- tight for many OSSPs."""
+        return float(max(self.processing.sum(axis=1).max(),
+                         self.processing.sum(axis=0).max()))
+
+
+@dataclass
+class FlexibleFlowShopInstance(ShopInstance):
+    """Hybrid / flexible flow shop: stages with parallel machines.
+
+    Attributes
+    ----------
+    processing:
+        ``processing[j, s]`` = duration of job j at stage s.  With
+        ``machine_speeds`` set, machine q at stage s runs at relative speed
+        ``machine_speeds[s][q]`` (unrelated machines when speeds vary per
+        job via ``processing_per_machine``).
+    machines_per_stage:
+        number of identical parallel machines at every stage.
+    processing_per_machine:
+        optional ragged ``[s][j][q]`` array for *unrelated* machines
+        (Rashidi et al. [38]); overrides ``processing``/``machine_speeds``.
+    setup:
+        optional sequence-dependent setup times ``setup[s][prev_job+1][job]``
+        (index 0 = initial setup from idle).
+    """
+
+    processing: np.ndarray = None  # type: ignore[assignment]
+    machines_per_stage: Sequence[int] = ()
+    machine_speeds: Sequence[Sequence[float]] | None = None
+    processing_per_machine: Sequence[np.ndarray] | None = None
+    setup: Sequence[np.ndarray] | None = None
+
+    def __post_init__(self) -> None:
+        if self.processing is None:
+            raise ValueError("processing matrix is required")
+        self.processing = _as_float_array(self.processing, "processing times")
+        if self.processing.ndim != 2:
+            raise ValueError("processing must be 2-D (jobs x stages)")
+        self.n_jobs, self.n_stages = self.processing.shape
+        if not self.machines_per_stage:
+            raise ValueError("machines_per_stage is required")
+        self.machines_per_stage = tuple(int(k) for k in self.machines_per_stage)
+        if len(self.machines_per_stage) != self.n_stages:
+            raise ValueError("machines_per_stage length must equal stage count")
+        if any(k <= 0 for k in self.machines_per_stage):
+            raise ValueError("every stage needs at least one machine")
+        self.n_machines = sum(self.machines_per_stage)
+        if self.processing_per_machine is not None:
+            self.processing_per_machine = [
+                _as_float_array(a, "per-machine processing")
+                for a in self.processing_per_machine
+            ]
+            for s, a in enumerate(self.processing_per_machine):
+                if a.shape != (self.n_jobs, self.machines_per_stage[s]):
+                    raise ValueError(
+                        f"stage {s} per-machine matrix must be "
+                        f"({self.n_jobs}, {self.machines_per_stage[s]})")
+        self._init_job_fields(self.n_jobs)
+
+    @property
+    def total_operations(self) -> int:
+        return self.n_jobs * self.n_stages
+
+    def duration(self, job: int, stage: int, machine: int) -> float:
+        """Processing time of ``job`` at ``stage`` on local ``machine``."""
+        if self.processing_per_machine is not None:
+            return float(self.processing_per_machine[stage][job, machine])
+        base = float(self.processing[job, stage])
+        if self.machine_speeds is not None:
+            return base / float(self.machine_speeds[stage][machine])
+        return base
+
+    def is_flexible(self) -> bool:
+        """True when at least one stage has parallel machines (survey def.)."""
+        return any(k > 1 for k in self.machines_per_stage)
+
+
+@dataclass
+class FlexibleJobShopInstance(ShopInstance):
+    """Flexible job shop with the Defersha & Chen [36] extensions.
+
+    Attributes
+    ----------
+    operations:
+        ``operations[j][s]`` = dict mapping eligible machine -> duration.
+    setup:
+        optional ``setup[m][prev_job + 1][job]`` sequence-dependent setup
+        times on machine m; row 0 is the initial setup from an idle machine.
+    setup_attached:
+        if True a setup may only start once the job has arrived at the
+        machine (attached); if False the machine can set up in anticipation
+        (detached), overlapping the job's travel/previous operation.
+    machine_release:
+        per-machine earliest availability (machine release dates).
+    time_lag:
+        minimal delay between the end of a job's stage s and the start of
+        its stage s+1 (``time_lag[j][s]``, zeros by default).
+    """
+
+    operations: Sequence[Sequence[dict[int, float]]] = ()
+    setup: Sequence[np.ndarray] | None = None
+    setup_attached: bool = True
+    machine_release: np.ndarray | None = None
+    time_lag: Sequence[Sequence[float]] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.operations:
+            raise ValueError("operations are required")
+        self.operations = [list(job) for job in self.operations]
+        self.n_jobs = len(self.operations)
+        machines: set[int] = set()
+        for j, job in enumerate(self.operations):
+            if not job:
+                raise ValueError(f"job {j} has no operations")
+            for s, alts in enumerate(job):
+                if not alts:
+                    raise ValueError(f"operation ({j},{s}) has no eligible machine")
+                for mach, dur in alts.items():
+                    if dur < 0:
+                        raise ValueError("durations must be non-negative")
+                    machines.add(int(mach))
+        self.n_machines = max(machines) + 1
+        if self.machine_release is None:
+            self.machine_release = np.zeros(self.n_machines)
+        else:
+            self.machine_release = _as_float_array(
+                np.asarray(self.machine_release), "machine release dates")
+            if self.machine_release.shape != (self.n_machines,):
+                raise ValueError("machine_release must cover every machine")
+        if self.setup is not None:
+            self.setup = [np.asarray(s, dtype=float) for s in self.setup]
+            if len(self.setup) != self.n_machines:
+                raise ValueError("setup needs one matrix per machine")
+            for m, mat in enumerate(self.setup):
+                if mat.shape != (self.n_jobs + 1, self.n_jobs):
+                    raise ValueError(
+                        f"setup[{m}] must be ({self.n_jobs + 1}, {self.n_jobs})")
+        if self.time_lag is not None:
+            self.time_lag = [list(map(float, row)) for row in self.time_lag]
+            for j, row in enumerate(self.time_lag):
+                if len(row) != len(self.operations[j]) - 1:
+                    raise ValueError(
+                        f"time_lag[{j}] must have one entry per stage gap")
+        self._init_job_fields(self.n_jobs)
+
+    @property
+    def total_operations(self) -> int:
+        return sum(len(job) for job in self.operations)
+
+    def stages_of(self, job: int) -> int:
+        """Number of operations of ``job``."""
+        return len(self.operations[job])
+
+    def eligible_machines(self, job: int, stage: int) -> list[int]:
+        """Machines able to process operation ``(job, stage)``."""
+        return sorted(self.operations[job][stage].keys())
+
+    def duration(self, job: int, stage: int, machine: int) -> float:
+        """Duration of ``(job, stage)`` on ``machine`` (must be eligible)."""
+        try:
+            return float(self.operations[job][stage][machine])
+        except KeyError:
+            raise ValueError(
+                f"machine {machine} not eligible for operation ({job},{stage})"
+            ) from None
+
+    def setup_time(self, machine: int, prev_job: int | None, job: int) -> float:
+        """Sequence-dependent setup before ``job`` on ``machine``."""
+        if self.setup is None:
+            return 0.0
+        row = 0 if prev_job is None else prev_job + 1
+        return float(self.setup[machine][row, job])
+
+    def lag(self, job: int, stage: int) -> float:
+        """Minimal time lag after stage ``stage`` of ``job`` (0 by default)."""
+        if self.time_lag is None:
+            return 0.0
+        return self.time_lag[job][stage]

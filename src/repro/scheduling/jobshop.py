@@ -1,0 +1,293 @@
+"""Job shop decoders.
+
+The survey's Section III.A distinguishes *direct* chromosome representations
+(a feasible schedule encoded directly) and *indirect* ones (dispatching
+rules).  The workhorse direct representation for the JSSP is the
+*permutation with repetition* (operation-based) encoding: a string over job
+indices where the k-th occurrence of job j denotes its k-th operation.
+Decoders here:
+
+* :func:`decode_operation_sequence` -- semi-active schedule builder (each
+  operation starts as early as machine and job availability allow),
+* :func:`giffler_thompson` -- active-schedule builder with a pluggable
+  priority rule (the "G&T algorithm" referenced for Mui et al. [17] and
+  Lin et al. [21]),
+* :func:`decode_blocking` -- blocking job shop (no intermediate buffers,
+  AitZai et al. [14][15]): a job holds its machine until the next machine
+  in its routing becomes free,
+* :func:`priority_rule_schedule` -- indirect decoding via dispatching rules.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .instance import JobShopInstance
+from .schedule import Operation, Schedule
+
+__all__ = [
+    "decode_operation_sequence",
+    "operation_sequence_makespan",
+    "giffler_thompson",
+    "decode_blocking",
+    "priority_rule_schedule",
+    "DISPATCH_RULES",
+]
+
+
+def _validate_op_sequence(instance: JobShopInstance, seq: np.ndarray) -> None:
+    counts = np.bincount(seq, minlength=instance.n_jobs)
+    if seq.size != instance.n_jobs * instance.n_stages or \
+            (counts != instance.n_stages).any():
+        raise ValueError(
+            "operation sequence must contain each job exactly n_stages times")
+
+
+def decode_operation_sequence(instance: JobShopInstance,
+                              sequence: np.ndarray,
+                              validate: bool = False) -> Schedule:
+    """Semi-active decoding of a permutation-with-repetition chromosome.
+
+    Scans the gene string left to right; the k-th occurrence of job ``j``
+    schedules operation ``(j, k)`` on its routed machine at
+    ``max(job_ready, machine_ready, release)``.
+    """
+    seq = np.asarray(sequence, dtype=np.int64)
+    if validate:
+        _validate_op_sequence(instance, seq)
+    n, g = instance.n_jobs, instance.n_stages
+    job_ready = instance.release.copy()
+    mach_ready = np.zeros(instance.n_machines)
+    next_stage = np.zeros(n, dtype=np.int64)
+    ops: list[Operation] = []
+    for job in seq:
+        s = next_stage[job]
+        mach = instance.routing[job, s]
+        dur = instance.processing[job, s]
+        start = max(job_ready[job], mach_ready[mach])
+        end = start + dur
+        ops.append(Operation(int(job), int(s), int(mach), float(start), float(end)))
+        job_ready[job] = end
+        mach_ready[mach] = end
+        next_stage[job] += 1
+    return Schedule(ops, n, instance.n_machines)
+
+
+def operation_sequence_makespan(instance: JobShopInstance,
+                                sequence: np.ndarray) -> float:
+    """Makespan of a permutation-with-repetition chromosome (no Schedule).
+
+    Fast path used by fitness evaluation: avoids building Operation objects.
+    """
+    seq = np.asarray(sequence, dtype=np.int64)
+    job_ready = instance.release.copy()
+    mach_ready = np.zeros(instance.n_machines)
+    next_stage = np.zeros(instance.n_jobs, dtype=np.int64)
+    routing, processing = instance.routing, instance.processing
+    cmax = 0.0
+    for job in seq:
+        s = next_stage[job]
+        mach = routing[job, s]
+        start = job_ready[job]
+        mr = mach_ready[mach]
+        if mr > start:
+            start = mr
+        end = start + processing[job, s]
+        job_ready[job] = end
+        mach_ready[mach] = end
+        next_stage[job] = s + 1
+        if end > cmax:
+            cmax = end
+    return float(cmax)
+
+
+# ---------------------------------------------------------------------------
+# Giffler & Thompson active schedule generation
+# ---------------------------------------------------------------------------
+
+def giffler_thompson(instance: JobShopInstance,
+                     priority: Callable[[int, int], float] | np.ndarray,
+                     ) -> Schedule:
+    """Giffler-Thompson active-schedule construction.
+
+    At each step the operation with the earliest possible completion defines
+    a *conflict set* (operations on the same machine that would start before
+    that completion); ``priority`` breaks the tie.  ``priority`` is either a
+    callable ``(job, stage) -> float`` (smaller wins) or a flat array of
+    priorities indexed by ``job * n_stages + stage`` (the GA passes random
+    keys here, which makes every chromosome decode to an *active* schedule
+    -- the construction behind the "prior-rule active schedules" of Mui et
+    al. [17]).
+    """
+    n, g = instance.n_jobs, instance.n_stages
+    if isinstance(priority, np.ndarray):
+        prio_arr = np.asarray(priority, dtype=float)
+
+        def prio(job: int, stage: int) -> float:
+            return float(prio_arr[job * g + stage])
+    else:
+        prio = priority
+
+    job_ready = instance.release.copy()
+    mach_ready = np.zeros(instance.n_machines)
+    next_stage = np.zeros(n, dtype=np.int64)
+    ops: list[Operation] = []
+    remaining = n * g
+    while remaining:
+        # earliest completion among all schedulable operations
+        best_c, best_mach = np.inf, -1
+        for j in range(n):
+            s = next_stage[j]
+            if s >= g:
+                continue
+            mach = instance.routing[j, s]
+            est = max(job_ready[j], mach_ready[mach])
+            c = est + instance.processing[j, s]
+            if c < best_c:
+                best_c, best_mach = c, mach
+        # conflict set: ops on best_mach starting strictly before best_c
+        conflict: list[tuple[float, int, int]] = []
+        for j in range(n):
+            s = next_stage[j]
+            if s >= g or instance.routing[j, s] != best_mach:
+                continue
+            est = max(job_ready[j], mach_ready[best_mach])
+            if est < best_c:
+                conflict.append((prio(j, int(s)), j, int(s)))
+        _, job, s = min(conflict)
+        start = max(job_ready[job], mach_ready[best_mach])
+        end = start + instance.processing[job, s]
+        ops.append(Operation(job, s, int(best_mach), float(start), float(end)))
+        job_ready[job] = end
+        mach_ready[best_mach] = end
+        next_stage[job] += 1
+        remaining -= 1
+    return Schedule(ops, n, instance.n_machines)
+
+
+# ---------------------------------------------------------------------------
+# Blocking job shop (AitZai et al. [14][15])
+# ---------------------------------------------------------------------------
+
+def decode_blocking(instance: JobShopInstance,
+                    sequence: np.ndarray) -> Schedule:
+    """Decode an operation sequence under *blocking* constraints.
+
+    With no intermediate storage a job, once finished on machine ``a``,
+    occupies ``a`` until the next machine of its routing starts processing
+    it.  We schedule operations in chromosome order; each machine records
+    when it is truly *freed* (successor started), not merely when processing
+    ended.  This greedy decoder never deadlocks because operations are
+    placed in a fixed total order and the freed-time of a machine is
+    resolved retroactively when the blocking successor is placed.
+    """
+    seq = np.asarray(sequence, dtype=np.int64)
+    n, g = instance.n_jobs, instance.n_stages
+    job_ready = instance.release.copy()
+    mach_free = np.zeros(instance.n_machines)   # time machine is vacated
+    next_stage = np.zeros(n, dtype=np.int64)
+    # pending[j] = (machine, end) of job j's previous op, still blocking
+    pending: dict[int, tuple[int, float]] = {}
+    ops: list[Operation] = []
+    for job in seq:
+        s = int(next_stage[job])
+        mach = int(instance.routing[job, s])
+        dur = float(instance.processing[job, s])
+        start = max(job_ready[job], mach_free[mach])
+        end = start + dur
+        # the previous machine of this job is vacated the moment we start
+        if job in pending:
+            prev_mach, _prev_end = pending.pop(job)
+            if start > mach_free[prev_mach]:
+                mach_free[prev_mach] = start
+        ops.append(Operation(int(job), s, mach, start, end))
+        job_ready[job] = end
+        # machine stays blocked at least until processing ends; if a later
+        # stage exists the real free time is set when the successor starts
+        mach_free[mach] = end
+        if s + 1 < g:
+            pending[job] = (mach, end)
+        next_stage[job] += 1
+    return Schedule(ops, n, instance.n_machines)
+
+
+# ---------------------------------------------------------------------------
+# Dispatching rules (indirect representation)
+# ---------------------------------------------------------------------------
+
+def _spt(instance, j, s, t):
+    return instance.processing[j, s]
+
+
+def _lpt(instance, j, s, t):
+    return -instance.processing[j, s]
+
+
+def _mwr(instance, j, s, t):
+    return -instance.processing[j, s:].sum()
+
+
+def _lwr(instance, j, s, t):
+    return instance.processing[j, s:].sum()
+
+
+def _fifo(instance, j, s, t):
+    return t[j]
+
+
+def _edd(instance, j, s, t):
+    return instance.due[j]
+
+
+DISPATCH_RULES: dict[str, Callable] = {
+    "SPT": _spt,    # shortest processing time
+    "LPT": _lpt,    # longest processing time
+    "MWR": _mwr,    # most work remaining
+    "LWR": _lwr,    # least work remaining
+    "FIFO": _fifo,  # first in first out (by job-ready time)
+    "EDD": _edd,    # earliest due date
+}
+
+
+def priority_rule_schedule(instance: JobShopInstance,
+                           rules: Sequence[str]) -> Schedule:
+    """Indirect decoding: gene k names the dispatching rule used at step k.
+
+    This is the survey's "indirect way" for job shops: "the chromosome ...
+    shows a sequence of dispatching rules for job assignment" [12].  At each
+    of the ``n*g`` construction steps the next schedulable operation is
+    chosen by the rule named by the current gene (ties broken by job id).
+    """
+    n, g = instance.n_jobs, instance.n_stages
+    if len(rules) != n * g:
+        raise ValueError("need one rule gene per operation")
+    for r in rules:
+        if r not in DISPATCH_RULES:
+            raise ValueError(f"unknown dispatching rule {r!r}")
+    job_ready = instance.release.copy()
+    mach_ready = np.zeros(instance.n_machines)
+    next_stage = np.zeros(n, dtype=np.int64)
+    ops: list[Operation] = []
+    for step in range(n * g):
+        rule = DISPATCH_RULES[rules[step]]
+        # candidates: next operation of each unfinished job
+        best_key, best_j = None, -1
+        for j in range(n):
+            s = next_stage[j]
+            if s >= g:
+                continue
+            key = (rule(instance, j, int(s), job_ready), j)
+            if best_key is None or key < best_key:
+                best_key, best_j = key, j
+        j = best_j
+        s = int(next_stage[j])
+        mach = int(instance.routing[j, s])
+        start = max(job_ready[j], mach_ready[mach])
+        end = start + float(instance.processing[j, s])
+        ops.append(Operation(j, s, mach, start, end))
+        job_ready[j] = end
+        mach_ready[mach] = end
+        next_stage[j] += 1
+    return Schedule(ops, n, instance.n_machines)

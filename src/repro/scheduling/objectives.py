@@ -1,0 +1,136 @@
+"""Optimality criteria from Section II of the survey.
+
+Given a feasible schedule we can compute per job ``C_j`` (completion),
+``T_j = max(0, C_j - D_j)`` (tardiness) and ``U_j = 1 if C_j > D_j else 0``
+(unit penalty).  The survey lists the common minimisation criteria:
+
+* ``Cmax``  -- makespan,
+* ``SumWC`` -- sum of weighted completion times,
+* ``SumWT`` -- sum of weighted tardiness,
+* ``SumWU`` -- sum of weighted unit penalties,
+
+"or any combination among them" -- provided by :class:`WeightedCombination`.
+Objectives are callables ``objective(schedule, instance) -> float`` and are
+always minimised.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, Sequence
+
+import numpy as np
+
+from .instance import ShopInstance
+from .schedule import Schedule
+
+__all__ = [
+    "Objective",
+    "Makespan",
+    "TotalWeightedCompletion",
+    "TotalWeightedTardiness",
+    "TotalWeightedUnitPenalty",
+    "MaximumTardiness",
+    "TotalFlowTime",
+    "WeightedCombination",
+    "tardiness",
+    "unit_penalties",
+]
+
+
+class Objective(Protocol):
+    """Minimised scalar criterion over a decoded schedule."""
+
+    name: str
+
+    def __call__(self, schedule: Schedule, instance: ShopInstance) -> float:
+        ...  # pragma: no cover
+
+
+def tardiness(schedule: Schedule, instance: ShopInstance) -> np.ndarray:
+    """``T_j = max(0, C_j - D_j)`` per job."""
+    due = np.where(np.isinf(instance.due), np.inf, instance.due)
+    return np.maximum(schedule.completion_times - due, 0.0)
+
+
+def unit_penalties(schedule: Schedule, instance: ShopInstance) -> np.ndarray:
+    """``U_j = 1`` iff job j is late."""
+    return (schedule.completion_times > instance.due).astype(float)
+
+
+class Makespan:
+    """``C_max`` -- the dominant criterion in the surveyed papers."""
+
+    name = "makespan"
+
+    def __call__(self, schedule: Schedule, instance: ShopInstance) -> float:
+        return schedule.makespan
+
+
+class TotalWeightedCompletion:
+    """``sum w_j C_j`` (Bozejko & Wodecki [31])."""
+
+    name = "total_weighted_completion"
+
+    def __call__(self, schedule: Schedule, instance: ShopInstance) -> float:
+        return float(np.dot(instance.weights, schedule.completion_times))
+
+
+class TotalWeightedTardiness:
+    """``sum w_j T_j``."""
+
+    name = "total_weighted_tardiness"
+
+    def __call__(self, schedule: Schedule, instance: ShopInstance) -> float:
+        t = tardiness(schedule, instance)
+        finite = np.isfinite(t)
+        return float(np.dot(instance.weights[finite], t[finite]))
+
+
+class TotalWeightedUnitPenalty:
+    """``sum w_j U_j`` (number of weighted late jobs)."""
+
+    name = "total_weighted_unit_penalty"
+
+    def __call__(self, schedule: Schedule, instance: ShopInstance) -> float:
+        return float(np.dot(instance.weights, unit_penalties(schedule, instance)))
+
+
+class MaximumTardiness:
+    """``T_max`` -- second criterion of Rashidi et al. [38]."""
+
+    name = "maximum_tardiness"
+
+    def __call__(self, schedule: Schedule, instance: ShopInstance) -> float:
+        t = tardiness(schedule, instance)
+        finite = t[np.isfinite(t)]
+        return float(finite.max()) if finite.size else 0.0
+
+
+class TotalFlowTime:
+    """``sum (C_j - R_j)``: unweighted flow time."""
+
+    name = "total_flow_time"
+
+    def __call__(self, schedule: Schedule, instance: ShopInstance) -> float:
+        return float(np.sum(schedule.completion_times - instance.release))
+
+
+class WeightedCombination:
+    """Convex/linear combination of criteria ("any combination among them").
+
+    Rashidi et al. [38] scalarise (makespan, max tardiness) with per-island
+    weight pairs; this class is the scalarisation they use.
+    """
+
+    def __init__(self, parts: Sequence[tuple[float, Objective]]):
+        if not parts:
+            raise ValueError("at least one (weight, objective) pair required")
+        self.parts = [(float(w), obj) for w, obj in parts]
+        self.name = "+".join(f"{w:g}*{obj.name}" for w, obj in self.parts)
+
+    def __call__(self, schedule: Schedule, instance: ShopInstance) -> float:
+        return float(sum(w * obj(schedule, instance) for w, obj in self.parts))
+
+    def vector(self, schedule: Schedule, instance: ShopInstance) -> tuple[float, ...]:
+        """The un-scalarised objective vector (for Pareto archiving)."""
+        return tuple(obj(schedule, instance) for _, obj in self.parts)

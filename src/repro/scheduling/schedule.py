@@ -1,0 +1,215 @@
+"""Schedules: decoded solutions with a feasibility audit and Gantt rendering.
+
+A :class:`Schedule` is a list of placed operations ``(job, stage, machine,
+start, end)`` plus per-job completion times.  The :meth:`Schedule.audit`
+method re-checks every condition of Table I of the survey against the raw
+instance data -- the property-based tests use it as the oracle that decoders
+can never produce overlapping or precedence-violating schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .instance import (FlexibleJobShopInstance, JobShopInstance, ShopInstance)
+
+__all__ = ["Operation", "Schedule", "FeasibilityError"]
+
+
+class FeasibilityError(ValueError):
+    """Raised by :meth:`Schedule.audit` when a Table-I condition is violated."""
+
+
+@dataclass(frozen=True, slots=True)
+class Operation:
+    """One placed operation ``(j, s, m)`` with its time window."""
+
+    job: int
+    stage: int
+    machine: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Schedule:
+    """A fully decoded schedule.
+
+    Parameters
+    ----------
+    operations:
+        placed operations in any order.
+    n_jobs, n_machines:
+        dimensions (kept explicit so empty machines still render).
+    """
+
+    def __init__(self, operations: Iterable[Operation], n_jobs: int,
+                 n_machines: int):
+        self.operations: list[Operation] = sorted(
+            operations, key=lambda op: (op.machine, op.start, op.job))
+        self.n_jobs = n_jobs
+        self.n_machines = n_machines
+        self._completion: np.ndarray | None = None
+
+    # -- derived quantities --------------------------------------------------
+    @property
+    def completion_times(self) -> np.ndarray:
+        """``C_j`` per job (0 for jobs with no operations)."""
+        if self._completion is None:
+            comp = np.zeros(self.n_jobs)
+            for op in self.operations:
+                if op.end > comp[op.job]:
+                    comp[op.job] = op.end
+            self._completion = comp
+        return self._completion
+
+    @property
+    def makespan(self) -> float:
+        """``C_max``: completion time of the last operation."""
+        if not self.operations:
+            return 0.0
+        return float(max(op.end for op in self.operations))
+
+    def machine_sequences(self) -> list[list[Operation]]:
+        """Operations per machine, sorted by start time."""
+        seqs: list[list[Operation]] = [[] for _ in range(self.n_machines)]
+        for op in self.operations:
+            seqs[op.machine].append(op)
+        for seq in seqs:
+            seq.sort(key=lambda op: op.start)
+        return seqs
+
+    def job_sequences(self) -> list[list[Operation]]:
+        """Operations per job, sorted by stage."""
+        seqs: list[list[Operation]] = [[] for _ in range(self.n_jobs)]
+        for op in self.operations:
+            seqs[op.job].append(op)
+        for seq in seqs:
+            seq.sort(key=lambda op: op.stage)
+        return seqs
+
+    def idle_time(self) -> float:
+        """Total machine idle time inside the busy horizon (energy models)."""
+        total = 0.0
+        for seq in self.machine_sequences():
+            if not seq:
+                continue
+            prev_end = seq[0].start
+            for op in seq:
+                if op.start > prev_end:
+                    total += op.start - prev_end
+                prev_end = max(prev_end, op.end)
+        return total
+
+    # -- feasibility audit -----------------------------------------------------
+    def audit(self, instance: ShopInstance, *, tol: float = 1e-9) -> None:
+        """Re-verify Table-I feasibility conditions against ``instance``.
+
+        Checks (raising :class:`FeasibilityError` on the first violation):
+
+        1. machine capacity -- no overlapping operations on any machine,
+        2. job linearity -- a job never runs two operations simultaneously
+           and stages execute in increasing order where the instance imposes
+           a routing,
+        3. release times -- no operation starts before its job's release,
+        4. durations -- every placed duration matches the instance data
+           (only where the instance exposes a deterministic duration).
+        """
+        # 1. machine capacity
+        for m, seq in enumerate(self.machine_sequences()):
+            for a, b in zip(seq, seq[1:]):
+                if b.start < a.end - tol:
+                    raise FeasibilityError(
+                        f"machine {m}: operations {a} and {b} overlap")
+        # 2 & 3. job linearity, stage order, release dates
+        release = instance.release
+        for j, seq in enumerate(self.job_sequences()):
+            ordered = sorted(seq, key=lambda op: op.start)
+            for a, b in zip(ordered, ordered[1:]):
+                if b.start < a.end - tol:
+                    raise FeasibilityError(
+                        f"job {j}: operations {a} and {b} overlap in time")
+            for op in seq:
+                if op.start < release[j] - tol:
+                    raise FeasibilityError(
+                        f"job {j}: operation starts before release "
+                        f"{release[j]}: {op}")
+            stages = [op.stage for op in ordered]
+            if stages != sorted(stages):
+                raise FeasibilityError(
+                    f"job {j}: stages execute out of order: {stages}")
+        # 4. durations where checkable
+        self._audit_durations(instance, tol)
+
+    def _audit_durations(self, instance: ShopInstance, tol: float) -> None:
+        if isinstance(instance, JobShopInstance):
+            for op in self.operations:
+                expected_mach = int(instance.routing[op.job, op.stage])
+                expected_dur = float(instance.processing[op.job, op.stage])
+                if op.machine != expected_mach:
+                    raise FeasibilityError(
+                        f"{op}: wrong machine (routing says {expected_mach})")
+                if abs(op.duration - expected_dur) > tol:
+                    raise FeasibilityError(
+                        f"{op}: wrong duration (instance says {expected_dur})")
+        elif isinstance(instance, FlexibleJobShopInstance):
+            for op in self.operations:
+                alts = instance.operations[op.job][op.stage]
+                if op.machine not in alts:
+                    raise FeasibilityError(f"{op}: ineligible machine")
+                # setups may extend occupation; duration must be >= processing
+                if op.duration < alts[op.machine] - tol:
+                    raise FeasibilityError(
+                        f"{op}: shorter than processing time {alts[op.machine]}")
+        elif hasattr(instance, "processing") and np.ndim(
+                getattr(instance, "processing")) == 2 and not hasattr(
+                instance, "machines_per_stage"):
+            # flow shop / open shop exact-duration check
+            for op in self.operations:
+                p = instance.processing
+                if isinstance(instance, JobShopInstance):  # pragma: no cover
+                    continue
+                # flow shop: stage == machine; open shop: machine column
+                col = op.machine
+                expected = float(p[op.job, col])
+                if abs(op.duration - expected) > tol:
+                    raise FeasibilityError(
+                        f"{op}: wrong duration (instance says {expected})")
+
+    def is_feasible(self, instance: ShopInstance) -> bool:
+        """Boolean wrapper over :meth:`audit`."""
+        try:
+            self.audit(instance)
+        except FeasibilityError:
+            return False
+        return True
+
+    # -- rendering ---------------------------------------------------------------
+    def gantt(self, width: int = 78) -> str:
+        """ASCII Gantt chart, one row per machine (for examples/debugging)."""
+        horizon = self.makespan
+        if horizon == 0:
+            return "(empty schedule)"
+        scale = (width - 6) / horizon
+        lines = []
+        for m, seq in enumerate(self.machine_sequences()):
+            row = [" "] * (width - 6)
+            for op in seq:
+                lo = int(op.start * scale)
+                hi = max(lo + 1, int(op.end * scale))
+                label = str(op.job % 10)
+                for c in range(lo, min(hi, len(row))):
+                    row[c] = label
+            lines.append(f"M{m:>3} |" + "".join(row))
+        lines.append(f"Cmax = {horizon:g}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Schedule(n_ops={len(self.operations)}, "
+                f"makespan={self.makespan:g})")

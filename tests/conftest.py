@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.encodings import (FlowShopPermutationEncoding,
+                             OperationBasedEncoding, Problem)
+from repro.instances import FT06, flow_shop, job_shop, open_shop
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def ft06():
+    """Fresh copy of the embedded Fisher-Thompson 6x6 instance."""
+    from repro.instances import get_instance
+    return get_instance("ft06")
+
+
+@pytest.fixture
+def small_flowshop():
+    return flow_shop(6, 3, seed=11)
+
+
+@pytest.fixture
+def small_jobshop():
+    return job_shop(5, 3, seed=12)
+
+
+@pytest.fixture
+def small_openshop():
+    return open_shop(4, 3, seed=13)
+
+
+@pytest.fixture
+def ft06_problem(ft06):
+    return Problem(OperationBasedEncoding(ft06))
+
+
+@pytest.fixture
+def flowshop_problem(small_flowshop):
+    return Problem(FlowShopPermutationEncoding(small_flowshop))

@@ -1,0 +1,103 @@
+"""Tests for the Eq. (1)/(2) fitness transforms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fitness import (HeuristicOffsetFitness, NegationFitness,
+                                RankFitness, ReciprocalFitness, apply_fitness)
+from repro.core.individual import Individual
+
+positive_objectives = st.lists(
+    st.floats(min_value=1.0, max_value=1e6, allow_nan=False),
+    min_size=2, max_size=30)
+
+
+class TestHeuristicOffset:
+    def test_equation_one_with_reference(self):
+        fit = HeuristicOffsetFitness(reference=100.0)
+        out = fit(np.array([40.0, 120.0]))
+        assert out[0] == 60.0
+        assert out[1] == 0.0  # clamped at zero per Eq. (1)
+
+    def test_adaptive_reference_strictly_positive(self):
+        fit = HeuristicOffsetFitness()
+        out = fit(np.array([10.0, 20.0, 30.0]))
+        assert (out > 0).all()
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            HeuristicOffsetFitness(reference=-1.0)
+        with pytest.raises(ValueError):
+            HeuristicOffsetFitness(margin=-0.1)
+
+    @given(positive_objectives)
+    @settings(max_examples=30, deadline=None)
+    def test_order_reversal(self, objs):
+        """Smaller objective (better) must map to larger-or-equal fitness.
+
+        Tolerance covers the subtraction's floating-point cancellation on
+        nearly identical objectives.
+        """
+        arr = np.asarray(objs)
+        fit = HeuristicOffsetFitness()(arr)
+        tol = 1e-9 * max(1.0, arr.max())
+        for i in range(arr.size):
+            for j in range(arr.size):
+                if arr[i] < arr[j] - tol:
+                    assert fit[i] >= fit[j] - tol
+
+
+class TestReciprocal:
+    def test_equation_two(self):
+        out = ReciprocalFitness(epsilon=0.0)(np.array([2.0, 4.0]))
+        assert np.allclose(out, [0.5, 0.25])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ReciprocalFitness()(np.array([-1.0]))
+
+    @given(positive_objectives)
+    @settings(max_examples=30, deadline=None)
+    def test_strictly_decreasing(self, objs):
+        arr = np.asarray(objs)
+        fit = ReciprocalFitness()(arr)
+        idx = np.argsort(arr)
+        assert np.all(np.diff(fit[idx]) <= 1e-12)
+
+
+class TestRank:
+    def test_best_gets_n(self):
+        out = RankFitness()(np.array([3.0, 1.0, 2.0]))
+        assert out[1] == 3.0  # best
+        assert out[0] == 1.0  # worst
+
+    def test_ties_share_mean(self):
+        out = RankFitness()(np.array([1.0, 1.0, 5.0]))
+        assert out[0] == out[1]
+        assert out[0] == pytest.approx(2.5)
+
+    def test_scale_free(self):
+        a = RankFitness()(np.array([1.0, 2.0, 3.0]))
+        b = RankFitness()(np.array([10.0, 20.0, 30.0]))
+        assert np.array_equal(a, b)
+
+
+class TestNegation:
+    def test_negates(self):
+        out = NegationFitness()(np.array([2.0, -3.0]))
+        assert np.array_equal(out, [-2.0, 3.0])
+
+
+class TestApplyFitness:
+    def test_fills_in_place(self):
+        pop = [Individual(np.array([i]), objective=float(i + 1))
+               for i in range(3)]
+        apply_fitness(pop, ReciprocalFitness(epsilon=0.0))
+        assert pop[0].fitness == pytest.approx(1.0)
+        assert pop[2].fitness == pytest.approx(1 / 3)
+
+    def test_raises_on_unevaluated(self):
+        with pytest.raises(ValueError):
+            apply_fitness([Individual(np.array([0]))], RankFitness())

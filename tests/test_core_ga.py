@@ -1,0 +1,136 @@
+"""Tests for the SimpleGA engine (Table II)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (GAConfig, HistoryRecorder, MaxEvaluations,
+                        MaxGenerations, SimpleGA, Stagnation, TargetObjective)
+from repro.encodings import OperationBasedEncoding, Problem
+from repro.instances import FT06_OPTIMUM, get_instance
+
+
+class TestGAConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GAConfig(population_size=1)
+        with pytest.raises(ValueError):
+            GAConfig(crossover_rate=1.5)
+        with pytest.raises(ValueError):
+            GAConfig(n_elites=100, population_size=10)
+
+    def test_resolved_fills_defaults(self, ft06_problem):
+        cfg = GAConfig().resolved(ft06_problem)
+        assert cfg.selection is not None
+        assert cfg.crossover is not None
+        assert cfg.mutation is not None
+        assert cfg.fitness_transform is not None
+
+
+class TestSimpleGARun:
+    def test_deterministic_given_seed(self, ft06_problem):
+        r1 = SimpleGA(ft06_problem, GAConfig(population_size=20),
+                      MaxGenerations(8), seed=5).run()
+        r2 = SimpleGA(ft06_problem, GAConfig(population_size=20),
+                      MaxGenerations(8), seed=5).run()
+        assert r1.best_objective == r2.best_objective
+        assert np.array_equal(r1.best.genome, r2.best.genome)
+
+    def test_different_seeds_explore_differently(self, ft06_problem):
+        runs = {SimpleGA(ft06_problem, GAConfig(population_size=20),
+                         MaxGenerations(5), seed=s).run().best_objective
+                for s in range(5)}
+        assert len(runs) > 1
+
+    def test_improves_over_random(self, ft06_problem):
+        ga = SimpleGA(ft06_problem, GAConfig(population_size=30),
+                      MaxGenerations(30), seed=1)
+        initial = ga.initialize().best().objective
+        result = ga.run()
+        assert result.best_objective <= initial
+
+    def test_finds_ft06_optimum_eventually(self, ft06_problem):
+        result = SimpleGA(ft06_problem, GAConfig(population_size=60),
+                          MaxGenerations(60), seed=42).run()
+        assert result.best_objective <= FT06_OPTIMUM + 3
+
+    def test_history_recorded_every_generation(self, ft06_problem):
+        result = SimpleGA(ft06_problem, GAConfig(population_size=10),
+                          MaxGenerations(7), seed=0).run()
+        # one record for initialisation + one per generation
+        assert len(result.history.records) == 8
+        assert result.generations == 7
+
+    def test_monotone_best_with_elitism(self, ft06_problem):
+        result = SimpleGA(ft06_problem,
+                          GAConfig(population_size=20, n_elites=2),
+                          MaxGenerations(15), seed=3).run()
+        curve = result.history.best_curve()
+        assert np.all(np.diff(curve) <= 0)
+        # raw per-generation best never worse than the elite carried over
+        raw = np.array([r.best for r in result.history.records])
+        assert np.all(np.diff(np.minimum.accumulate(raw)) <= 0)
+
+    def test_evaluation_budget_respected(self, ft06_problem):
+        result = SimpleGA(ft06_problem, GAConfig(population_size=10),
+                          MaxEvaluations(55), seed=0).run()
+        # stops at the first generation boundary past the budget
+        assert result.evaluations >= 55
+        assert result.evaluations <= 55 + 10
+
+    def test_target_objective_stops_early(self, ft06_problem):
+        result = SimpleGA(ft06_problem, GAConfig(population_size=40),
+                          TargetObjective(80) | MaxGenerations(100),
+                          seed=42).run()
+        assert (result.best_objective <= 80
+                or result.generations == 100)
+
+    def test_stagnation_terminates(self, ft06_problem):
+        result = SimpleGA(ft06_problem, GAConfig(population_size=10),
+                          Stagnation(5) | MaxGenerations(500), seed=0).run()
+        assert result.generations < 500
+
+    def test_immigration_rate_adds_randoms(self, ft06_problem):
+        cfg = GAConfig(population_size=20, immigration_rate=0.3)
+        ga = SimpleGA(ft06_problem, cfg, MaxGenerations(3), seed=2)
+        ga.initialize()
+        offspring = ga.make_offspring(ga.population, 20)
+        assert len(offspring) == 20
+
+    def test_custom_evaluator_seam(self, ft06_problem):
+        calls = []
+
+        def evaluator(genomes):
+            calls.append(len(genomes))
+            return ft06_problem.evaluate_many(genomes)
+
+        result = SimpleGA(ft06_problem, GAConfig(population_size=10),
+                          MaxGenerations(2), seed=0,
+                          evaluator=evaluator).run()
+        assert sum(calls) == result.evaluations
+
+    def test_result_fields(self, ft06_problem):
+        result = SimpleGA(ft06_problem, GAConfig(population_size=10),
+                          MaxGenerations(2), seed=0).run()
+        assert result.termination_reason.startswith("max generations")
+        assert result.elapsed >= 0
+        assert len(result.population) == 10
+
+
+class TestHistoryRecorder:
+    def test_generations_to_reach(self, ft06_problem):
+        result = SimpleGA(ft06_problem, GAConfig(population_size=30),
+                          MaxGenerations(20), seed=42).run()
+        hist = result.history
+        gen = hist.generations_to_reach(hist.final_best())
+        assert gen is not None
+        assert hist.generations_to_reach(0.0) is None
+
+    def test_convergence_auc_decreases_with_progress(self, ft06_problem):
+        long = SimpleGA(ft06_problem, GAConfig(population_size=30),
+                        MaxGenerations(25), seed=42).run()
+        auc = long.history.convergence_auc()
+        assert 0 < auc <= 1.0
+
+    def test_empty_history_raises(self):
+        with pytest.raises(ValueError):
+            HistoryRecorder().final_best()

@@ -1,0 +1,88 @@
+"""Tests for repro.core.rng: deterministic stream management."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rng import (RngStream, derive_rng, make_rng,
+                            random_permutation, spawn_rngs, spawn_seeds)
+
+
+class TestMakeRng:
+    def test_int_seed_reproducible(self):
+        a = make_rng(7).random(5)
+        b = make_rng(7).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(make_rng(1).random(8), make_rng(2).random(8))
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(0)
+        assert make_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSpawning:
+    def test_spawn_count(self):
+        assert len(spawn_rngs(3, 5)) == 5
+        assert len(spawn_seeds(3, 4)) == 4
+
+    def test_children_reproducible(self):
+        a = [g.random(3) for g in spawn_rngs(42, 3)]
+        b = [g.random(3) for g in spawn_rngs(42, 3)]
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_children_independent(self):
+        children = spawn_rngs(42, 3)
+        draws = [g.random(16) for g in children]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_derive_rng_changes_parent_state(self):
+        parent = make_rng(5)
+        before = parent.bit_generator.state["state"]["state"]
+        derive_rng(parent)
+        after = parent.bit_generator.state["state"]["state"]
+        assert before != after
+
+    def test_derive_rng_deterministic(self):
+        a = derive_rng(make_rng(5)).random(4)
+        b = derive_rng(make_rng(5)).random(4)
+        assert np.array_equal(a, b)
+
+
+class TestRngStream:
+    def test_stream_reproducible(self):
+        s1 = RngStream(9)
+        s2 = RngStream(9)
+        assert np.array_equal(s1.take().random(4), s2.take().random(4))
+
+    def test_stream_distinct_members(self):
+        s = RngStream(9)
+        a, b = s.take(), s.take()
+        assert not np.array_equal(a.random(16), b.random(16))
+
+    def test_take_many(self):
+        s = RngStream(1)
+        gens = s.take_many(4)
+        assert len(gens) == 4
+        draws = [g.random(8).tolist() for g in gens]
+        assert len({tuple(d) for d in draws}) == 4
+
+    def test_iteration_protocol(self):
+        s = RngStream(2)
+        first = next(iter(s))
+        assert isinstance(first, np.random.Generator)
+
+
+@given(st.integers(min_value=0, max_value=50))
+@settings(max_examples=25, deadline=None)
+def test_random_permutation_is_permutation(n):
+    perm = random_permutation(np.random.default_rng(0), n)
+    assert np.array_equal(np.sort(perm), np.arange(n))
+    assert perm.dtype == np.int64

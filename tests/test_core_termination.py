@@ -1,0 +1,125 @@
+"""Tests for termination criteria."""
+
+import pytest
+
+from repro.core.termination import (AllOf, AnyOf, MaxEvaluations,
+                                    MaxGenerations, Stagnation,
+                                    TargetObjective, TerminationState,
+                                    TimeLimit)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+def make_state():
+    return TerminationState(clock=FakeClock())
+
+
+class TestMaxGenerations:
+    def test_fires_at_limit(self):
+        crit = MaxGenerations(3)
+        state = make_state()
+        assert not crit.done(state)
+        state.generation = 3
+        assert crit.done(state)
+
+    def test_zero_fires_immediately(self):
+        assert MaxGenerations(0).done(make_state())
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MaxGenerations(-1)
+
+    def test_reason_mentions_limit(self):
+        assert "3" in MaxGenerations(3).reason()
+
+
+class TestMaxEvaluations:
+    def test_fires_at_budget(self):
+        crit = MaxEvaluations(100)
+        state = make_state()
+        state.evaluations = 99
+        assert not crit.done(state)
+        state.evaluations = 100
+        assert crit.done(state)
+
+
+class TestTimeLimit:
+    def test_uses_clock(self):
+        state = make_state()
+        crit = TimeLimit(10.0)
+        assert not crit.done(state)
+        state.clock.t = 10.5
+        assert crit.done(state)
+
+    def test_elapsed(self):
+        state = make_state()
+        state.clock.t = 2.5
+        assert state.elapsed() == 2.5
+
+
+class TestTargetObjective:
+    def test_fires_when_reached(self):
+        crit = TargetObjective(55.0)
+        state = make_state()
+        assert not crit.done(state)  # no best yet
+        state.record_best(60.0)
+        assert not crit.done(state)
+        state.record_best(55.0)
+        assert crit.done(state)
+
+
+class TestStagnation:
+    def test_fires_after_window(self):
+        crit = Stagnation(5)
+        state = make_state()
+        state.record_best(10.0)
+        state.generation = 4
+        assert not crit.done(state)
+        state.generation = 5
+        assert crit.done(state)
+
+    def test_improvement_resets(self):
+        crit = Stagnation(5)
+        state = make_state()
+        state.record_best(10.0)
+        state.generation = 4
+        state.record_best(9.0)  # improvement at generation 4
+        state.generation = 8
+        assert not crit.done(state)
+
+    def test_worse_value_does_not_reset(self):
+        state = make_state()
+        state.record_best(10.0)
+        state.generation = 3
+        state.record_best(11.0)
+        assert state.best_generation == 0
+        assert state.best_objective == 10.0
+
+
+class TestComposition:
+    def test_any_of(self):
+        crit = MaxGenerations(100) | MaxEvaluations(10)
+        state = make_state()
+        state.evaluations = 10
+        assert crit.done(state)
+        assert "10" in crit.reason()
+
+    def test_all_of(self):
+        crit = MaxGenerations(2) & MaxEvaluations(10)
+        state = make_state()
+        state.generation = 5
+        assert not crit.done(state)
+        state.evaluations = 10
+        assert crit.done(state)
+
+    def test_empty_composition_rejected(self):
+        with pytest.raises(ValueError):
+            AnyOf()
+        with pytest.raises(ValueError):
+            AllOf()

@@ -1,0 +1,106 @@
+"""Tests for the experiment harness, registry and CLI."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.experiments import (EXPERIMENTS, SCALES, ExperimentResult,
+                               format_table, run_experiment)
+from repro.experiments.harness import relative_improvement, repeat_seeds
+
+
+class TestHarness:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}]
+        table = format_table(rows)
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(empty)"
+
+    def test_scales_registered(self):
+        assert set(SCALES) == {"smoke", "small", "paper"}
+        assert SCALES["paper"].pop > SCALES["small"].pop
+
+    def test_repeat_seeds_distinct(self):
+        seeds = repeat_seeds(7, 4)
+        assert len(set(seeds)) == 4
+
+    def test_relative_improvement(self):
+        assert relative_improvement(100, 90) == pytest.approx(0.1)
+        assert relative_improvement(0, 5) == 0.0
+
+    def test_result_summary_contains_claim(self):
+        res = ExperimentResult(experiment="EXX", source="src",
+                               claim="things hold",
+                               rows=[{"x": 1}], passed=True)
+        assert "things hold" in res.summary()
+        assert "SHAPE OK" in res.summary()
+
+
+class TestRegistry:
+    def test_all_22_experiments_registered(self):
+        assert len(EXPERIMENTS) == 22
+        assert sorted(EXPERIMENTS) == [f"E{i:02d}" for i in range(1, 23)]
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("E99")
+
+    def test_case_insensitive(self):
+        res = run_experiment("e22", scale="smoke")
+        assert res.experiment == "E22"
+
+    @pytest.mark.parametrize("exp", ["E01", "E02", "E04", "E05", "E07",
+                                     "E08", "E16", "E22"])
+    def test_simulated_experiments_pass_at_any_scale(self, exp):
+        """Cost-model experiments are deterministic: shape must hold."""
+        res = run_experiment(exp, scale="smoke")
+        assert res.passed, res.summary()
+        assert res.rows
+
+    def test_conformance_experiment_passes(self):
+        res = run_experiment("E21", scale="smoke")
+        assert res.passed, res.summary()
+
+    @pytest.mark.parametrize("exp", ["E06", "E12", "E15"])
+    def test_fast_native_experiments_run_smoke(self, exp):
+        """Native GA experiments at smoke scale: structure only (stochastic
+        shape checks are asserted at 'small' scale by the benchmarks)."""
+        res = run_experiment(exp, scale="smoke")
+        assert isinstance(res, ExperimentResult)
+        assert res.rows and res.claim
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E01" in out and "ft06" in out
+
+    def test_solve_simple(self, capsys):
+        code = main(["solve", "ft06", "--generations", "5",
+                     "--population", "12", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best=" in out and "Cmax" in out
+
+    @pytest.mark.parametrize("engine", ["island", "cellular"])
+    def test_solve_other_engines(self, engine, capsys):
+        code = main(["solve", "ft06", "--engine", engine,
+                     "--generations", "3", "--population", "9",
+                     "--workers", "2"])
+        assert code == 0
+
+    def test_solve_flow_and_open_shop(self, capsys):
+        assert main(["solve", "ta-fs-20x5-shaped", "--generations", "2",
+                     "--population", "8"]) == 0
+        assert main(["solve", "ta-os-5x5-shaped", "--generations", "2",
+                     "--population", "8"]) == 0
+
+    def test_run_experiment(self, capsys):
+        assert main(["run", "E22", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "SHAPE OK" in out

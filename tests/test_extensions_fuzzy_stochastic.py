@@ -1,0 +1,181 @@
+"""Tests for the fuzzy and stochastic scheduling extensions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.extensions import (TFN, FuzzyFlowShopEncoding,
+                              FuzzyFlowShopInstance,
+                              StochasticJobShopEncoding,
+                              StochasticJobShopInstance, agreement_index,
+                              fuzzy_flowshop_makespan)
+from repro.instances import flow_shop, job_shop
+
+tfn_values = st.tuples(
+    st.floats(min_value=0.0, max_value=100.0),
+    st.floats(min_value=0.0, max_value=100.0),
+    st.floats(min_value=0.0, max_value=100.0),
+).map(lambda t: TFN(*sorted(t)))
+
+
+class TestTFN:
+    def test_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            TFN(3.0, 2.0, 4.0)
+
+    def test_addition_componentwise(self):
+        s = TFN(1, 2, 3) + TFN(4, 5, 6)
+        assert (s.a, s.b, s.c) == (5, 7, 9)
+
+    def test_maximum_componentwise(self):
+        m = TFN(1, 5, 6).maximum(TFN(2, 3, 9))
+        assert (m.a, m.b, m.c) == (2, 5, 9)
+
+    def test_defuzzify_centroid(self):
+        assert TFN(0, 1, 2).defuzzify() == 1.0
+        assert TFN(0, 0, 4).defuzzify() == 1.0
+
+    @given(tfn_values, tfn_values)
+    @settings(max_examples=40, deadline=None)
+    def test_addition_valid_tfn(self, x, y):
+        s = x + y
+        assert s.a <= s.b <= s.c
+
+    @given(tfn_values, tfn_values)
+    @settings(max_examples=40, deadline=None)
+    def test_possibility_necessity_bounds(self, c, d):
+        pos = c.possibility_leq(d)
+        nec = c.necessity_leq(d)
+        assert 0.0 <= pos <= 1.0
+        assert 0.0 <= nec <= 1.0
+        # necessity is the pessimistic measure: never above possibility
+        assert nec <= pos + 1e-9
+
+    def test_possibility_clear_cases(self):
+        early = TFN(1, 2, 3)
+        late_due = TFN(10, 11, 12)
+        assert early.possibility_leq(late_due) == 1.0
+        assert late_due.possibility_leq(early) == 0.0
+
+    def test_agreement_index_bounds_and_extremes(self):
+        inside = TFN(4, 5, 6)
+        window = TFN(0, 5, 10)
+        assert agreement_index(inside, window) > 0.9
+        assert agreement_index(TFN(100, 101, 102), window) == 0.0
+
+    @given(tfn_values, tfn_values)
+    @settings(max_examples=30, deadline=None)
+    def test_agreement_index_in_unit_interval(self, c, d):
+        ai = agreement_index(c, d)
+        assert -1e-9 <= ai <= 1.0 + 1e-9
+
+
+class TestFuzzyFlowShop:
+    def _instance(self):
+        return FuzzyFlowShopInstance.from_crisp(flow_shop(4, 3, seed=14))
+
+    def test_from_crisp_preserves_modes(self):
+        crisp = flow_shop(4, 3, seed=14)
+        fuzzy = FuzzyFlowShopInstance.from_crisp(crisp)
+        for j in range(4):
+            for k in range(3):
+                assert fuzzy.processing[j][k].b == crisp.processing[j, k]
+
+    def test_fuzzy_makespan_brackets_crisp(self):
+        """The crisp makespan lies inside the fuzzy makespan's support."""
+        crisp = flow_shop(4, 3, seed=14)
+        fuzzy = FuzzyFlowShopInstance.from_crisp(crisp)
+        from repro.scheduling import flowshop_makespan
+        perm = np.arange(4)
+        fz = fuzzy_flowshop_makespan(fuzzy, perm)
+        cr = flowshop_makespan(crisp, perm)
+        assert fz.a <= cr <= fz.c
+        assert fz.b == pytest.approx(cr)
+
+    def test_completion_times_one_per_job(self):
+        inst = self._instance()
+        comp = inst.completion_times(np.arange(4))
+        assert len(comp) == 4
+        assert all(isinstance(t, TFN) for t in comp)
+
+    def test_encoding_objective_in_unit_interval(self, rng):
+        enc = FuzzyFlowShopEncoding(self._instance())
+        for _ in range(5):
+            obj = enc.fast_makespan(enc.random_genome(rng))
+            assert 0.0 <= obj <= 1.0
+
+    def test_encoding_decode_gives_schedule(self, rng):
+        enc = FuzzyFlowShopEncoding(self._instance())
+        sched = enc.decode(enc.random_genome(rng))
+        assert sched.makespan > 0
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            FuzzyFlowShopInstance([[TFN(1, 1, 1)], []], [TFN(0, 1, 2)] * 2)
+
+
+class TestStochasticJobShop:
+    def _instance(self, **kw):
+        return StochasticJobShopInstance(job_shop(4, 3, seed=15),
+                                         n_scenarios=6, seed=3, **kw)
+
+    def test_scenarios_deterministic(self):
+        a = self._instance()
+        b = self._instance()
+        for sa, sb in zip(a.scenarios, b.scenarios):
+            assert np.array_equal(sa, sb)
+
+    def test_scenarios_differ_from_each_other(self):
+        inst = self._instance()
+        assert not np.array_equal(inst.scenarios[0], inst.scenarios[1])
+
+    def test_uniform_spread_bounds(self):
+        inst = self._instance(spread=0.2)
+        for sc in inst.scenarios:
+            ratio = sc / inst.base.processing
+            assert np.all(ratio >= 0.8 - 1e-9)
+            assert np.all(ratio <= 1.2 + 1e-9)
+
+    def test_normal_distribution_positive(self):
+        inst = StochasticJobShopInstance(job_shop(4, 3, seed=15),
+                                         distribution="normal",
+                                         n_scenarios=6, seed=3)
+        for sc in inst.scenarios:
+            assert np.all(sc > 0)
+
+    def test_validation(self):
+        base = job_shop(3, 2, seed=1)
+        with pytest.raises(ValueError):
+            StochasticJobShopInstance(base, distribution="cauchy")
+        with pytest.raises(ValueError):
+            StochasticJobShopInstance(base, spread=1.5)
+        with pytest.raises(ValueError):
+            StochasticJobShopInstance(base, n_scenarios=0)
+
+    def test_expected_makespan_is_mean(self, rng):
+        inst = self._instance()
+        enc = StochasticJobShopEncoding(inst)
+        g = enc.random_genome(rng)
+        from repro.scheduling import operation_sequence_makespan
+        manual = np.mean([
+            operation_sequence_makespan(inst.scenario_instance(k), g)
+            for k in range(inst.n_scenarios)])
+        assert enc.fast_makespan(g) == pytest.approx(manual)
+        assert inst.expected_makespan(g) == pytest.approx(manual)
+
+    def test_crn_property(self, rng):
+        """Common random numbers: comparing two sequences is noise-free --
+        the scenario set is identical for both."""
+        inst = self._instance()
+        enc = StochasticJobShopEncoding(inst)
+        g1, g2 = enc.random_genome(rng), enc.random_genome(rng)
+        d1 = enc.fast_makespan(g1) - enc.fast_makespan(g2)
+        d2 = enc.fast_makespan(g1) - enc.fast_makespan(g2)
+        assert d1 == d2
+
+    def test_decode_uses_mean_scenario(self, rng):
+        inst = self._instance()
+        enc = StochasticJobShopEncoding(inst)
+        sched = enc.decode(enc.random_genome(rng))
+        sched.audit(inst.base)

@@ -1,0 +1,166 @@
+"""Tests for the instance substrate: LCG, generators, library."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.instances import (FT06, FT06_OPTIMUM, TaillardLCG,
+                             available_instances, flexible_flow_shop,
+                             flexible_job_shop, flow_shop, get_instance,
+                             job_shop, open_shop, with_due_dates_twk,
+                             with_weights)
+from repro.scheduling import (FlexibleFlowShopInstance,
+                              FlexibleJobShopInstance, FlowShopInstance,
+                              JobShopInstance, OpenShopInstance)
+
+
+class TestTaillardLCG:
+    def test_reproducible(self):
+        a = [TaillardLCG(123).next_raw() for _ in range(5)]
+        b = []
+        gen = TaillardLCG(123)
+        for _ in range(5):
+            b.append(gen.next_raw())
+        assert a[0] == b[0]
+        # successive draws differ
+        assert len(set(b)) == 5
+
+    def test_schrage_recurrence(self):
+        """x1 = 16807 * seed mod (2^31 - 1) for a small seed."""
+        gen = TaillardLCG(1)
+        assert gen.next_raw() == 16807
+        assert gen.next_raw() == 16807 * 16807 % (2**31 - 1)
+
+    def test_unif_bounds(self):
+        gen = TaillardLCG(99)
+        draws = [gen.unif(1, 99) for _ in range(500)]
+        assert min(draws) >= 1 and max(draws) <= 99
+
+    def test_seed_validation(self):
+        with pytest.raises(ValueError):
+            TaillardLCG(0)
+        with pytest.raises(ValueError):
+            TaillardLCG(2**31 - 1)
+
+    def test_matrix_shape_and_determinism(self):
+        m1 = TaillardLCG(5).matrix(3, 4, 1, 9)
+        m2 = TaillardLCG(5).matrix(3, 4, 1, 9)
+        assert m1.shape == (3, 4)
+        assert np.array_equal(m1, m2)
+
+    @given(st.integers(min_value=1, max_value=2**31 - 2),
+           st.integers(min_value=1, max_value=30))
+    @settings(max_examples=30, deadline=None)
+    def test_permutation_property(self, seed, n):
+        perm = TaillardLCG(seed).permutation(n)
+        assert np.array_equal(np.sort(perm), np.arange(n))
+
+
+class TestGenerators:
+    def test_flow_shop_shape_and_range(self):
+        inst = flow_shop(7, 4, seed=2)
+        assert isinstance(inst, FlowShopInstance)
+        assert inst.processing.shape == (7, 4)
+        assert inst.processing.min() >= 1 and inst.processing.max() <= 99
+
+    def test_job_shop_routing_valid(self):
+        inst = job_shop(6, 5, seed=3)
+        assert isinstance(inst, JobShopInstance)
+        for j in range(6):
+            assert np.array_equal(np.sort(inst.routing[j]), np.arange(5))
+
+    def test_open_shop(self):
+        inst = open_shop(4, 4, seed=4)
+        assert isinstance(inst, OpenShopInstance)
+
+    def test_determinism(self):
+        a = job_shop(5, 4, seed=10)
+        b = job_shop(5, 4, seed=10)
+        assert np.array_equal(a.processing, b.processing)
+        assert np.array_equal(a.routing, b.routing)
+        c = job_shop(5, 4, seed=11)
+        assert not np.array_equal(a.processing, c.processing)
+
+    def test_flexible_flow_shop_variants(self):
+        plain = flexible_flow_shop(5, (2, 3), seed=5)
+        assert isinstance(plain, FlexibleFlowShopInstance)
+        assert plain.n_machines == 5
+        unrel = flexible_flow_shop(5, (2, 3), seed=5, unrelated=True)
+        assert unrel.processing_per_machine is not None
+        setup = flexible_flow_shop(5, (2, 3), seed=5, setups=True)
+        assert setup.setup is not None and len(setup.setup) == 2
+
+    def test_flexible_job_shop_flexibility(self):
+        inst = flexible_job_shop(4, 5, seed=6, stages=3, flexibility=2)
+        assert isinstance(inst, FlexibleJobShopInstance)
+        for j in range(4):
+            for s in range(3):
+                assert len(inst.eligible_machines(j, s)) == 2
+
+    def test_flexible_job_shop_extensions(self):
+        inst = flexible_job_shop(3, 3, seed=7, stages=2, setups=True,
+                                 machine_release_hi=10, time_lag_hi=5)
+        assert inst.setup is not None
+        assert inst.machine_release.max() <= 10
+        assert inst.time_lag is not None
+
+    def test_with_due_dates_twk(self):
+        inst = with_due_dates_twk(flow_shop(5, 3, seed=8), tau=2.0)
+        assert np.all(np.isfinite(inst.due))
+        # looser tau gives later due dates
+        tight = with_due_dates_twk(flow_shop(5, 3, seed=8), tau=1.0)
+        assert np.all(inst.due >= tight.due)
+
+    def test_with_due_dates_fjsp(self):
+        inst = with_due_dates_twk(flexible_job_shop(3, 3, seed=9, stages=2))
+        assert np.all(np.isfinite(inst.due))
+
+    def test_with_weights(self):
+        inst = with_weights(flow_shop(5, 3, seed=8), lo=2, hi=4)
+        assert np.all((2 <= inst.weights) & (inst.weights <= 4))
+
+
+class TestLibrary:
+    def test_ft06_data_is_canonical(self):
+        assert FT06.n_jobs == 6 and FT06.n_machines == 6
+        # spot-check the embedded data against the OR-Library listing
+        assert FT06.routing[0, 0] == 2 and FT06.processing[0, 0] == 1.0
+        assert FT06.routing[5, 2] == 5 and FT06.processing[5, 2] == 9.0
+        assert FT06.processing.sum() == 197.0
+
+    def test_ft06_optimum_is_reachable_bound(self):
+        assert FT06.makespan_lower_bound() <= FT06_OPTIMUM
+
+    def test_get_instance_fresh_objects(self):
+        a = get_instance("ft06")
+        b = get_instance("ft06")
+        assert a is not b
+        a.processing[0, 0] = 999
+        assert b.processing[0, 0] == 1.0
+
+    def test_shaped_instances_have_published_dimensions(self):
+        shapes = {"ft10-shaped": (10, 10), "ft20-shaped": (20, 5),
+                  "abz7-shaped": (20, 15), "la31-shaped": (30, 10),
+                  "orb03-shaped": (10, 10)}
+        for name, (n, m) in shapes.items():
+            inst = get_instance(name)
+            assert (inst.n_jobs, inst.n_machines) == (n, m), name
+
+    def test_flow_and_open_shaped(self):
+        fs = get_instance("ta-fs-20x5-shaped")
+        assert isinstance(fs, FlowShopInstance)
+        assert (fs.n_jobs, fs.n_machines) == (20, 5)
+        os_ = get_instance("ta-os-5x5-shaped")
+        assert isinstance(os_, OpenShopInstance)
+
+    def test_registry_complete_and_loadable(self):
+        names = available_instances()
+        assert "ft06" in names
+        assert len(names) > 30
+        for name in names[:8]:
+            get_instance(name)
+
+    def test_unknown_instance_rejected(self):
+        with pytest.raises(KeyError):
+            get_instance("nope")

@@ -1,0 +1,136 @@
+"""Cross-module integration tests.
+
+Every engine x encoding x problem combination the survey discusses must
+run end-to-end, produce feasible schedules, and respect determinism.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (GAConfig, MaxEvaluations, MaxGenerations, SimpleGA,
+                        TargetObjective)
+from repro.encodings import (DispatchRuleEncoding,
+                             FlowShopPermutationEncoding,
+                             HybridFlowShopEncoding,
+                             FlexibleJobShopEncoding,
+                             OpenShopPermutationEncoding,
+                             OperationBasedEncoding, Problem,
+                             RandomKeysFlowShopEncoding,
+                             RandomKeysJobShopEncoding)
+from repro.instances import (FT06_OPTIMUM, flexible_flow_shop,
+                             flexible_job_shop, flow_shop, get_instance,
+                             open_shop)
+from repro.parallel import (CellularGA, IslandGA, MasterSlaveGA,
+                            MigrationPolicy)
+
+TERM = MaxGenerations(10)
+CFG = GAConfig(population_size=16)
+
+
+def all_problems():
+    ft06 = get_instance("ft06")
+    fs = flow_shop(6, 4, seed=50)
+    os_ = open_shop(5, 3, seed=51)
+    fjsp = flexible_job_shop(4, 3, seed=52, stages=3)
+    hfs = flexible_flow_shop(5, (2, 2), seed=53)
+    return [
+        ("jssp/op", Problem(OperationBasedEncoding(ft06)), ft06),
+        ("jssp/active", Problem(OperationBasedEncoding(ft06, mode="active")),
+         ft06),
+        ("jssp/keys", Problem(RandomKeysJobShopEncoding(ft06)), ft06),
+        ("jssp/rules", Problem(DispatchRuleEncoding(ft06)), ft06),
+        ("fs/perm", Problem(FlowShopPermutationEncoding(fs)), fs),
+        ("fs/keys", Problem(RandomKeysFlowShopEncoding(fs)), fs),
+        ("os/lpt", Problem(OpenShopPermutationEncoding(os_)), os_),
+        ("fjsp", Problem(FlexibleJobShopEncoding(fjsp)), fjsp),
+        ("hfs", Problem(HybridFlowShopEncoding(hfs)), hfs),
+    ]
+
+
+@pytest.mark.parametrize("label,problem,instance", all_problems(),
+                         ids=lambda x: x if isinstance(x, str) else "")
+def test_simple_ga_end_to_end(label, problem, instance):
+    result = SimpleGA(problem, CFG, TERM, seed=1).run()
+    schedule = problem.decode(result.best.genome)
+    if label != "hfs" or True:
+        schedule.audit(instance)
+    assert result.best_objective <= \
+        SimpleGA(problem, CFG, MaxGenerations(0), seed=1).run().best_objective
+
+
+@pytest.mark.parametrize("label,problem,instance", all_problems()[:4],
+                         ids=lambda x: x if isinstance(x, str) else "")
+def test_island_ga_end_to_end(label, problem, instance):
+    result = IslandGA(problem, n_islands=3,
+                      config=GAConfig(population_size=6),
+                      migration=MigrationPolicy(interval=3, rate=1),
+                      termination=TERM, seed=2).run()
+    problem.decode(result.best.genome).audit(instance)
+
+
+def test_cellular_ga_on_flow_shop():
+    fs = flow_shop(6, 4, seed=50)
+    problem = Problem(FlowShopPermutationEncoding(fs))
+    result = CellularGA(problem, rows=4, cols=4, termination=TERM,
+                        seed=3).run()
+    problem.decode(result.best.genome).audit(fs)
+
+
+class TestEqualBudgetComparisons:
+    """Engines compared under identical evaluation budgets terminate with
+    comparable accounting -- the survey's fair-comparison convention."""
+
+    def test_budgets_match(self, ft06_problem):
+        budget = 400
+        simple = SimpleGA(ft06_problem, GAConfig(population_size=20),
+                          MaxEvaluations(budget), seed=4).run()
+        island = IslandGA(ft06_problem, n_islands=4,
+                          config=GAConfig(population_size=5),
+                          migration=MigrationPolicy(interval=2, rate=1),
+                          termination=MaxEvaluations(budget), seed=4).run()
+        assert abs(simple.evaluations - island.evaluations) <= 40
+
+    def test_all_engines_find_decent_ft06(self, ft06_problem):
+        """Every parallel model reaches a reasonable ft06 makespan."""
+        target = FT06_OPTIMUM * 1.35  # 74
+        res_simple = SimpleGA(ft06_problem, GAConfig(population_size=40),
+                              MaxGenerations(40), seed=5).run()
+        res_island = IslandGA(ft06_problem, n_islands=4,
+                              config=GAConfig(population_size=10),
+                              migration=MigrationPolicy(interval=5, rate=1),
+                              termination=MaxGenerations(40), seed=5).run()
+        res_cell = CellularGA(ft06_problem, rows=6, cols=6,
+                              termination=MaxGenerations(40), seed=5).run()
+        for res in (res_simple, res_island, res_cell):
+            assert res.best_objective <= target
+
+
+class TestDeterminismAcrossEngines:
+    def test_master_slave_identical_to_simple(self, ft06_problem):
+        a = SimpleGA(ft06_problem, CFG, TERM, seed=7).run()
+        b = MasterSlaveGA(ft06_problem, CFG, TERM, seed=7,
+                          backend="serial").run()
+        assert np.array_equal(a.best.genome, b.best.genome)
+
+    def test_repeated_runs_identical(self, ft06_problem):
+        objs = {SimpleGA(ft06_problem, CFG, TERM, seed=9).run()
+                .best_objective for _ in range(3)}
+        assert len(objs) == 1
+
+
+class TestFailureInjection:
+    def test_evaluator_exception_propagates(self, ft06_problem):
+        def broken(genomes):
+            raise RuntimeError("slave died")
+
+        ga = SimpleGA(ft06_problem, CFG, TERM, seed=0, evaluator=broken)
+        with pytest.raises(RuntimeError, match="slave died"):
+            ga.run()
+
+    def test_wrong_length_evaluator_detected(self, ft06_problem):
+        def short(genomes):
+            return np.zeros(max(0, len(genomes) - 1))
+
+        ga = SimpleGA(ft06_problem, CFG, TERM, seed=0, evaluator=short)
+        with pytest.raises(Exception):
+            ga.run()

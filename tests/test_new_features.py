@@ -1,0 +1,209 @@
+"""Tests for the extension features added beyond the first green build:
+GT three-parent crossover, critical-path descent, asynchronous cellular
+updates, partial replacement (generation gap), speed scaling."""
+
+import numpy as np
+import pytest
+
+from repro.core import GAConfig, MaxGenerations, SimpleGA
+from repro.encodings import OperationBasedEncoding, Problem
+from repro.extensions import (PowerModel, SpeedScaling, apply_speed_scaling,
+                              critical_path_descent, make_local_search)
+from repro.instances import flow_shop, get_instance, job_shop
+from repro.operators import GTThreeParentCrossover, is_repetition_of
+from repro.parallel import CellularGA
+from repro.scheduling import flowshop_makespan
+
+
+class TestGTThreeParentCrossover:
+    @pytest.fixture
+    def xover(self, ft06):
+        return GTThreeParentCrossover(ft06)
+
+    def _random_seq(self, rng, n=6, g=6):
+        seq = np.repeat(np.arange(n), g)
+        rng.shuffle(seq)
+        return seq
+
+    def test_children_are_valid_multisets(self, xover, rng):
+        a, b = self._random_seq(rng), self._random_seq(rng)
+        ca, cb = xover(a, b, rng)
+        counts = np.full(6, 6)
+        assert is_repetition_of(ca, counts)
+        assert is_repetition_of(cb, counts)
+
+    def test_children_decode_to_active_schedules(self, xover, ft06, rng):
+        """G&T construction means children are feasible active schedules;
+        on average they beat their random semi-active parents."""
+        from repro.scheduling import operation_sequence_makespan
+        enc = OperationBasedEncoding(ft06)
+        parent_ms, child_ms = [], []
+        for _ in range(8):
+            a, b = self._random_seq(rng), self._random_seq(rng)
+            ca, cb = xover(a, b, rng)
+            parent_ms += [operation_sequence_makespan(ft06, a),
+                          operation_sequence_makespan(ft06, b)]
+            child_ms += [operation_sequence_makespan(ft06, ca),
+                         operation_sequence_makespan(ft06, cb)]
+        assert np.mean(child_ms) <= np.mean(parent_ms)
+
+    def test_explicit_three_parents(self, xover, rng):
+        parents = [self._random_seq(rng) for _ in range(3)]
+        child = xover.recombine(parents, rng)
+        assert is_repetition_of(child, np.full(6, 6))
+
+    def test_works_inside_engine(self, ft06, rng):
+        problem = Problem(OperationBasedEncoding(ft06))
+        cfg = GAConfig(population_size=12,
+                       crossover=GTThreeParentCrossover(ft06))
+        result = SimpleGA(problem, cfg, MaxGenerations(5), seed=1).run()
+        problem.decode(result.best.genome).audit(ft06)
+
+    def test_mix_preserves_multiset(self, xover, rng):
+        a, b = self._random_seq(rng), self._random_seq(rng)
+        mixed = xover._mix(a, b, rng)
+        assert is_repetition_of(mixed, np.full(6, 6))
+
+
+class TestCriticalPathDescent:
+    def test_never_worse(self, ft06, rng):
+        problem = Problem(OperationBasedEncoding(ft06))
+        for _ in range(5):
+            g = problem.random_genome(rng)
+            out = critical_path_descent(g, problem, rng, attempts=8)
+            assert problem.evaluate(out) <= problem.evaluate(g)
+
+    def test_preserves_multiset(self, ft06, rng):
+        problem = Problem(OperationBasedEncoding(ft06))
+        g = problem.random_genome(rng)
+        out = critical_path_descent(g, problem, rng, attempts=8)
+        assert is_repetition_of(out, np.full(6, 6))
+
+    def test_often_strictly_improves(self, rng):
+        inst = job_shop(8, 5, seed=66)
+        problem = Problem(OperationBasedEncoding(inst))
+        improved = 0
+        for _ in range(10):
+            g = problem.random_genome(rng)
+            out = critical_path_descent(g, problem, rng, attempts=15)
+            if problem.evaluate(out) < problem.evaluate(g):
+                improved += 1
+        assert improved >= 5
+
+    def test_falls_back_for_non_jssp(self, rng):
+        from repro.encodings import FlowShopPermutationEncoding
+        inst = flow_shop(6, 3, seed=1)
+        problem = Problem(FlowShopPermutationEncoding(inst))
+        g = problem.random_genome(rng)
+        out = critical_path_descent(g, problem, rng)
+        assert problem.evaluate(out) <= problem.evaluate(g)
+
+    def test_factory_exposes_it(self):
+        assert make_local_search("critical_path") is not None
+
+
+class TestAsynchronousCellular:
+    def test_async_mode_runs_and_differs(self, ft06_problem):
+        sync = CellularGA(ft06_problem, rows=4, cols=4,
+                          termination=MaxGenerations(6), seed=5,
+                          update="synchronous").run()
+        async_ = CellularGA(ft06_problem, rows=4, cols=4,
+                            termination=MaxGenerations(6), seed=5,
+                            update="asynchronous").run()
+        assert async_.extra["update"] == "asynchronous"
+        # both modes evaluate one offspring per cell per generation
+        assert async_.evaluations == sync.evaluations
+
+    def test_async_cells_monotone_with_if_better(self, ft06_problem):
+        ga = CellularGA(ft06_problem, rows=3, cols=3,
+                        termination=MaxGenerations(4), seed=6,
+                        update="asynchronous")
+        ga.initialize()
+        before = ga.population.best().objective
+        for _ in range(4):
+            ga.step()
+        assert ga.population.best().objective <= before
+
+    def test_invalid_update_mode(self, ft06_problem):
+        with pytest.raises(ValueError):
+            CellularGA(ft06_problem, update="diagonal")
+
+
+class TestGenerationGap:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GAConfig(generation_gap=0.0)
+        with pytest.raises(ValueError):
+            GAConfig(generation_gap=1.5)
+
+    def test_partial_replacement_keeps_survivors(self, ft06_problem):
+        """With gap 0.25, at least 75% of genomes survive a generation."""
+        cfg = GAConfig(population_size=20, generation_gap=0.25, n_elites=2)
+        ga = SimpleGA(ft06_problem, cfg, MaxGenerations(1), seed=3)
+        ga.initialize()
+        before = {ind.genome_key() for ind in ga.population}
+        ga.step()
+        after = {ind.genome_key() for ind in ga.population}
+        assert len(before & after) >= 15
+
+    def test_fewer_evaluations_per_generation(self, ft06_problem):
+        full = SimpleGA(ft06_problem,
+                        GAConfig(population_size=20, generation_gap=1.0),
+                        MaxGenerations(4), seed=3).run()
+        partial = SimpleGA(ft06_problem,
+                           GAConfig(population_size=20, generation_gap=0.5),
+                           MaxGenerations(4), seed=3).run()
+        assert partial.evaluations < full.evaluations
+
+    def test_still_improves(self, ft06_problem):
+        result = SimpleGA(ft06_problem,
+                          GAConfig(population_size=24, generation_gap=0.5),
+                          MaxGenerations(25), seed=4).run()
+        curve = result.history.best_curve()
+        assert curve[-1] <= curve[0]
+
+
+class TestSpeedScaling:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpeedScaling(np.array([1.0, 0.0]))
+        with pytest.raises(ValueError):
+            SpeedScaling(np.array([1.0]), alpha=0.5)
+
+    def test_faster_machines_shorten_makespan(self, rng):
+        inst = flow_shop(6, 3, seed=70)
+        scaled = apply_speed_scaling(inst, SpeedScaling(np.array([2.0] * 3)))
+        perm = rng.permutation(6)
+        assert flowshop_makespan(scaled, perm) == pytest.approx(
+            flowshop_makespan(inst, perm) / 2.0)
+
+    def test_power_grows_with_alpha(self):
+        base = PowerModel.uniform(3, processing=10.0)
+        mild = SpeedScaling(np.array([2.0] * 3), alpha=2.0).scale_power(base)
+        steep = SpeedScaling(np.array([2.0] * 3), alpha=3.0).scale_power(base)
+        assert np.all(steep.processing_power > mild.processing_power)
+        assert np.allclose(mild.processing_power, 40.0)
+
+    def test_energy_makespan_tradeoff(self, rng):
+        """Doubling speeds: makespan halves, busy energy rises (alpha>1)."""
+        from repro.extensions import energy_consumption
+        from repro.scheduling import flowshop_schedule
+        inst = flow_shop(6, 3, seed=70)
+        base_power = PowerModel.uniform(3, processing=10.0, idle=0.0)
+        scaling = SpeedScaling(np.array([2.0] * 3), alpha=2.0)
+        perm = rng.permutation(6)
+        e_slow = energy_consumption(flowshop_schedule(inst, perm), base_power)
+        fast = apply_speed_scaling(inst, scaling)
+        e_fast = energy_consumption(flowshop_schedule(fast, perm),
+                                    scaling.scale_power(base_power))
+        assert e_fast > e_slow  # alpha=2: halved time x quadrupled power
+
+    def test_shape_mismatch_rejected(self):
+        inst = flow_shop(4, 3, seed=71)
+        with pytest.raises(ValueError):
+            apply_speed_scaling(inst, SpeedScaling(np.array([1.0, 2.0])))
+
+    def test_jobshop_rejected(self):
+        inst = job_shop(3, 3, seed=72)
+        with pytest.raises(TypeError):
+            apply_speed_scaling(inst, SpeedScaling(np.ones(3)))

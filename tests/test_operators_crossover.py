@@ -1,0 +1,191 @@
+"""Crossover tests: the closure property (offspring stay in the encoding's
+space) is the survey's "repair the illegal offspring" requirement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.operators import (ArithmeticCrossover, CompositeCrossover,
+                             CycleCrossover, JobBasedCrossover,
+                             LinearOrderCrossover, MultiStepCrossoverFusion,
+                             NPointCrossover, OrderCrossover,
+                             ParameterizedUniformCrossover,
+                             PathRelinkingCrossover, PMXCrossover,
+                             PositionBasedCrossover, TimeHorizonCrossover,
+                             UniformCrossover, default_crossover_for)
+from repro.operators.repair import is_permutation, is_repetition_of
+
+PERMUTATION_OPS = [NPointCrossover(1), NPointCrossover(2),
+                   UniformCrossover(), PMXCrossover(), OrderCrossover(),
+                   LinearOrderCrossover(), CycleCrossover(),
+                   PositionBasedCrossover(), PathRelinkingCrossover(),
+                   MultiStepCrossoverFusion(steps=5), TimeHorizonCrossover()]
+
+MULTISET_OPS = [NPointCrossover(1), UniformCrossover(), OrderCrossover(),
+                LinearOrderCrossover(), PositionBasedCrossover(),
+                JobBasedCrossover(), PathRelinkingCrossover(),
+                MultiStepCrossoverFusion(steps=5), TimeHorizonCrossover()]
+
+
+def two_perms(rng, n):
+    return rng.permutation(n).astype(np.int64), rng.permutation(n).astype(np.int64)
+
+
+def two_repetitions(rng, n_jobs, repeats):
+    base = np.repeat(np.arange(n_jobs, dtype=np.int64), repeats)
+    a, b = base.copy(), base.copy()
+    rng.shuffle(a)
+    rng.shuffle(b)
+    return a, b
+
+
+@pytest.mark.parametrize("op", PERMUTATION_OPS,
+                         ids=lambda o: type(o).__name__)
+def test_permutation_closure(op, rng):
+    """Every operator keeps permutation genomes valid permutations."""
+    for n in (2, 5, 9):
+        for _ in range(10):
+            a, b = two_perms(rng, n)
+            ca, cb = op(a, b, rng)
+            assert is_permutation(ca), f"{type(op).__name__} broke child A"
+            assert is_permutation(cb), f"{type(op).__name__} broke child B"
+
+
+@pytest.mark.parametrize("op", MULTISET_OPS, ids=lambda o: type(o).__name__)
+def test_repetition_closure(op, rng):
+    """Multiset-safe operators preserve gene multiplicities exactly."""
+    counts = np.array([3, 3, 3, 3])
+    for _ in range(10):
+        a, b = two_repetitions(rng, 4, 3)
+        ca, cb = op(a, b, rng)
+        assert is_repetition_of(ca, counts)
+        assert is_repetition_of(cb, counts)
+
+
+@pytest.mark.parametrize("op", PERMUTATION_OPS,
+                         ids=lambda o: type(o).__name__)
+def test_parents_unmodified(op, rng):
+    a, b = two_perms(rng, 7)
+    a0, b0 = a.copy(), b.copy()
+    op(a, b, rng)
+    assert np.array_equal(a, a0) and np.array_equal(b, b0)
+
+
+@pytest.mark.parametrize("op", PERMUTATION_OPS,
+                         ids=lambda o: type(o).__name__)
+def test_tiny_genomes_survive(op, rng):
+    a = np.array([0, 1], dtype=np.int64)
+    b = np.array([1, 0], dtype=np.int64)
+    ca, cb = op(a, b, rng)
+    assert is_permutation(ca) and is_permutation(cb)
+
+
+class TestSpecificSemantics:
+    def test_cycle_crossover_preserves_positions(self, rng):
+        """CX children take each position from one of the two parents."""
+        a, b = two_perms(rng, 8)
+        ca, cb = CycleCrossover()(a, b, rng)
+        for i in range(8):
+            assert ca[i] in (a[i], b[i])
+            assert cb[i] in (a[i], b[i])
+
+    def test_cx_identical_parents_fixed_point(self, rng):
+        a = rng.permutation(6).astype(np.int64)
+        ca, cb = CycleCrossover()(a, a.copy(), rng)
+        assert np.array_equal(ca, a) and np.array_equal(cb, a)
+
+    def test_pmx_segment_from_other_parent(self, rng):
+        a = np.arange(8, dtype=np.int64)
+        b = np.arange(8, dtype=np.int64)[::-1].copy()
+        ca, _ = PMXCrossover()(a, b, rng)
+        # at least one gene differs from parent A (segment swapped)
+        assert not np.array_equal(ca, a)
+
+    def test_thx_keeps_prefix(self, rng):
+        a, b = two_repetitions(rng, 4, 2)
+        ca, _ = TimeHorizonCrossover()(a, b, rng)
+        # prefix of child A matches parent A up to some cut >= 1
+        assert ca[0] == a[0]
+
+    def test_msxf_moves_toward_second_parent(self, rng):
+        a, b = two_perms(rng, 10)
+        child, _ = MultiStepCrossoverFusion(steps=30)(a, b, rng)
+        before = int(np.count_nonzero(a != b))
+        after = int(np.count_nonzero(child != b))
+        assert after <= before
+
+    def test_path_relinking_intermediate(self, rng):
+        a, b = two_perms(rng, 10)
+        ca, _ = PathRelinkingCrossover()(a, b, rng)
+        d_ab = int(np.count_nonzero(a != b))
+        d_cb = int(np.count_nonzero(ca != b))
+        assert d_cb <= d_ab
+
+    def test_arithmetic_blend_bounds(self, rng):
+        a = rng.random(6)
+        b = rng.random(6)
+        ca, cb = ArithmeticCrossover()(a, b, rng)
+        lo, hi = np.minimum(a, b), np.maximum(a, b)
+        assert np.all(ca >= lo - 1e-12) and np.all(ca <= hi + 1e-12)
+        assert np.all(cb >= lo - 1e-12) and np.all(cb <= hi + 1e-12)
+
+    def test_arithmetic_fixed_weight(self, rng):
+        a, b = np.zeros(3), np.ones(3)
+        ca, cb = ArithmeticCrossover(fixed_weight=0.25)(a, b, rng)
+        assert np.allclose(ca, 0.75) and np.allclose(cb, 0.25)
+
+    def test_parameterized_uniform_bias(self):
+        rng = np.random.default_rng(0)
+        a, b = np.zeros(1000), np.ones(1000)
+        ca, _ = ParameterizedUniformCrossover(bias=0.8)(a, b, rng)
+        # ~80% of genes should come from parent A (zeros)
+        assert 0.7 < float(np.mean(ca == 0.0)) < 0.9
+
+    def test_uniform_no_repair_on_floats(self, rng):
+        a, b = rng.random(6), rng.random(6)
+        ca, cb = UniformCrossover()(a, b, rng)
+        for i in range(6):
+            assert ca[i] in (a[i], b[i])
+
+    def test_npoint_rejects_zero_points(self):
+        with pytest.raises(ValueError):
+            NPointCrossover(0)
+
+
+class TestCompositeCrossover:
+    def test_applies_per_part(self, rng):
+        op = CompositeCrossover([ParameterizedUniformCrossover(),
+                                 OrderCrossover()])
+        a = (rng.random(4), rng.permutation(5).astype(np.int64))
+        b = (rng.random(4), rng.permutation(5).astype(np.int64))
+        ca, cb = op(a, b, rng)
+        assert isinstance(ca, tuple) and len(ca) == 2
+        assert is_permutation(ca[1]) and is_permutation(cb[1])
+
+    def test_none_part_copied(self, rng):
+        op = CompositeCrossover([None, OrderCrossover()])
+        a = (np.array([1, 2]), rng.permutation(4).astype(np.int64))
+        b = (np.array([3, 4]), rng.permutation(4).astype(np.int64))
+        ca, _ = op(a, b, rng)
+        assert np.array_equal(ca[0], a[0])
+        assert ca[0] is not a[0]  # copied, not aliased
+
+    def test_rejects_mismatched_genomes(self, rng):
+        op = CompositeCrossover([None])
+        with pytest.raises(ValueError):
+            op(np.arange(3), np.arange(3), rng)
+
+
+class TestDefaults:
+    def test_default_for_each_kind(self):
+        assert default_crossover_for("permutation") is not None
+        assert default_crossover_for("repetition") is not None
+        assert default_crossover_for("real") is not None
+        comp = default_crossover_for("composite",
+                                     ("assignment", "repetition"))
+        assert isinstance(comp, CompositeCrossover)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            default_crossover_for("banana")

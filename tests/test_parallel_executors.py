@@ -1,0 +1,93 @@
+"""Tests for the evaluation executors (the master-slave seam)."""
+
+import numpy as np
+import pytest
+
+from repro.encodings import OperationBasedEncoding, Problem
+from repro.instances import get_instance
+from repro.parallel import (ChunkedEvaluator, ProcessPoolEvaluator,
+                            SerialEvaluator)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return Problem(OperationBasedEncoding(get_instance("ft06")))
+
+
+@pytest.fixture(scope="module")
+def genomes(problem):
+    rng = np.random.default_rng(3)
+    return [problem.random_genome(rng) for _ in range(17)]
+
+
+class TestSerialEvaluator:
+    def test_matches_problem(self, problem, genomes):
+        ev = SerialEvaluator(problem)
+        assert np.array_equal(ev(genomes), problem.evaluate_many(genomes))
+
+    def test_stats_accumulate(self, problem, genomes):
+        ev = SerialEvaluator(problem)
+        ev(genomes)
+        ev(genomes[:5])
+        assert ev.stats.calls == 2
+        assert ev.stats.genomes == 22
+        assert ev.stats.wall_time > 0
+
+
+class TestProcessPoolEvaluator:
+    def test_order_preserved(self, problem, genomes):
+        expected = problem.evaluate_many(genomes)
+        with ProcessPoolEvaluator(problem, n_workers=3) as ev:
+            out = ev(genomes)
+        assert np.array_equal(out, expected)
+
+    def test_chunks_per_worker(self, problem, genomes):
+        expected = problem.evaluate_many(genomes)
+        with ProcessPoolEvaluator(problem, n_workers=2,
+                                  chunks_per_worker=4) as ev:
+            out = ev(genomes)
+        assert np.array_equal(out, expected)
+
+    def test_empty_input(self, problem):
+        with ProcessPoolEvaluator(problem, n_workers=2) as ev:
+            out = ev([])
+        assert out.size == 0
+
+    def test_single_genome(self, problem, genomes):
+        with ProcessPoolEvaluator(problem, n_workers=4) as ev:
+            out = ev(genomes[:1])
+        assert out.shape == (1,)
+
+    def test_validation(self, problem):
+        with pytest.raises(ValueError):
+            ProcessPoolEvaluator(problem, n_workers=0)
+        with pytest.raises(ValueError):
+            ProcessPoolEvaluator(problem, n_workers=1, chunks_per_worker=0)
+
+    def test_stats_track_payload(self, problem, genomes):
+        with ProcessPoolEvaluator(problem, n_workers=2) as ev:
+            ev(genomes)
+            assert ev.stats.bytes_shipped > 0
+            assert ev.stats.genomes == len(genomes)
+
+
+class TestChunkedEvaluator:
+    def test_batches_concatenate_in_order(self, problem, genomes):
+        inner = SerialEvaluator(problem)
+        ev = ChunkedEvaluator(inner, batch_size=4)
+        out = ev(genomes)
+        assert np.array_equal(out, problem.evaluate_many(genomes))
+        # 17 genomes / batch 4 -> 5 inner calls
+        assert inner.stats.calls == 5
+
+    def test_empty(self, problem):
+        ev = ChunkedEvaluator(SerialEvaluator(problem), batch_size=4)
+        assert ev([]).size == 0
+
+    def test_validation(self, problem):
+        with pytest.raises(ValueError):
+            ChunkedEvaluator(SerialEvaluator(problem), batch_size=0)
+
+    def test_close_propagates(self, problem):
+        ev = ChunkedEvaluator(SerialEvaluator(problem), batch_size=2)
+        ev.close()  # SerialEvaluator.close is a no-op; must not raise

@@ -1,0 +1,160 @@
+"""Tests for the simulated cluster and the closed-form performance models."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel import (DeviceModel, GATrace, beowulf, cpu_core,
+                            gpu_device, gpu_resident, lan_star,
+                            master_slave_speedup, master_slave_time,
+                            multicore, optimal_slave_count,
+                            breakeven_eval_cost, island_speedup,
+                            simulate_cellular, simulate_island,
+                            simulate_master_slave, simulate_serial,
+                            solutions_explored_in, transputer)
+
+
+def trace(**kw):
+    base = dict(generations=100, evals_per_generation=200, eval_cost=1e-3,
+                variation_cost=5e-3, genome_bytes=256)
+    base.update(kw)
+    return GATrace(**base)
+
+
+class TestDeviceModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceModel("x", lanes=0)
+        with pytest.raises(ValueError):
+            DeviceModel("x", lanes=1, eval_speed=0.0)
+        with pytest.raises(ValueError):
+            DeviceModel("x", lanes=1, dispatch_latency=-1)
+
+    def test_presets_constructible(self):
+        for dev in (cpu_core(), multicore(4), lan_star(6), beowulf(5),
+                    transputer(16), gpu_device(448), gpu_resident(960)):
+            assert dev.lanes >= 1
+
+
+class TestTraceValidation:
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            GATrace(generations=-1, evals_per_generation=1, eval_cost=1)
+        with pytest.raises(ValueError):
+            GATrace(generations=1, evals_per_generation=1, eval_cost=-1)
+
+
+class TestSimulators:
+    def test_serial_time_formula(self):
+        t = trace(generations=10, evals_per_generation=100, eval_cost=0.01,
+                  variation_cost=0.0)
+        assert simulate_serial(t) == pytest.approx(10.0)
+
+    def test_single_lane_device_close_to_serial(self):
+        """One worker with no overheads must equal the serial time."""
+        dev = DeviceModel("one", lanes=1)
+        t = trace()
+        assert simulate_master_slave(t, dev) == pytest.approx(
+            simulate_serial(t))
+
+    def test_more_lanes_never_slower(self):
+        t = trace()
+        times = [simulate_master_slave(t, multicore(k))
+                 for k in (1, 2, 4, 8, 16)]
+        assert all(b <= a + 1e-9 for a, b in zip(times, times[1:]))
+
+    def test_overhead_hurts_cheap_evaluations(self):
+        """The survey's caveat: communication offsets slave gains when the
+        evaluation is cheap."""
+        cheap = trace(eval_cost=1e-6)
+        t_serial = simulate_serial(cheap)
+        t_lan = simulate_master_slave(cheap, lan_star(16))
+        assert t_lan > t_serial
+
+    def test_gpu_beats_lan_for_large_populations(self):
+        t = trace(evals_per_generation=1000, eval_cost=1e-4)
+        assert simulate_master_slave(t, gpu_device(448)) < \
+            simulate_master_slave(t, lan_star(4))
+
+    def test_island_faster_with_more_lanes(self):
+        t = trace(n_islands=8, migration_interval=5, migrants_per_event=8)
+        t1 = simulate_island(t, multicore(1))
+        t8 = simulate_island(t, multicore(8))
+        assert t8 < t1
+
+    def test_island_requires_islands(self):
+        t = trace(n_islands=1)
+        assert simulate_island(t, multicore(2)) > 0
+
+    def test_resident_gpu_dominates_hosted_gpu(self):
+        t = trace(evals_per_generation=512, eval_cost=2e-4, n_islands=8)
+        hosted = simulate_island(t, gpu_device(960))
+        resident = simulate_island(t, gpu_resident(960))
+        assert resident < hosted
+
+    def test_cellular_scales_with_nodes(self):
+        t = trace(evals_per_generation=256, eval_cost=2e-3)
+        t4 = simulate_cellular(t, transputer(4))
+        t16 = simulate_cellular(t, transputer(16))
+        assert t16 < t4
+
+    def test_solutions_explored_monotone_in_budget(self):
+        t = trace()
+        dev = gpu_device(448)
+        n1 = solutions_explored_in(10, t, dev)
+        n2 = solutions_explored_in(20, t, dev)
+        assert n2 >= 2 * n1 * 0.99
+
+    def test_solutions_explored_unknown_model(self):
+        with pytest.raises(ValueError):
+            solutions_explored_in(1.0, trace(), cpu_core(), model="x")
+
+
+class TestPerfModel:
+    def test_time_formula(self):
+        # T = n*Tf/P + P*Tc
+        assert master_slave_time(100, 0.01, 0.001, 10) == pytest.approx(
+            100 * 0.01 / 10 + 10 * 0.001)
+
+    def test_speedup_one_slave_below_one(self):
+        # with a single slave the comm overhead makes speedup < 1
+        assert master_slave_speedup(100, 0.01, 0.001, 1) < 1.0
+
+    def test_optimum_matches_sqrt_formula(self):
+        n, tf, tc = 500, 0.02, 0.0005
+        p_star = optimal_slave_count(n, tf, tc)
+        assert p_star == pytest.approx(math.sqrt(n * tf / tc))
+
+    @given(st.integers(min_value=10, max_value=2000),
+           st.floats(min_value=1e-5, max_value=1.0),
+           st.floats(min_value=1e-6, max_value=0.1))
+    @settings(max_examples=40, deadline=None)
+    def test_optimum_is_a_minimum(self, n, tf, tc):
+        """T(P*) <= T(P* / 2) and T(2 P*) -- the analytic optimum wins."""
+        p_star = optimal_slave_count(n, tf, tc)
+        t_star = master_slave_time(n, tf, tc, max(1, round(p_star)))
+        for p in (max(1, round(p_star / 2)), max(1, round(p_star * 2))):
+            assert t_star <= master_slave_time(n, tf, tc, p) * 1.5
+
+    def test_breakeven_threshold(self):
+        n, tc, p = 100, 1e-3, 8
+        tf = breakeven_eval_cost(n, tc, p)
+        assert master_slave_speedup(n, tf * 2, tc, p) > 1.0
+        assert master_slave_speedup(n, tf * 0.5, tc, p) < 1.0
+
+    def test_breakeven_single_slave_infinite(self):
+        assert breakeven_eval_cost(100, 1e-3, 1) == math.inf
+
+    def test_island_speedup_grows_with_islands(self):
+        s2 = island_speedup(160, 2, 1e-3, 1e-2, 5, 2, 1e-3)
+        s8 = island_speedup(160, 8, 1e-3, 1e-2, 5, 2, 1e-3)
+        assert s8 > s2 > 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            master_slave_time(10, 1, 1, 0)
+        with pytest.raises(ValueError):
+            island_speedup(10, 0, 1, 1, 1, 1, 1)

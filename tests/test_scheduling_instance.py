@@ -1,0 +1,172 @@
+"""Tests for shop instance data models (Section II, Table I defaults)."""
+
+import numpy as np
+import pytest
+
+from repro.scheduling import (FlexibleFlowShopInstance,
+                              FlexibleJobShopInstance, FlowShopInstance,
+                              JobShopInstance, OpenShopInstance)
+
+
+class TestFlowShopInstance:
+    def test_dimensions(self):
+        inst = FlowShopInstance(processing=np.ones((4, 3)))
+        assert inst.n_jobs == 4 and inst.n_machines == 3
+        assert inst.total_operations == 12
+
+    def test_default_job_fields(self):
+        inst = FlowShopInstance(processing=np.ones((3, 2)))
+        assert np.array_equal(inst.release, np.zeros(3))
+        assert np.all(np.isinf(inst.due))
+        assert np.array_equal(inst.weights, np.ones(3))
+
+    def test_rejects_negative_times(self):
+        with pytest.raises(ValueError):
+            FlowShopInstance(processing=np.array([[1.0, -2.0]]))
+
+    def test_rejects_wrong_release_shape(self):
+        with pytest.raises(ValueError):
+            FlowShopInstance(processing=np.ones((3, 2)),
+                             release=np.zeros(5))
+
+    def test_lower_bound_sane(self):
+        inst = FlowShopInstance(processing=np.array([[2.0, 3.0],
+                                                     [4.0, 1.0]]))
+        lb = inst.makespan_lower_bound()
+        # no schedule can beat max machine load or max job length
+        assert lb >= 6.0
+
+    def test_requires_processing(self):
+        with pytest.raises(ValueError):
+            FlowShopInstance()
+
+
+class TestJobShopInstance:
+    def test_machine_count_from_routing(self):
+        inst = JobShopInstance(routing=np.array([[0, 2], [1, 0]]),
+                               processing=np.ones((2, 2)))
+        assert inst.n_machines == 3
+        assert inst.n_stages == 2
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            JobShopInstance(routing=np.zeros((2, 2), dtype=int),
+                            processing=np.ones((2, 3)))
+
+    def test_negative_machine_rejected(self):
+        with pytest.raises(ValueError):
+            JobShopInstance(routing=np.array([[-1, 0]]),
+                            processing=np.ones((1, 2)))
+
+    def test_machine_loads(self):
+        inst = JobShopInstance(routing=np.array([[0, 1], [0, 1]]),
+                               processing=np.array([[2.0, 3.0],
+                                                    [4.0, 5.0]]))
+        assert np.array_equal(inst.machine_loads(), [6.0, 8.0])
+
+    def test_lower_bound(self):
+        inst = JobShopInstance(routing=np.array([[0, 1], [1, 0]]),
+                               processing=np.array([[5.0, 5.0],
+                                                    [1.0, 1.0]]))
+        assert inst.makespan_lower_bound() == 10.0
+
+    def test_blocking_flag_carried(self):
+        inst = JobShopInstance(routing=np.array([[0]]),
+                               processing=np.ones((1, 1)), blocking=True)
+        assert inst.blocking
+
+
+class TestOpenShopInstance:
+    def test_lower_bound_is_max_of_rows_and_cols(self):
+        p = np.array([[1.0, 2.0], [3.0, 4.0]])
+        inst = OpenShopInstance(processing=p)
+        assert inst.makespan_lower_bound() == max(p.sum(0).max(),
+                                                  p.sum(1).max())
+
+
+class TestFlexibleFlowShopInstance:
+    def _inst(self, **kw):
+        return FlexibleFlowShopInstance(processing=np.ones((3, 2)) * 4,
+                                        machines_per_stage=(2, 1), **kw)
+
+    def test_total_machines(self):
+        assert self._inst().n_machines == 3
+
+    def test_is_flexible(self):
+        assert self._inst().is_flexible()
+        uni = FlexibleFlowShopInstance(processing=np.ones((2, 2)),
+                                       machines_per_stage=(1, 1))
+        assert not uni.is_flexible()
+
+    def test_duration_identical_machines(self):
+        assert self._inst().duration(0, 0, 1) == 4.0
+
+    def test_duration_with_speeds(self):
+        inst = FlexibleFlowShopInstance(processing=np.ones((2, 1)) * 6,
+                                        machines_per_stage=(2,),
+                                        machine_speeds=[(1.0, 2.0)])
+        assert inst.duration(0, 0, 0) == 6.0
+        assert inst.duration(0, 0, 1) == 3.0
+
+    def test_unrelated_machines_override(self):
+        ppm = [np.array([[1.0, 9.0], [2.0, 8.0], [3.0, 7.0]]),
+               np.array([[5.0], [6.0], [7.0]])]
+        inst = self._inst(processing_per_machine=ppm)
+        assert inst.duration(0, 0, 1) == 9.0
+        assert inst.duration(2, 1, 0) == 7.0
+
+    def test_rejects_bad_stage_counts(self):
+        with pytest.raises(ValueError):
+            FlexibleFlowShopInstance(processing=np.ones((2, 2)),
+                                     machines_per_stage=(2,))
+        with pytest.raises(ValueError):
+            FlexibleFlowShopInstance(processing=np.ones((2, 2)),
+                                     machines_per_stage=(0, 1))
+
+
+class TestFlexibleJobShopInstance:
+    def _inst(self, **kw):
+        ops = [
+            [{0: 3.0, 1: 4.0}, {1: 2.0}],
+            [{0: 5.0}, {0: 1.0, 1: 1.5}],
+        ]
+        return FlexibleJobShopInstance(operations=ops, **kw)
+
+    def test_dimensions(self):
+        inst = self._inst()
+        assert inst.n_jobs == 2 and inst.n_machines == 2
+        assert inst.total_operations == 4
+        assert inst.stages_of(0) == 2
+
+    def test_eligible_machines_sorted(self):
+        assert self._inst().eligible_machines(0, 0) == [0, 1]
+
+    def test_duration_lookup_and_error(self):
+        inst = self._inst()
+        assert inst.duration(0, 0, 1) == 4.0
+        with pytest.raises(ValueError):
+            inst.duration(0, 1, 0)  # machine 0 not eligible for (0,1)
+
+    def test_setup_time_defaults_to_zero(self):
+        assert self._inst().setup_time(0, None, 1) == 0.0
+
+    def test_setup_time_lookup(self):
+        setup = [np.arange(6, dtype=float).reshape(3, 2),
+                 np.zeros((3, 2))]
+        inst = self._inst(setup=setup)
+        assert inst.setup_time(0, None, 1) == 1.0   # row 0 = from idle
+        assert inst.setup_time(0, 0, 1) == 3.0      # after job 0
+
+    def test_setup_shape_validated(self):
+        with pytest.raises(ValueError):
+            self._inst(setup=[np.zeros((2, 2)), np.zeros((2, 2))])
+
+    def test_time_lag_validated(self):
+        with pytest.raises(ValueError):
+            self._inst(time_lag=[[1.0, 2.0], [0.0]])
+        inst = self._inst(time_lag=[[2.0], [0.5]])
+        assert inst.lag(0, 0) == 2.0
+
+    def test_operation_without_machines_rejected(self):
+        with pytest.raises(ValueError):
+            FlexibleJobShopInstance(operations=[[{}]])

@@ -1,0 +1,140 @@
+"""Tests for Schedule auditing, Gantt rendering and the objective family."""
+
+import numpy as np
+import pytest
+
+from repro.scheduling import (FeasibilityError, FlowShopInstance,
+                              JobShopInstance, Makespan, MaximumTardiness,
+                              Operation, Schedule, TotalFlowTime,
+                              TotalWeightedCompletion, TotalWeightedTardiness,
+                              TotalWeightedUnitPenalty, WeightedCombination)
+
+
+def two_job_schedule():
+    """Hand-built feasible schedule on 2 machines."""
+    ops = [Operation(0, 0, 0, 0.0, 2.0), Operation(0, 1, 1, 2.0, 5.0),
+           Operation(1, 0, 0, 2.0, 6.0), Operation(1, 1, 1, 6.0, 7.0)]
+    return Schedule(ops, n_jobs=2, n_machines=2)
+
+
+def flow_instance(**kw):
+    return FlowShopInstance(processing=np.array([[2.0, 3.0], [4.0, 1.0]]),
+                            **kw)
+
+
+class TestScheduleBasics:
+    def test_makespan_and_completions(self):
+        s = two_job_schedule()
+        assert s.makespan == 7.0
+        assert np.array_equal(s.completion_times, [5.0, 7.0])
+
+    def test_empty_schedule(self):
+        s = Schedule([], n_jobs=0, n_machines=2)
+        assert s.makespan == 0.0
+        assert s.gantt() == "(empty schedule)"
+
+    def test_machine_sequences_sorted(self):
+        s = two_job_schedule()
+        seqs = s.machine_sequences()
+        assert [op.job for op in seqs[0]] == [0, 1]
+
+    def test_idle_time(self):
+        # machine 1 idle from 5.0 to 6.0
+        assert two_job_schedule().idle_time() == 1.0
+
+    def test_gantt_contains_machine_rows(self):
+        g = two_job_schedule().gantt()
+        assert "M  0" in g and "M  1" in g and "Cmax" in g
+
+
+class TestAudit:
+    def test_accepts_valid(self):
+        two_job_schedule().audit(flow_instance())
+
+    def test_detects_machine_overlap(self):
+        ops = [Operation(0, 0, 0, 0.0, 5.0), Operation(1, 0, 0, 3.0, 6.0)]
+        s = Schedule(ops, 2, 1)
+        with pytest.raises(FeasibilityError, match="overlap"):
+            s.audit(FlowShopInstance(processing=np.array([[5.0], [3.0]])))
+
+    def test_detects_job_overlap(self):
+        ops = [Operation(0, 0, 0, 0.0, 5.0), Operation(0, 1, 1, 2.0, 4.0)]
+        s = Schedule(ops, 1, 2)
+        with pytest.raises(FeasibilityError):
+            s.audit(FlowShopInstance(processing=np.array([[5.0, 2.0]])))
+
+    def test_detects_release_violation(self):
+        inst = flow_instance(release=np.array([1.0, 0.0]))
+        with pytest.raises(FeasibilityError, match="release"):
+            two_job_schedule().audit(inst)
+
+    def test_detects_stage_disorder(self):
+        ops = [Operation(0, 1, 0, 0.0, 1.0), Operation(0, 0, 1, 2.0, 3.0)]
+        s = Schedule(ops, 1, 2)
+        inst = FlowShopInstance(processing=np.array([[1.0, 1.0]]))
+        with pytest.raises(FeasibilityError, match="out of order"):
+            s.audit(inst)
+
+    def test_jobshop_routing_checked(self):
+        inst = JobShopInstance(routing=np.array([[1, 0]]),
+                               processing=np.array([[2.0, 3.0]]))
+        ops = [Operation(0, 0, 0, 0.0, 2.0),  # wrong machine (should be 1)
+               Operation(0, 1, 1, 2.0, 5.0)]
+        with pytest.raises(FeasibilityError, match="wrong machine"):
+            Schedule(ops, 1, 2).audit(inst)
+
+    def test_jobshop_duration_checked(self):
+        inst = JobShopInstance(routing=np.array([[0, 1]]),
+                               processing=np.array([[2.0, 3.0]]))
+        ops = [Operation(0, 0, 0, 0.0, 9.0),  # wrong duration
+               Operation(0, 1, 1, 9.0, 12.0)]
+        with pytest.raises(FeasibilityError, match="duration"):
+            Schedule(ops, 1, 2).audit(inst)
+
+    def test_is_feasible_boolean(self):
+        assert two_job_schedule().is_feasible(flow_instance())
+
+
+class TestObjectives:
+    def test_makespan(self):
+        assert Makespan()(two_job_schedule(), flow_instance()) == 7.0
+
+    def test_total_weighted_completion(self):
+        inst = flow_instance(weights=np.array([2.0, 1.0]))
+        # 2*5 + 1*7 = 17
+        assert TotalWeightedCompletion()(two_job_schedule(), inst) == 17.0
+
+    def test_weighted_tardiness(self):
+        inst = flow_instance(due=np.array([4.0, 10.0]),
+                             weights=np.array([3.0, 1.0]))
+        # T = (1, 0) -> 3*1
+        assert TotalWeightedTardiness()(two_job_schedule(), inst) == 3.0
+
+    def test_unit_penalty(self):
+        inst = flow_instance(due=np.array([4.0, 10.0]))
+        assert TotalWeightedUnitPenalty()(two_job_schedule(), inst) == 1.0
+
+    def test_max_tardiness(self):
+        inst = flow_instance(due=np.array([1.0, 2.0]))
+        assert MaximumTardiness()(two_job_schedule(), inst) == 5.0
+
+    def test_max_tardiness_all_early_is_zero(self):
+        inst = flow_instance(due=np.array([100.0, 100.0]))
+        assert MaximumTardiness()(two_job_schedule(), inst) == 0.0
+
+    def test_flow_time_subtracts_release(self):
+        inst = flow_instance(release=np.array([0.0, 2.0]))
+        sched = two_job_schedule()
+        assert TotalFlowTime()(sched, inst) == (5.0 - 0.0) + (7.0 - 2.0)
+
+    def test_weighted_combination_scalar_and_vector(self):
+        inst = flow_instance(due=np.array([4.0, 10.0]))
+        combo = WeightedCombination([(0.5, Makespan()),
+                                     (0.5, TotalWeightedTardiness())])
+        sched = two_job_schedule()
+        assert combo(sched, inst) == pytest.approx(0.5 * 7.0 + 0.5 * 1.0)
+        assert combo.vector(sched, inst) == (7.0, 1.0)
+
+    def test_weighted_combination_requires_parts(self):
+        with pytest.raises(ValueError):
+            WeightedCombination([])
