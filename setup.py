@@ -1,14 +1,44 @@
-"""Legacy setup shim.
+"""Package metadata and installation.
 
-The offline environment lacks the ``wheel`` package, so PEP 660 editable
-installs (``pip install -e .``) cannot build an editable wheel.  This shim
-enables the legacy path::
+A plain ``setup.py`` (no pyproject) on purpose: the offline environment
+lacks the ``wheel`` package, so PEP 517/660 editable installs cannot build
+an editable wheel.  Either path works depending on the environment::
 
-    pip install -e . --no-build-isolation --no-use-pep517
+    pip install -e .            # wherever the wheel package is available
+    python setup.py develop     # offline/no-wheel environments
 
-All metadata lives in pyproject.toml.
+After either, ``import repro`` and the ``repro`` CLI work without
+``PYTHONPATH=src``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-pga-shop-scheduling",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'A Survey on Parallel Genetic Algorithms for "
+        "Shop Scheduling Problems' (Luo & El Baz, IPPS 2018): serial, "
+        "master-slave, island, cellular and hybrid GAs with vectorized "
+        "batch evaluation"
+    ),
+    long_description=open("README.md", encoding="utf-8").read(),
+    long_description_content_type="text/markdown",
+    license="MIT",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    install_requires=["numpy>=1.22"],
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+    entry_points={
+        "console_scripts": ["repro=repro.cli:main"],
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Scientific/Engineering",
+    ],
+)

@@ -3,7 +3,7 @@
 from .individual import Individual
 from .population import Population, PopulationStats, hamming_distance
 from .fitness import (HeuristicOffsetFitness, NegationFitness, RankFitness,
-                      ReciprocalFitness, apply_fitness)
+                      ReciprocalFitness, apply_fitness, apply_fitness_array)
 from .termination import (AllOf, AnyOf, MaxEvaluations, MaxGenerations,
                           Stagnation, TargetObjective, Termination,
                           TerminationState, TimeLimit)
@@ -15,7 +15,7 @@ from .ga import GAConfig, GAResult, SimpleGA
 __all__ = [
     "Individual", "Population", "PopulationStats", "hamming_distance",
     "HeuristicOffsetFitness", "ReciprocalFitness", "RankFitness",
-    "NegationFitness", "apply_fitness",
+    "NegationFitness", "apply_fitness", "apply_fitness_array",
     "Termination", "TerminationState", "MaxGenerations", "MaxEvaluations",
     "TimeLimit", "TargetObjective", "Stagnation", "AnyOf", "AllOf",
     "Observer", "HistoryRecorder", "CallbackObserver", "GenerationRecord",

@@ -32,6 +32,7 @@ __all__ = [
     "RankFitness",
     "NegationFitness",
     "apply_fitness",
+    "apply_fitness_array",
 ]
 
 
@@ -103,12 +104,17 @@ class RankFitness:
         # rank 0 = best => fitness n; average ties
         ranks[order] = np.arange(n, dtype=float)
         fitness = n - ranks
-        # average tied objective values
-        for val in np.unique(obj):
-            mask = obj == val
-            if mask.sum() > 1:
-                fitness[mask] = fitness[mask].mean()
-        return fitness
+        # grouped mean over tied objective values, fully vectorised
+        _, inverse = np.unique(obj, return_inverse=True)
+        sums = np.bincount(inverse, weights=fitness)
+        counts = np.bincount(inverse)
+        out = sums[inverse] / counts[inverse]
+        # NaN never compares equal, so NaN objectives are not ties: they
+        # keep their own rank fitness (np.unique would group them)
+        isnan = np.isnan(obj)
+        if isnan.any():
+            out[isnan] = fitness[isnan]
+        return out
 
 
 class NegationFitness:
@@ -122,17 +128,36 @@ class NegationFitness:
         return -np.asarray(objectives, dtype=float)
 
 
+def apply_fitness_array(objectives: np.ndarray,
+                        transform: FitnessTransform) -> np.ndarray:
+    """Array-in/array-out fitness: transform an objective vector directly.
+
+    The batch-evaluation companion to :func:`apply_fitness`: no
+    :class:`Individual` boxing, just a ``(pop_size,)`` float vector in and
+    the maximised fitness vector out.  Raises if the transform changes the
+    shape of the vector.
+    """
+    obj = np.asarray(objectives, dtype=float)
+    if obj.ndim != 1:
+        raise ValueError("objectives must be a 1-D vector")
+    fits = np.asarray(transform(obj), dtype=float)
+    if fits.shape != obj.shape:
+        raise ValueError(
+            f"transform changed shape {obj.shape} -> {fits.shape}")
+    return fits
+
+
 def apply_fitness(population: Sequence[Individual],
                   transform: FitnessTransform) -> None:
     """Fill ``Individual.fitness`` for every member, in place.
 
     Raises if any member lacks an objective value.
     """
-    objectives = []
-    for ind in population:
+    objectives = np.empty(len(population), dtype=float)
+    for k, ind in enumerate(population):
         if ind.objective is None:
             raise ValueError("cannot compute fitness of unevaluated individual")
-        objectives.append(ind.objective)
-    fits = transform(np.asarray(objectives, dtype=float))
+        objectives[k] = ind.objective
+    fits = apply_fitness_array(objectives, transform)
     for ind, fit in zip(population, fits):
         ind.fitness = float(fit)

@@ -32,7 +32,7 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from ..encodings.base import Problem
+from ..encodings.base import Problem, stack_genomes
 from ..operators.crossover import Crossover, default_crossover_for
 from ..operators.mutation import Mutation, default_mutation_for
 from ..operators.selection import Selection, RouletteWheelSelection
@@ -165,6 +165,13 @@ class SimpleGA:
         self.termination = termination or MaxGenerations(100)
         self.rng = make_rng(seed)
         self.evaluator = evaluator or problem.evaluate_many
+        # Batch seam: score the whole to-do set as one chromosome matrix.
+        # Custom evaluators opt in by exposing ``evaluate_batch``; the
+        # default path asks the problem for its vectorised decoder.
+        if evaluator is None:
+            self._batch_evaluate = problem.batch_evaluator()
+        else:
+            self._batch_evaluate = getattr(evaluator, "evaluate_batch", None)
         self.history = HistoryRecorder()
         self.observers: list[Observer] = [self.history, *observers]
         self.state = TerminationState()
@@ -182,12 +189,36 @@ class SimpleGA:
         self._notify()
         return pop
 
+    @property
+    def uses_batch_path(self) -> bool:
+        """Whether evaluation is vectorised (matrix decode), not per genome.
+
+        False when the problem has no batch decoder even if the evaluator
+        accepts matrices -- executors still ship compact chromosome
+        matrices then, but each worker decodes row by row.
+        """
+        return (self._batch_evaluate is not None
+                and self.problem.batch_evaluator() is not None)
+
     def _evaluate(self, individuals: Sequence[Individual]) -> None:
-        """Score unevaluated individuals (lines 7 of Tables II/III)."""
+        """Score unevaluated individuals (lines 7 of Tables II/III).
+
+        Prefers the vectorised batch path: stack the pending genomes into
+        one ``(pop, n_genes)`` matrix and decode the whole population per
+        call.  Ragged or composite genomes fall back to the per-genome
+        evaluator unchanged.
+        """
         todo = [ind for ind in individuals if not ind.evaluated]
         if not todo:
             return
-        objectives = self.evaluator([ind.genome for ind in todo])
+        genomes = [ind.genome for ind in todo]
+        objectives = None
+        if self._batch_evaluate is not None:
+            matrix = stack_genomes(genomes)
+            if matrix is not None:
+                objectives = self._batch_evaluate(matrix)
+        if objectives is None:
+            objectives = self.evaluator(genomes)
         for ind, obj in zip(todo, objectives):
             ind.objective = float(obj)
         self.state.evaluations += len(todo)

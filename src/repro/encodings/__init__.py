@@ -1,6 +1,7 @@
 """Chromosome representations (Section III.A of the survey)."""
 
-from .base import Encoding, GenomeKind, Problem
+from .base import (BatchEvaluator, Encoding, GenomeKind, Problem,
+                   stack_genomes)
 from .permutation import FlowShopPermutationEncoding, OpenShopPermutationEncoding
 from .operation_based import OperationBasedEncoding
 from .random_keys import (RandomKeysFlowShopEncoding, RandomKeysJobShopEncoding,
@@ -11,7 +12,7 @@ from .assignment_sequence import (FlexibleJobShopEncoding,
                                   LotStreamingEncoding)
 
 __all__ = [
-    "Encoding", "GenomeKind", "Problem",
+    "Encoding", "GenomeKind", "Problem", "BatchEvaluator", "stack_genomes",
     "FlowShopPermutationEncoding", "OpenShopPermutationEncoding",
     "OperationBasedEncoding",
     "RandomKeysFlowShopEncoding", "RandomKeysJobShopEncoding",

@@ -29,7 +29,8 @@ from ..scheduling.instance import ShopInstance
 from ..scheduling.objectives import Makespan, Objective
 from ..scheduling.schedule import Schedule
 
-__all__ = ["GenomeKind", "Encoding", "Problem"]
+__all__ = ["GenomeKind", "Encoding", "BatchEvaluator", "Problem",
+           "stack_genomes"]
 
 
 class GenomeKind:
@@ -54,6 +55,43 @@ class Encoding(Protocol):
     def decode(self, genome: Any) -> Schedule:
         """Decode a genome into a complete schedule."""
         ...  # pragma: no cover
+
+
+class BatchEvaluator(Protocol):
+    """Scores a whole population in one vectorised call.
+
+    Takes a ``(pop_size, n_genes)`` chromosome matrix and returns the
+    ``(pop_size,)`` vector of minimised objectives.  Encodings expose one
+    as ``batch_makespan`` when a vectorised decoder exists (see
+    :mod:`repro.scheduling.batch`); :meth:`Problem.batch_evaluator` is the
+    discovery point GA engines and executors use.
+    """
+
+    def __call__(self, chromosomes: np.ndarray) -> np.ndarray:  # pragma: no cover
+        ...
+
+
+def stack_genomes(genomes: Any) -> np.ndarray | None:
+    """Stack a sequence of fixed-length array genomes into a matrix.
+
+    Returns ``None`` when the genomes cannot form a rectangular matrix
+    (composite/tuple genomes, ragged lengths, empty input) -- callers fall
+    back to the scalar path in that case.  A 2-D array passes through
+    unchanged, so evaluators accept either representation.
+    """
+    if isinstance(genomes, np.ndarray):
+        return genomes if genomes.ndim == 2 else None
+    genomes = list(genomes)
+    if not genomes:
+        return None
+    first = genomes[0]
+    if not isinstance(first, np.ndarray) or first.ndim != 1:
+        return None
+    shape = first.shape
+    for g in genomes:
+        if not isinstance(g, np.ndarray) or g.shape != shape:
+            return None
+    return np.stack(genomes)
 
 
 class Problem:
@@ -107,12 +145,42 @@ class Problem:
         schedule = self.encoding.decode(genome)
         return float(self.objective(schedule, self.encoding.instance))
 
+    def batch_evaluator(self) -> BatchEvaluator | None:
+        """The problem's vectorised population evaluator, if it has one.
+
+        Available when the objective is the plain makespan, no artificial
+        ``eval_cost`` is configured, and the encoding ships a
+        ``batch_makespan`` (matrix-in/vector-out) decoder.  GA engines and
+        executors prefer this path and fall back to per-genome evaluation
+        otherwise.
+        """
+        if self.eval_cost > 0.0 or not isinstance(self.objective, Makespan):
+            return None
+        return getattr(self.encoding, "batch_makespan", None)
+
+    def evaluate_batch(self, chromosomes: np.ndarray) -> np.ndarray:
+        """Objectives of a ``(pop_size, n_genes)`` chromosome matrix.
+
+        Uses the encoding's vectorised decoder when available; otherwise
+        scores row by row (still correct, just not batched).
+        """
+        batch = self.batch_evaluator()
+        if batch is not None:
+            return np.asarray(batch(chromosomes), dtype=float)
+        return np.array([self.evaluate(g) for g in np.asarray(chromosomes)],
+                        dtype=float)
+
     def evaluate_many(self, genomes: list[Any]) -> np.ndarray:
         """Vector of objective values; uses batched fast paths if available."""
+        batch = self.batch_evaluator()
+        if batch is not None:
+            matrix = stack_genomes(genomes)
+            if matrix is not None:
+                return np.asarray(batch(matrix), dtype=float)
         if self.eval_cost == 0.0 and isinstance(self.objective, Makespan):
-            batch = getattr(self.encoding, "fast_makespan_batch", None)
-            if batch is not None:
-                return np.asarray(batch(genomes), dtype=float)
+            legacy = getattr(self.encoding, "fast_makespan_batch", None)
+            if legacy is not None:
+                return np.asarray(legacy(genomes), dtype=float)
         return np.array([self.evaluate(g) for g in genomes], dtype=float)
 
     def objective_vector(self, genome: Any) -> tuple[float, ...]:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..scheduling.batch import batch_makespan_operation_sequence
 from ..scheduling.graph import DisjunctiveGraph
 from ..scheduling.instance import JobShopInstance
 from ..scheduling.jobshop import (decode_blocking, decode_operation_sequence,
@@ -68,6 +69,28 @@ class OperationBasedEncoding:
         if self.mode == "graph":
             return self._graph.makespan_of_sequence(genome)
         return self.decode(genome).makespan
+
+    @property
+    def batch_makespan(self):
+        """Vectorised population decoder (semi-active mode only).
+
+        Active (G&T), blocking and graph decoding have data-dependent
+        control flow per chromosome, so the scalar decoders stay
+        authoritative there; ``getattr(..., "batch_makespan", None)``
+        returns ``None`` for those modes.
+        """
+        if self.mode != "semi_active":
+            raise AttributeError(
+                f"no batch decoder for mode {self.mode!r}")
+        return self._batch_makespan
+
+    def _batch_makespan(self, chromosomes: np.ndarray) -> np.ndarray:
+        return batch_makespan_operation_sequence(self.instance, chromosomes)
+
+    def fast_makespan_batch(self, genomes: list[np.ndarray]) -> np.ndarray:
+        if self.mode == "semi_active":
+            return self._batch_makespan(np.stack(genomes))
+        return np.array([self.fast_makespan(g) for g in genomes], dtype=float)
 
     def _sequence_priorities(self, genome: np.ndarray) -> np.ndarray:
         """Positions in the chromosome become G&T priorities.

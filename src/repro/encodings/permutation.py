@@ -11,9 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..scheduling.flowshop import (flowshop_makespan,
-                                   flowshop_makespan_population,
-                                   flowshop_schedule)
+from ..scheduling.batch import batch_makespan_permutation
+from ..scheduling.flowshop import flowshop_makespan, flowshop_schedule
 from ..scheduling.instance import FlowShopInstance, OpenShopInstance
 from ..scheduling.openshop import (decode_job_repetition_lpt_machine,
                                    decode_job_repetition_lpt_task)
@@ -37,12 +36,15 @@ class FlowShopPermutationEncoding:
     def decode(self, genome: np.ndarray) -> Schedule:
         return flowshop_schedule(self.instance, genome)
 
-    # fast paths used by Problem.evaluate / evaluate_many
+    # fast paths used by Problem.evaluate / evaluate_many / evaluate_batch
     def fast_makespan(self, genome: np.ndarray) -> float:
         return flowshop_makespan(self.instance, genome)
 
+    def batch_makespan(self, chromosomes: np.ndarray) -> np.ndarray:
+        return batch_makespan_permutation(self.instance, chromosomes)
+
     def fast_makespan_batch(self, genomes: list[np.ndarray]) -> np.ndarray:
-        return flowshop_makespan_population(self.instance, np.stack(genomes))
+        return self.batch_makespan(np.stack(genomes))
 
 
 class OpenShopPermutationEncoding:

@@ -11,9 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..scheduling.flowshop import (flowshop_makespan,
-                                   flowshop_makespan_population,
-                                   flowshop_schedule)
+from ..scheduling.batch import batch_makespan_permutation
+from ..scheduling.flowshop import flowshop_makespan, flowshop_schedule
 from ..scheduling.instance import FlowShopInstance, JobShopInstance
 from ..scheduling.jobshop import giffler_thompson
 from ..scheduling.schedule import Schedule
@@ -48,10 +47,13 @@ class RandomKeysFlowShopEncoding:
     def fast_makespan(self, genome: np.ndarray) -> float:
         return flowshop_makespan(self.instance, self.permutation(genome))
 
-    def fast_makespan_batch(self, genomes: list[np.ndarray]) -> np.ndarray:
-        keys = np.stack(genomes)
+    def batch_makespan(self, chromosomes: np.ndarray) -> np.ndarray:
+        keys = np.asarray(chromosomes, dtype=float)
         perms = np.argsort(keys, axis=1, kind="stable").astype(np.int64)
-        return flowshop_makespan_population(self.instance, perms)
+        return batch_makespan_permutation(self.instance, perms)
+
+    def fast_makespan_batch(self, genomes: list[np.ndarray]) -> np.ndarray:
+        return self.batch_makespan(np.stack(genomes))
 
 
 class RandomKeysJobShopEncoding:

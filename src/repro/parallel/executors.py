@@ -5,13 +5,18 @@ fitness evaluation in parallel.  Data exchange occurs only when sending and
 receiving tasks between the master and slaves" (survey, Section III.B).
 
 Executors implement exactly that contract: ``evaluate(genomes) ->
-objectives``.  Three backends:
+objectives``, plus a vectorised ``evaluate_batch(matrix) -> objectives``
+that takes a whole ``(pop_size, n_genes)`` chromosome matrix.  Three
+backends:
 
 * :class:`SerialEvaluator` -- no parallelism; the reference behaviour,
 * :class:`ProcessPoolEvaluator` -- real OS processes via
   :mod:`concurrent.futures`; the problem is shipped once per worker through
   the pool initializer (the "send the model, then stream small tasks" MPI
-  idiom) so only genome chunks cross the boundary afterwards,
+  idiom).  Populations whose genomes stack into a rectangular matrix are
+  shipped as contiguous sub-matrices -- one small ndarray pickle per chunk
+  instead of a Python list of per-genome array pickles -- and each worker
+  scores its slice with the problem's vectorised batch decoder,
 * :class:`ChunkedEvaluator` -- wraps another evaluator with explicit batch
   sizes, modelling the batched dispatch of Akhshabi et al. [18].
 
@@ -31,7 +36,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
-from ..encodings.base import Problem
+from ..encodings.base import Problem, stack_genomes
 
 __all__ = ["EvalStats", "SerialEvaluator", "ProcessPoolEvaluator",
            "ChunkedEvaluator"]
@@ -45,12 +50,16 @@ class EvalStats:
     genomes: int = 0
     wall_time: float = 0.0
     bytes_shipped: int = 0
+    batch_calls: int = 0
 
-    def record(self, n: int, seconds: float, payload_bytes: int = 0) -> None:
+    def record(self, n: int, seconds: float, payload_bytes: int = 0,
+               batched: bool = False) -> None:
         self.calls += 1
         self.genomes += n
         self.wall_time += seconds
         self.bytes_shipped += payload_bytes
+        if batched:
+            self.batch_calls += 1
 
 
 class SerialEvaluator:
@@ -64,6 +73,14 @@ class SerialEvaluator:
         t0 = time.perf_counter()
         out = self.problem.evaluate_many(list(genomes))
         self.stats.record(len(genomes), time.perf_counter() - t0)
+        return out
+
+    def evaluate_batch(self, matrix: np.ndarray) -> np.ndarray:
+        """Score a whole chromosome matrix with the vectorised decoder."""
+        t0 = time.perf_counter()
+        out = self.problem.evaluate_batch(matrix)
+        self.stats.record(len(matrix), time.perf_counter() - t0,
+                          batched=True)
         return out
 
     def close(self) -> None:  # symmetric API
@@ -84,6 +101,12 @@ def _eval_chunk(genomes: list[Any]) -> list[float]:
     """Worker task: score one chunk with the cached problem."""
     assert _WORKER_PROBLEM is not None, "worker not initialised"
     return [float(v) for v in _WORKER_PROBLEM.evaluate_many(genomes)]
+
+
+def _eval_matrix(matrix: np.ndarray) -> np.ndarray:
+    """Worker task: score one chromosome sub-matrix, batch-decoded."""
+    assert _WORKER_PROBLEM is not None, "worker not initialised"
+    return np.asarray(_WORKER_PROBLEM.evaluate_batch(matrix), dtype=float)
 
 
 class ProcessPoolEvaluator:
@@ -121,15 +144,19 @@ class ProcessPoolEvaluator:
             initargs=(payload,),
         )
 
+    def _n_chunks(self, n: int) -> int:
+        return min(n, self.n_workers * self.chunks_per_worker)
+
     def __call__(self, genomes: Sequence[Any]) -> np.ndarray:
         genomes = list(genomes)
         if not genomes:
             return np.empty(0)
+        matrix = stack_genomes(genomes)
+        if matrix is not None:
+            return self.evaluate_batch(matrix)
         t0 = time.perf_counter()
-        n_chunks = min(len(genomes),
-                       self.n_workers * self.chunks_per_worker)
         chunks = [list(c) for c in np.array_split(
-            np.arange(len(genomes)), n_chunks) if len(c)]
+            np.arange(len(genomes)), self._n_chunks(len(genomes))) if len(c)]
         futures = [self._pool.submit(_eval_chunk,
                                      [genomes[i] for i in idx])
                    for idx in chunks]
@@ -140,6 +167,26 @@ class ProcessPoolEvaluator:
         payload = sum(np.asarray(g[0] if isinstance(g, tuple) else g).nbytes
                       for g in genomes)
         self.stats.record(len(genomes), time.perf_counter() - t0, payload)
+        return out
+
+    def evaluate_batch(self, matrix: np.ndarray) -> np.ndarray:
+        """Ship contiguous row-slices of the chromosome matrix to slaves.
+
+        Each slave receives one ndarray (a single compact pickle) and
+        batch-decodes it; results are concatenated in submission order, so
+        output order matches input order exactly.
+        """
+        matrix = np.asarray(matrix)
+        if len(matrix) == 0:
+            return np.empty(0)
+        t0 = time.perf_counter()
+        parts = [np.ascontiguousarray(p) for p in
+                 np.array_split(matrix, self._n_chunks(len(matrix)))
+                 if len(p)]
+        futures = [self._pool.submit(_eval_matrix, p) for p in parts]
+        out = np.concatenate([fut.result() for fut in futures])
+        self.stats.record(len(matrix), time.perf_counter() - t0,
+                          matrix.nbytes, batched=True)
         return out
 
     def close(self) -> None:
@@ -175,6 +222,23 @@ class ChunkedEvaluator:
                  for i in range(0, len(genomes), self.batch_size)]
         out = np.concatenate(parts) if parts else np.empty(0)
         self.stats.record(len(genomes), time.perf_counter() - t0)
+        return out
+
+    def evaluate_batch(self, matrix: np.ndarray) -> np.ndarray:
+        """Forward fixed-size row-slices of the matrix to the inner batch path."""
+        matrix = np.asarray(matrix)
+        t0 = time.perf_counter()
+        inner_batch = getattr(self.inner, "evaluate_batch", None)
+        parts = []
+        for i in range(0, len(matrix), self.batch_size):
+            block = matrix[i:i + self.batch_size]
+            if inner_batch is not None:
+                parts.append(inner_batch(block))
+            else:
+                parts.append(self.inner(list(block)))
+        out = np.concatenate(parts) if parts else np.empty(0)
+        self.stats.record(len(matrix), time.perf_counter() - t0,
+                          batched=True)
         return out
 
     def close(self) -> None:

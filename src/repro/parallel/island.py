@@ -32,6 +32,12 @@ Features mapped to surveyed papers:
   processes (one task per island); results are identical to the serial
   schedule because island evolution between migration points is
   independent by construction.
+
+Each island evaluates its sub-population through the vectorised batch path
+(:meth:`repro.encodings.base.Problem.batch_evaluator`) whenever the
+encoding ships a batch decoder -- the per-generation offspring of every
+island is decoded as one chromosome matrix, exactly the sub-population
+array decoding of the dual heterogeneous island GA (Luo & El Baz, 2019).
 """
 
 from __future__ import annotations
@@ -292,6 +298,8 @@ class IslandGA:
             elapsed=time.perf_counter() - t0,
             termination_reason=self.termination.reason(),
             n_islands_final=len(self._active),
+            extra={"batch_path": all(isl.uses_batch_path
+                                     for isl in self.islands)},
         )
 
     def _remaining_gens(self) -> int:

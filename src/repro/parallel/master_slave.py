@@ -23,6 +23,12 @@ Backends:
 * ``serial``   -- degenerate single-worker reference,
 * ``process``  -- real multiprocessing pool (Mui et al. [17] regime),
 * ``batched``  -- process pool behind the batch dispatcher of [18].
+
+Every backend exposes ``evaluate_batch``, so the engine ships each
+generation's offspring as one ``(pop, n_genes)`` chromosome matrix (workers
+batch-decode their row-slice via :mod:`repro.scheduling.batch`) whenever
+the problem's genomes stack rectangularly; ragged/composite genomes fall
+back to per-genome lists transparently.
 """
 
 from __future__ import annotations
@@ -93,4 +99,8 @@ class MasterSlaveGA:
         result.extra["n_workers"] = self.n_workers
         result.extra["eval_wall_time"] = self.eval_stats.wall_time
         result.extra["eval_calls"] = self.eval_stats.calls
+        # matrix-shipped evaluator calls (compact transport) vs whether the
+        # decode itself was vectorised -- distinct facts, reported apart
+        result.extra["matrix_eval_calls"] = self.eval_stats.batch_calls
+        result.extra["batch_path"] = self.engine.uses_batch_path
         return result

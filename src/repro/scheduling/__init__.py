@@ -13,6 +13,8 @@ from .flowshop import (flowshop_completion, flowshop_makespan,
 from .jobshop import (DISPATCH_RULES, decode_blocking,
                       decode_operation_sequence, giffler_thompson,
                       operation_sequence_makespan, priority_rule_schedule)
+from .batch import (batch_makespan_operation_sequence,
+                    batch_makespan_permutation, operation_stages)
 from .openshop import (decode_job_repetition_lpt_machine,
                        decode_job_repetition_lpt_task, decode_pair_sequence,
                        openshop_makespan)
@@ -32,6 +34,8 @@ __all__ = [
     "decode_operation_sequence", "operation_sequence_makespan",
     "giffler_thompson", "decode_blocking", "priority_rule_schedule",
     "DISPATCH_RULES",
+    "batch_makespan_operation_sequence", "batch_makespan_permutation",
+    "operation_stages",
     "decode_job_repetition_lpt_task", "decode_job_repetition_lpt_machine",
     "decode_pair_sequence", "openshop_makespan",
     "decode_fjsp", "fjsp_random_genome", "decode_hybrid_flowshop",
