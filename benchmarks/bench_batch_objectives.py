@@ -1,0 +1,159 @@
+"""Benchmark: scalar vs batch evaluation of due-date/weighted objectives.
+
+PR 1 established the batch speedup for the makespan fast paths (job shop,
+flow shop).  This benchmark covers the surface the completion-time engine
+added: the tardiness/weighted criteria of Section II on the two problem
+classes whose decoders were previously scalar-only -- the flexible job
+shop (two-part assignment+sequence chromosome, Defersha & Chen [36]) and
+the open shop (pair-sequence chromosome, Kokosinski & Studzienny [32]).
+
+For each (problem, objective) case both paths score the same population:
+
+* scalar -- decode each chromosome to a ``Schedule`` and apply the scalar
+  ``Objective`` (what every non-makespan evaluation did before this PR),
+* batch  -- one ``batch_completion_*`` call reduced by ``objective.batch``.
+
+Asserts bit-identical objective vectors and a >= 5x speedup at population
+200 on both problem classes (typically far more for the FJSP, whose scalar
+path builds Operation objects per gene).
+
+Run with pytest (prints the table)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_batch_objectives.py -s -q
+
+or standalone::
+
+    PYTHONPATH=src python benchmarks/bench_batch_objectives.py
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.encodings import (FlexibleJobShopEncoding,
+                             OpenShopPairSequenceEncoding)
+from repro.instances import flexible_job_shop, open_shop
+from repro.instances.generators import with_due_dates_twk, with_weights
+from repro.scheduling import (Makespan, MaximumTardiness,
+                              TotalWeightedCompletion,
+                              TotalWeightedTardiness, WeightedCombination,
+                              batch_objective)
+
+POP = 200
+FJSP_SIZES = [(10, 5), (15, 8), (20, 10)]
+OPENSHOP_SIZES = [(10, 10), (15, 15), (20, 20)]
+ACCEPTANCE_FJSP = (15, 8)
+ACCEPTANCE_OPENSHOP = (15, 15)
+# Shared CI runners are noisy; let CI relax the gate without weakening
+# the local acceptance criterion.
+MIN_SPEEDUP = float(os.environ.get("BENCH_MIN_SPEEDUP", "5.0"))
+
+OBJECTIVES = [
+    TotalWeightedTardiness(),
+    TotalWeightedCompletion(),
+    MaximumTardiness(),
+    WeightedCombination([(0.6, Makespan()),
+                         (0.4, TotalWeightedTardiness())]),
+]
+
+
+def best_of(fn, reps=3):
+    """Best-of-N wall time; the minimum is the least noisy estimator."""
+    best = float("inf")
+    out = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def _decorate(instance, seed):
+    with_due_dates_twk(instance, tau=1.2, seed=seed)
+    with_weights(instance, seed=seed + 1)
+    return instance
+
+
+def _case(encoding, genomes, matrix, objective):
+    instance = encoding.instance
+    batch_fn = batch_objective(objective)
+
+    def scalar():
+        return np.array([objective(encoding.decode(g), instance)
+                         for g in genomes])
+
+    def batch():
+        return batch_fn(encoding.batch_completion(matrix), instance)
+
+    t_scalar, out_scalar = best_of(scalar)
+    t_batch, out_batch = best_of(batch)
+    assert np.array_equal(out_scalar, out_batch), (
+        f"batch diverged from scalar for {objective.name}")
+    return t_scalar, t_batch
+
+
+def _fjsp_case(n, m, objective, pop=POP, seed=7):
+    instance = _decorate(flexible_job_shop(n, m, seed=seed, setups=True),
+                         seed)
+    enc = FlexibleJobShopEncoding(instance)
+    rng = np.random.default_rng(seed)
+    genomes = [enc.random_genome(rng) for _ in range(pop)]
+    return _case(enc, genomes, enc.stack_genomes(genomes), objective)
+
+
+def _openshop_case(n, m, objective, pop=POP, seed=7):
+    instance = _decorate(open_shop(n, m, seed=seed), seed)
+    enc = OpenShopPairSequenceEncoding(instance)
+    rng = np.random.default_rng(seed)
+    genomes = [enc.random_genome(rng) for _ in range(pop)]
+    return _case(enc, genomes, np.stack(genomes), objective)
+
+
+def _report(rows, title):
+    print()
+    print(f"{title} (population {POP}, best of 3)")
+    print(f"{'instance':>12} {'objective':>28} {'scalar':>10} {'batch':>10} "
+          f"{'speedup':>9}")
+    for label, obj_name, ts, tb in rows:
+        print(f"{label:>12} {obj_name[:28]:>28} {ts * 1e3:>8.2f}ms "
+              f"{tb * 1e3:>8.2f}ms {ts / tb:>8.1f}x")
+
+
+def test_fjsp_batch_objective_speedup():
+    rows = []
+    acceptance = None
+    for n, m in FJSP_SIZES:
+        for obj in OBJECTIVES:
+            ts, tb = _fjsp_case(n, m, obj)
+            rows.append((f"{n}x{m}", obj.name, ts, tb))
+            if (n, m) == ACCEPTANCE_FJSP and isinstance(
+                    obj, TotalWeightedTardiness):
+                acceptance = ts / tb
+    _report(rows, "flexible job shop: scalar decode+score vs batch")
+    assert acceptance is not None
+    assert acceptance >= MIN_SPEEDUP, (
+        f"FJSP batch path only {acceptance:.1f}x faster on "
+        f"{ACCEPTANCE_FJSP} (need >= {MIN_SPEEDUP}x)")
+
+
+def test_openshop_batch_objective_speedup():
+    rows = []
+    acceptance = None
+    for n, m in OPENSHOP_SIZES:
+        for obj in OBJECTIVES:
+            ts, tb = _openshop_case(n, m, obj)
+            rows.append((f"{n}x{m}", obj.name, ts, tb))
+            if (n, m) == ACCEPTANCE_OPENSHOP and isinstance(
+                    obj, TotalWeightedTardiness):
+                acceptance = ts / tb
+    _report(rows, "open shop (pair sequence): scalar decode+score vs batch")
+    assert acceptance is not None
+    assert acceptance >= MIN_SPEEDUP, (
+        f"open-shop batch path only {acceptance:.1f}x faster on "
+        f"{ACCEPTANCE_OPENSHOP} (need >= {MIN_SPEEDUP}x)")
+
+
+if __name__ == "__main__":
+    test_fjsp_batch_objective_speedup()
+    test_openshop_batch_objective_speedup()

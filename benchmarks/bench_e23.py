@@ -1,0 +1,11 @@
+"""Benchmark E23: batch, scalar and reference decoders are bit-identical.
+
+See `src/repro/experiments/conformance.py` (E23): the cross-decoder
+conformance check behind the batch completion-time engine.
+"""
+
+from _common import run_and_assert
+
+
+def test_e23(benchmark):
+    run_and_assert(benchmark, "E23", scale="small")

@@ -32,7 +32,7 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from ..encodings.base import Problem, stack_genomes
+from ..encodings.base import Problem
 from ..operators.crossover import Crossover, default_crossover_for
 from ..operators.mutation import Mutation, default_mutation_for
 from ..operators.selection import Selection, RouletteWheelSelection
@@ -204,9 +204,10 @@ class SimpleGA:
         """Score unevaluated individuals (lines 7 of Tables II/III).
 
         Prefers the vectorised batch path: stack the pending genomes into
-        one ``(pop, n_genes)`` matrix and decode the whole population per
-        call.  Ragged or composite genomes fall back to the per-genome
-        evaluator unchanged.
+        one ``(pop, n_genes)`` matrix (via the problem's stacking seam, so
+        composite genomes such as the two-part FJSP chromosome flatten
+        into rows too) and decode the whole population per call.  Ragged
+        genomes fall back to the per-genome evaluator unchanged.
         """
         todo = [ind for ind in individuals if not ind.evaluated]
         if not todo:
@@ -214,7 +215,7 @@ class SimpleGA:
         genomes = [ind.genome for ind in todo]
         objectives = None
         if self._batch_evaluate is not None:
-            matrix = stack_genomes(genomes)
+            matrix = self.problem.stack_genomes(genomes)
             if matrix is not None:
                 objectives = self._batch_evaluate(matrix)
         if objectives is None:

@@ -1,8 +1,10 @@
 """Chromosome representations (Section III.A of the survey)."""
 
-from .base import (BatchEvaluator, Encoding, GenomeKind, Problem,
-                   stack_genomes)
-from .permutation import FlowShopPermutationEncoding, OpenShopPermutationEncoding
+from .base import (BatchEvaluator, CompletionObjectiveEvaluator, Encoding,
+                   GenomeKind, Problem, stack_genomes)
+from .permutation import (FlowShopPermutationEncoding,
+                          OpenShopPairSequenceEncoding,
+                          OpenShopPermutationEncoding)
 from .operation_based import OperationBasedEncoding
 from .random_keys import (RandomKeysFlowShopEncoding, RandomKeysJobShopEncoding,
                           keys_to_permutation)
@@ -12,8 +14,10 @@ from .assignment_sequence import (FlexibleJobShopEncoding,
                                   LotStreamingEncoding)
 
 __all__ = [
-    "Encoding", "GenomeKind", "Problem", "BatchEvaluator", "stack_genomes",
+    "Encoding", "GenomeKind", "Problem", "BatchEvaluator",
+    "CompletionObjectiveEvaluator", "stack_genomes",
     "FlowShopPermutationEncoding", "OpenShopPermutationEncoding",
+    "OpenShopPairSequenceEncoding",
     "OperationBasedEncoding",
     "RandomKeysFlowShopEncoding", "RandomKeysJobShopEncoding",
     "keys_to_permutation",

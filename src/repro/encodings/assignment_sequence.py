@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..scheduling.batch import batch_completion_fjsp
 from ..scheduling.flexible import (LotStreamingPlan, decode_fjsp,
                                    decode_hybrid_flowshop,
                                    decode_lot_streaming, fjsp_random_genome)
@@ -42,6 +43,49 @@ class FlexibleJobShopEncoding:
 
     def fast_makespan(self, genome: tuple[np.ndarray, np.ndarray]) -> float:
         return self.decode(genome).makespan
+
+    # -- batch path: two-part genomes flatten to one chromosome row ---------
+    def stack_genomes(self, genomes) -> np.ndarray | None:
+        """Stack (assignment, sequence) tuples into a (pop, 2*n_ops) matrix.
+
+        The two int parts concatenate into one row so the composite genome
+        rides the same matrix transport as flat chromosomes (executors ship
+        one compact ndarray; workers split it back).  Returns ``None`` for
+        anything that is not a well-formed FJSP genome list.
+        """
+        n_ops = self.instance.total_operations
+        if isinstance(genomes, np.ndarray):
+            return genomes if (genomes.ndim == 2
+                               and genomes.shape[1] == 2 * n_ops) else None
+        genomes = list(genomes)
+        if not genomes:
+            return None
+        rows = []
+        for g in genomes:
+            if not (isinstance(g, tuple) and len(g) == 2):
+                return None
+            assignment, sequence = g
+            if not (isinstance(assignment, np.ndarray)
+                    and isinstance(sequence, np.ndarray)
+                    and assignment.shape == (n_ops,)
+                    and sequence.shape == (n_ops,)):
+                return None
+            rows.append(np.concatenate([assignment, sequence]))
+        return np.stack(rows).astype(np.int64, copy=False)
+
+    def unstack_row(self, row: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Split one stacked row back into (assignment, sequence)."""
+        n_ops = self.instance.total_operations
+        row = np.asarray(row, dtype=np.int64)
+        return row[:n_ops], row[n_ops:]
+
+    def batch_completion(self, chromosomes: np.ndarray) -> np.ndarray:
+        matrix = np.asarray(chromosomes, dtype=np.int64)
+        if matrix.ndim == 1:
+            matrix = matrix[None, :]
+        n_ops = self.instance.total_operations
+        return batch_completion_fjsp(self.instance, matrix[:, :n_ops],
+                                     matrix[:, n_ops:])
 
     def assignment_domain_sizes(self) -> np.ndarray:
         """Eligible-machine count per flattened operation (for mutation)."""

@@ -26,11 +26,11 @@ from typing import Any, Protocol
 import numpy as np
 
 from ..scheduling.instance import ShopInstance
-from ..scheduling.objectives import Makespan, Objective
+from ..scheduling.objectives import Makespan, Objective, batch_objective
 from ..scheduling.schedule import Schedule
 
-__all__ = ["GenomeKind", "Encoding", "BatchEvaluator", "Problem",
-           "stack_genomes"]
+__all__ = ["GenomeKind", "Encoding", "BatchEvaluator",
+           "CompletionObjectiveEvaluator", "Problem", "stack_genomes"]
 
 
 class GenomeKind:
@@ -61,14 +61,39 @@ class BatchEvaluator(Protocol):
     """Scores a whole population in one vectorised call.
 
     Takes a ``(pop_size, n_genes)`` chromosome matrix and returns the
-    ``(pop_size,)`` vector of minimised objectives.  Encodings expose one
-    as ``batch_makespan`` when a vectorised decoder exists (see
+    ``(pop_size,)`` vector of minimised objectives.  Encodings expose
+    ``batch_completion`` (chromosome matrix -> ``(pop, n_jobs)``
+    completion-time matrix) when a vectorised decoder exists, plus the
+    legacy ``batch_makespan`` fast path (see
     :mod:`repro.scheduling.batch`); :meth:`Problem.batch_evaluator` is the
-    discovery point GA engines and executors use.
+    discovery point GA engines and executors use -- it composes
+    ``batch_completion`` with the objective's batch reduction for any
+    Section-II criterion.
     """
 
     def __call__(self, chromosomes: np.ndarray) -> np.ndarray:  # pragma: no cover
         ...
+
+
+class CompletionObjectiveEvaluator:
+    """Batch evaluator composing a completion decoder with an objective.
+
+    ``chromosomes -> encoding.batch_completion -> objective.batch`` --
+    the generic vectorised path for every completion-reducible criterion
+    (makespan, flow time, weighted completion, the tardiness family and
+    weighted combinations thereof).  A plain class (not a closure) so
+    evaluators stay picklable for process-pool workers.
+    """
+
+    def __init__(self, batch_completion, objective_batch,
+                 instance: ShopInstance):
+        self.batch_completion = batch_completion
+        self.objective_batch = objective_batch
+        self.instance = instance
+
+    def __call__(self, chromosomes: np.ndarray) -> np.ndarray:
+        completion = self.batch_completion(chromosomes)
+        return self.objective_batch(completion, self.instance)
 
 
 def stack_genomes(genomes: Any) -> np.ndarray | None:
@@ -148,33 +173,70 @@ class Problem:
     def batch_evaluator(self) -> BatchEvaluator | None:
         """The problem's vectorised population evaluator, if it has one.
 
-        Available when the objective is the plain makespan, no artificial
-        ``eval_cost`` is configured, and the encoding ships a
-        ``batch_makespan`` (matrix-in/vector-out) decoder.  GA engines and
-        executors prefer this path and fall back to per-genome evaluation
-        otherwise.
+        Available when no artificial ``eval_cost`` is configured and either
+
+        * the objective is the plain makespan and the encoding ships the
+          direct ``batch_makespan`` (matrix-in/vector-out) fast path, or
+        * the encoding ships a ``batch_completion`` decoder (chromosome
+          matrix -> per-job completion matrix) and the objective reduces
+          from completion matrices (``batch_objective`` finds a batch
+          form) -- this covers every Section-II criterion and weighted
+          combinations of them.
+
+        GA engines and executors prefer this path and fall back to
+        per-genome evaluation otherwise.
         """
-        if self.eval_cost > 0.0 or not isinstance(self.objective, Makespan):
+        if self.eval_cost > 0.0:
             return None
-        return getattr(self.encoding, "batch_makespan", None)
+        if isinstance(self.objective, Makespan):
+            fast = getattr(self.encoding, "batch_makespan", None)
+            if fast is not None:
+                return fast
+        completion = getattr(self.encoding, "batch_completion", None)
+        objective_batch = batch_objective(self.objective)
+        if completion is not None and objective_batch is not None:
+            return CompletionObjectiveEvaluator(completion, objective_batch,
+                                                self.encoding.instance)
+        return None
+
+    def stack_genomes(self, genomes: Any) -> np.ndarray | None:
+        """Stack genomes into the chromosome matrix the batch path scores.
+
+        Defers to the encoding's own ``stack_genomes`` when it has one
+        (composite genomes such as the two-part FJSP chromosome flatten
+        their parts into one row); otherwise the generic rectangular
+        stacking of :func:`stack_genomes` applies.  Returns ``None`` when
+        the genomes cannot form a matrix -- callers fall back to the
+        per-genome path.
+        """
+        custom = getattr(self.encoding, "stack_genomes", None)
+        if custom is not None:
+            return custom(genomes)
+        return stack_genomes(genomes)
+
+    def unstack_row(self, row: np.ndarray) -> Any:
+        """Inverse of :meth:`stack_genomes` for one matrix row."""
+        custom = getattr(self.encoding, "unstack_row", None)
+        return custom(row) if custom is not None else row
 
     def evaluate_batch(self, chromosomes: np.ndarray) -> np.ndarray:
         """Objectives of a ``(pop_size, n_genes)`` chromosome matrix.
 
         Uses the encoding's vectorised decoder when available; otherwise
-        scores row by row (still correct, just not batched).
+        scores row by row (still correct, just not batched).  Rows are
+        un-stacked back to genomes for encodings with composite stacking.
         """
         batch = self.batch_evaluator()
         if batch is not None:
             return np.asarray(batch(chromosomes), dtype=float)
-        return np.array([self.evaluate(g) for g in np.asarray(chromosomes)],
-                        dtype=float)
+        return np.array([self.evaluate(self.unstack_row(g))
+                         for g in np.asarray(chromosomes)], dtype=float)
 
     def evaluate_many(self, genomes: list[Any]) -> np.ndarray:
         """Vector of objective values; uses batched fast paths if available."""
         batch = self.batch_evaluator()
         if batch is not None:
-            matrix = stack_genomes(genomes)
+            matrix = self.stack_genomes(genomes)
             if matrix is not None:
                 return np.asarray(batch(matrix), dtype=float)
         if self.eval_cost == 0.0 and isinstance(self.objective, Makespan):
@@ -190,6 +252,48 @@ class Problem:
         if vec is None:
             return (float(self.objective(schedule, self.encoding.instance)),)
         return vec(schedule, self.encoding.instance)
+
+    def objective_vectors(self, genomes: list[Any]) -> np.ndarray:
+        """Multi-objective matrix ``(len(genomes), n_criteria)``.
+
+        One vectorised call when the encoding has a ``batch_completion``
+        decoder and the objective's criteria all reduce from completion
+        matrices (``batch_vector`` for weighted combinations, the plain
+        batch form as a single column otherwise); falls back to per-genome
+        :meth:`objective_vector` decoding.  Both paths are bit-identical.
+        """
+        genomes = list(genomes)
+        if not genomes:
+            # criteria count without a genome to decode: an explicit
+            # ``n_criteria``, the parts of a WeightedCombination, or 1
+            # (scalar objective / unknown width)
+            width = getattr(self.objective, "n_criteria", None)
+            if width is None:
+                parts = getattr(self.objective, "parts", None)
+                width = len(parts) if parts else 1
+            return np.zeros((0, int(width)))
+        if self.eval_cost == 0.0:
+            completion_fn = getattr(self.encoding, "batch_completion", None)
+            vec_batch = getattr(self.objective, "batch_vector", None)
+            if vec_batch is None \
+                    and getattr(self.objective, "vector", None) is None:
+                # genuinely single-criterion: its batch form is one column.
+                # Multi-criteria objectives without a batch_vector fall back
+                # to per-genome decoding so column counts always match.
+                single = batch_objective(self.objective)
+                if single is not None:
+                    vec_batch = (lambda completion, instance:
+                                 single(completion, instance)[:, None])
+            supported = getattr(self.objective, "supports_batch", True)
+            if completion_fn is not None and vec_batch is not None and supported:
+                matrix = self.stack_genomes(genomes)
+                if matrix is not None:
+                    completion = completion_fn(matrix)
+                    return np.asarray(vec_batch(completion,
+                                                self.encoding.instance),
+                                      dtype=float)
+        return np.array([self.objective_vector(g) for g in genomes],
+                        dtype=float)
 
 
 def _burn_cpu(seconds: float) -> None:

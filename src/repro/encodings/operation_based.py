@@ -18,7 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..scheduling.batch import batch_makespan_operation_sequence
+from ..scheduling.batch import (batch_completion_operation_sequence,
+                                batch_makespan_operation_sequence)
 from ..scheduling.graph import DisjunctiveGraph
 from ..scheduling.instance import JobShopInstance
 from ..scheduling.jobshop import (decode_blocking, decode_operation_sequence,
@@ -86,6 +87,22 @@ class OperationBasedEncoding:
 
     def _batch_makespan(self, chromosomes: np.ndarray) -> np.ndarray:
         return batch_makespan_operation_sequence(self.instance, chromosomes)
+
+    @property
+    def batch_completion(self):
+        """Vectorised per-job completion decoder (semi-active mode only).
+
+        Matrix of chromosomes in, ``(pop, n_jobs)`` completion-time matrix
+        out -- the input to the batch objective layer, enabling every
+        Section-II criterion (not just makespan) on the batch path.
+        """
+        if self.mode != "semi_active":
+            raise AttributeError(
+                f"no batch decoder for mode {self.mode!r}")
+        return self._batch_completion
+
+    def _batch_completion(self, chromosomes: np.ndarray) -> np.ndarray:
+        return batch_completion_operation_sequence(self.instance, chromosomes)
 
     def fast_makespan_batch(self, genomes: list[np.ndarray]) -> np.ndarray:
         if self.mode == "semi_active":

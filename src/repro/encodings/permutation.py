@@ -5,21 +5,28 @@ is the job at position i.  For open shops the same genome drives the
 LPT-Task/LPT-Machine greedy decoders of Kokosinski & Studzienny [32] --
 there the permutation is expanded to a permutation with repetitions by
 cycling, or used directly when the caller supplies repetition genomes.
+:class:`OpenShopPairSequenceEncoding` is the maximally expressive open-shop
+genome the survey notes the others reduce to: a plain permutation of
+operation ids, decoded greedily in list order (and hence batchable).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..scheduling.batch import batch_makespan_permutation
+from ..scheduling.batch import (batch_completion_pair_sequence,
+                                batch_completion_permutation,
+                                batch_makespan_permutation)
 from ..scheduling.flowshop import flowshop_makespan, flowshop_schedule
 from ..scheduling.instance import FlowShopInstance, OpenShopInstance
 from ..scheduling.openshop import (decode_job_repetition_lpt_machine,
-                                   decode_job_repetition_lpt_task)
+                                   decode_job_repetition_lpt_task,
+                                   decode_pair_sequence)
 from ..scheduling.schedule import Schedule
 from .base import GenomeKind
 
-__all__ = ["FlowShopPermutationEncoding", "OpenShopPermutationEncoding"]
+__all__ = ["FlowShopPermutationEncoding", "OpenShopPermutationEncoding",
+           "OpenShopPairSequenceEncoding"]
 
 
 class FlowShopPermutationEncoding:
@@ -42,6 +49,9 @@ class FlowShopPermutationEncoding:
 
     def batch_makespan(self, chromosomes: np.ndarray) -> np.ndarray:
         return batch_makespan_permutation(self.instance, chromosomes)
+
+    def batch_completion(self, chromosomes: np.ndarray) -> np.ndarray:
+        return batch_completion_permutation(self.instance, chromosomes)
 
     def fast_makespan_batch(self, genomes: list[np.ndarray]) -> np.ndarray:
         return self.batch_makespan(np.stack(genomes))
@@ -76,3 +86,43 @@ class OpenShopPermutationEncoding:
 
     def fast_makespan(self, genome: np.ndarray) -> float:
         return self.decode(genome).makespan
+
+
+class OpenShopPairSequenceEncoding:
+    """Permutation of operation ids, decoded greedily in list order.
+
+    The genome is a plain permutation of ``range(n_jobs * n_machines)``
+    where op id ``k`` names operation ``(k // n_machines, k % n_machines)``
+    -- i.e. the explicit pair sequence of
+    :func:`~repro.scheduling.openshop.decode_pair_sequence` flattened so
+    that standard permutation operators (and the batch path) apply without
+    repair.  Unlike the LPT decoders, list-order placement has no
+    data-dependent machine choice, so whole populations decode as one
+    :func:`~repro.scheduling.batch.batch_completion_pair_sequence` call.
+    """
+
+    kind = GenomeKind.PERMUTATION
+
+    def __init__(self, instance: OpenShopInstance):
+        self.instance = instance
+
+    def random_genome(self, rng: np.random.Generator) -> np.ndarray:
+        n_ops = self.instance.n_jobs * self.instance.n_machines
+        return rng.permutation(n_ops).astype(np.int64)
+
+    def pairs(self, genome: np.ndarray) -> np.ndarray:
+        """Explicit ``(n_ops, 2)`` (job, machine) pairs of ``genome``."""
+        ids = np.asarray(genome, dtype=np.int64)
+        m = self.instance.n_machines
+        return np.column_stack([ids // m, ids % m])
+
+    def decode(self, genome: np.ndarray) -> Schedule:
+        return decode_pair_sequence(self.instance, self.pairs(genome))
+
+    def fast_makespan(self, genome: np.ndarray) -> float:
+        completion = batch_completion_pair_sequence(
+            self.instance, np.asarray(genome, dtype=np.int64))
+        return float(completion.max()) if completion.size else 0.0
+
+    def batch_completion(self, chromosomes: np.ndarray) -> np.ndarray:
+        return batch_completion_pair_sequence(self.instance, chromosomes)

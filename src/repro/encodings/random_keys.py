@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..scheduling.batch import batch_makespan_permutation
+from ..scheduling.batch import (batch_completion_permutation,
+                                batch_makespan_permutation)
 from ..scheduling.flowshop import flowshop_makespan, flowshop_schedule
 from ..scheduling.instance import FlowShopInstance, JobShopInstance
 from ..scheduling.jobshop import giffler_thompson
@@ -51,6 +52,13 @@ class RandomKeysFlowShopEncoding:
         keys = np.asarray(chromosomes, dtype=float)
         perms = np.argsort(keys, axis=1, kind="stable").astype(np.int64)
         return batch_makespan_permutation(self.instance, perms)
+
+    def batch_completion(self, chromosomes: np.ndarray) -> np.ndarray:
+        keys = np.asarray(chromosomes, dtype=float)
+        if keys.ndim == 1:
+            keys = keys[None, :]
+        perms = np.argsort(keys, axis=1, kind="stable").astype(np.int64)
+        return batch_completion_permutation(self.instance, perms)
 
     def fast_makespan_batch(self, genomes: list[np.ndarray]) -> np.ndarray:
         return self.batch_makespan(np.stack(genomes))

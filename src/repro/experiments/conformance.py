@@ -10,6 +10,15 @@ E21 verifies structural properties the survey's pseudo-code promises:
   interval == 0) and independent islands (cooperation off) never mix;
 * all four engines with elitism produce monotone non-increasing
   best-so-far curves (the elitist guarantee of Section III.A).
+
+E23 is the cross-decoder conformance check behind the batch-evaluation
+engine: for every problem class with a vectorised decoder (job shop, flow
+shop, flexible job shop, open shop) the same seeded chromosomes are decoded
+three independent ways -- the batch completion kernel, the scalar
+Schedule-building decoder, and a deliberately naive pure-Python reference
+re-implemented here -- and all three must agree bit-for-bit, with every
+scalar schedule passing the Table-I feasibility audit and every Section-II
+batch objective matching its scalar counterpart.
 """
 
 from __future__ import annotations
@@ -20,16 +29,27 @@ import numpy as np
 
 from ..core.ga import GAConfig, SimpleGA
 from ..core.termination import MaxGenerations
+from ..encodings.assignment_sequence import FlexibleJobShopEncoding
 from ..encodings.base import Problem
 from ..encodings.operation_based import OperationBasedEncoding
+from ..encodings.permutation import (FlowShopPermutationEncoding,
+                                     OpenShopPairSequenceEncoding)
 from ..instances import library
+from ..instances.generators import (flexible_job_shop, flow_shop, job_shop,
+                                    open_shop, with_due_dates_twk,
+                                    with_weights)
 from ..parallel.fine_grained import CellularGA
 from ..parallel.island import IslandGA
 from ..parallel.master_slave import MasterSlaveGA
 from ..parallel.migration import MigrationPolicy
+from ..scheduling.objectives import (Makespan, MaximumTardiness,
+                                     TotalFlowTime, TotalWeightedCompletion,
+                                     TotalWeightedTardiness,
+                                     TotalWeightedUnitPenalty,
+                                     WeightedCombination, batch_objective)
 from .harness import ExperimentResult
 
-__all__ = ["e21_pseudocode_conformance"]
+__all__ = ["e21_pseudocode_conformance", "e23_decoder_conformance"]
 
 
 def e21_pseudocode_conformance(scale: str = "small") -> ExperimentResult:
@@ -108,6 +128,169 @@ def e21_pseudocode_conformance(scale: str = "small") -> ExperimentResult:
     return ExperimentResult(
         experiment="E21", source="survey Tables II-V",
         claim="engines structurally conform to the published pseudo-code",
+        rows=rows,
+        observations=checks,
+        passed=all(checks.values()),
+        elapsed=time.perf_counter() - t0)
+
+
+# ---------------------------------------------------------------------------
+# E23: cross-decoder conformance (batch vs scalar vs naive reference)
+# ---------------------------------------------------------------------------
+
+def _reference_jobshop_completion(instance, sequence):
+    """Naive semi-active JSSP decode with plain Python floats."""
+    job_ready = [float(r) for r in instance.release]
+    mach_ready = [0.0] * instance.n_machines
+    next_stage = [0] * instance.n_jobs
+    for job in sequence:
+        j = int(job)
+        s = next_stage[j]
+        mach = int(instance.routing[j, s])
+        end = max(job_ready[j], mach_ready[mach]) + float(
+            instance.processing[j, s])
+        job_ready[j] = end
+        mach_ready[mach] = end
+        next_stage[j] = s + 1
+    return np.array(job_ready)
+
+
+def _reference_flowshop_completion(instance, permutation):
+    """Naive flow-shop recurrence with plain Python floats."""
+    m = instance.n_machines
+    completion = [0.0] * instance.n_jobs
+    prev_row = [0.0] * m
+    for job in permutation:
+        j = int(job)
+        row = [0.0] * m
+        t = max(prev_row[0], float(instance.release[j])) + float(
+            instance.processing[j, 0])
+        row[0] = t
+        for k in range(1, m):
+            t = max(t, prev_row[k]) + float(instance.processing[j, k])
+            row[k] = t
+        completion[j] = row[m - 1]
+        prev_row = row
+    return np.array(completion)
+
+
+def _reference_openshop_completion(instance, op_ids):
+    """Naive greedy list-order open-shop decode."""
+    m = instance.n_machines
+    job_ready = [float(r) for r in instance.release]
+    mach_ready = [0.0] * m
+    for op in op_ids:
+        j, q = int(op) // m, int(op) % m
+        end = max(job_ready[j], mach_ready[q]) + float(instance.processing[j, q])
+        job_ready[j] = end
+        mach_ready[q] = end
+    return np.array(job_ready)
+
+
+def _reference_fjsp_completion(instance, assignment, sequence):
+    """Naive FJSP decode through the instance's scalar accessors."""
+    offsets = [0]
+    for j in range(instance.n_jobs):
+        offsets.append(offsets[-1] + instance.stages_of(j))
+    job_ready = [float(r) for r in instance.release]
+    mach_ready = [float(r) for r in instance.machine_release]
+    last_job = [None] * instance.n_machines
+    next_stage = [0] * instance.n_jobs
+    completion = [0.0] * instance.n_jobs
+    for job in sequence:
+        j = int(job)
+        s = next_stage[j]
+        alts = instance.eligible_machines(j, s)
+        mach = alts[int(assignment[offsets[j] + s]) % len(alts)]
+        setup = instance.setup_time(mach, last_job[mach], j)
+        if instance.setup_attached:
+            start = max(job_ready[j], mach_ready[mach]) + setup
+        else:
+            start = max(job_ready[j], mach_ready[mach] + setup)
+        end = start + instance.duration(j, s, mach)
+        lag = instance.lag(j, s) if s + 1 < instance.stages_of(j) else 0.0
+        job_ready[j] = end + lag
+        mach_ready[mach] = end
+        last_job[mach] = j
+        next_stage[j] = s + 1
+        completion[j] = end
+    return np.array(completion)
+
+
+def _conformance_objectives():
+    return [Makespan(), TotalFlowTime(), TotalWeightedCompletion(),
+            TotalWeightedTardiness(), TotalWeightedUnitPenalty(),
+            MaximumTardiness(),
+            WeightedCombination([(0.6, Makespan()),
+                                 (0.4, TotalWeightedTardiness())])]
+
+
+def e23_decoder_conformance(scale: str = "small") -> ExperimentResult:
+    """Batch, scalar and naive reference decoders agree on every class."""
+    t0 = time.perf_counter()
+    pop = 8 if scale == "smoke" else 24
+    rng = np.random.default_rng(23)
+
+    cases = []
+
+    jssp = with_weights(with_due_dates_twk(job_shop(6, 5, seed=31), tau=1.1,
+                                           seed=32), seed=33)
+    jssp_enc = OperationBasedEncoding(jssp)
+    cases.append(("job shop", jssp_enc,
+                  lambda g: _reference_jobshop_completion(jssp, g)))
+
+    fs = with_weights(with_due_dates_twk(flow_shop(8, 4, seed=41), tau=1.2,
+                                         seed=42), seed=43)
+    fs_enc = FlowShopPermutationEncoding(fs)
+    cases.append(("flow shop", fs_enc,
+                  lambda g: _reference_flowshop_completion(fs, g)))
+
+    osh = with_weights(with_due_dates_twk(open_shop(6, 4, seed=51), tau=1.0,
+                                          seed=52), seed=53)
+    os_enc = OpenShopPairSequenceEncoding(osh)
+    cases.append(("open shop", os_enc,
+                  lambda g: _reference_openshop_completion(osh, g)))
+
+    fjsp = with_weights(with_due_dates_twk(
+        flexible_job_shop(5, 4, seed=61, setups=True, time_lag_hi=4),
+        tau=1.1, seed=62), seed=63)
+    fjsp_enc = FlexibleJobShopEncoding(fjsp)
+    cases.append(("flexible job shop", fjsp_enc,
+                  lambda g: _reference_fjsp_completion(fjsp, g[0], g[1])))
+
+    rows = []
+    checks = {}
+    for label, enc, reference in cases:
+        problem = Problem(enc)
+        genomes = [enc.random_genome(rng) for _ in range(pop)]
+        matrix = problem.stack_genomes(genomes)
+        batch_completion = enc.batch_completion(matrix)
+        schedules = [enc.decode(g) for g in genomes]
+        scalar_completion = np.stack([s.completion_times for s in schedules])
+        ref_completion = np.stack([reference(g) for g in genomes])
+        feasible = all(s.is_feasible(enc.instance) for s in schedules)
+        batch_vs_scalar = np.array_equal(batch_completion, scalar_completion)
+        batch_vs_ref = np.array_equal(batch_completion, ref_completion)
+        objectives_ok = True
+        for obj in _conformance_objectives():
+            vec = batch_objective(obj)(batch_completion, enc.instance)
+            scal = np.array([obj(s, enc.instance) for s in schedules])
+            objectives_ok &= np.array_equal(vec, scal)
+        key = label.replace(" ", "_")
+        checks[f"{key}_batch_vs_scalar"] = batch_vs_scalar
+        checks[f"{key}_batch_vs_reference"] = batch_vs_ref
+        checks[f"{key}_schedules_feasible"] = feasible
+        checks[f"{key}_objectives_bit_identical"] = objectives_ok
+        rows.append({"problem": label, "population": pop,
+                     "batch=scalar": batch_vs_scalar,
+                     "batch=reference": batch_vs_ref,
+                     "audit_ok": feasible,
+                     "objectives_ok": objectives_ok})
+
+    return ExperimentResult(
+        experiment="E23", source="batch engine numerical contract",
+        claim="batch, scalar and reference decoders are bit-identical on "
+              "all vectorised problem classes",
         rows=rows,
         observations=checks,
         passed=all(checks.values()),

@@ -36,7 +36,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
-from ..encodings.base import Problem, stack_genomes
+from ..encodings.base import Problem
 
 __all__ = ["EvalStats", "SerialEvaluator", "ProcessPoolEvaluator",
            "ChunkedEvaluator"]
@@ -131,6 +131,7 @@ class ProcessPoolEvaluator:
             n_workers = os.cpu_count() or 1
         if n_workers < 1:
             raise ValueError("need at least one worker")
+        self.problem = problem
         self.n_workers = n_workers
         if chunks_per_worker < 1:
             raise ValueError("chunks_per_worker must be >= 1")
@@ -151,7 +152,7 @@ class ProcessPoolEvaluator:
         genomes = list(genomes)
         if not genomes:
             return np.empty(0)
-        matrix = stack_genomes(genomes)
+        matrix = self.problem.stack_genomes(genomes)
         if matrix is not None:
             return self.evaluate_batch(matrix)
         t0 = time.perf_counter()

@@ -4,17 +4,23 @@ from .instance import (FlexibleFlowShopInstance, FlexibleJobShopInstance,
                        FlowShopInstance, JobShopInstance, OpenShopInstance,
                        ShopInstance)
 from .schedule import FeasibilityError, Operation, Schedule
-from .objectives import (Makespan, MaximumTardiness, TotalFlowTime,
-                         TotalWeightedCompletion, TotalWeightedTardiness,
-                         TotalWeightedUnitPenalty, WeightedCombination)
-from .flowshop import (flowshop_completion, flowshop_makespan,
-                       flowshop_makespan_population, flowshop_schedule,
-                       neh_heuristic)
+from .objectives import (BatchObjective, Makespan, MaximumTardiness,
+                         TotalFlowTime, TotalWeightedCompletion,
+                         TotalWeightedTardiness, TotalWeightedUnitPenalty,
+                         WeightedCombination, batch_objective)
+from .flowshop import (flowshop_completion, flowshop_completion_population,
+                       flowshop_makespan, flowshop_makespan_population,
+                       flowshop_schedule, neh_heuristic)
 from .jobshop import (DISPATCH_RULES, decode_blocking,
                       decode_operation_sequence, giffler_thompson,
                       operation_sequence_makespan, priority_rule_schedule)
-from .batch import (batch_makespan_operation_sequence,
-                    batch_makespan_permutation, operation_stages)
+from .batch import (batch_completion_fjsp,
+                    batch_completion_operation_sequence,
+                    batch_completion_pair_sequence,
+                    batch_completion_permutation,
+                    batch_makespan_operation_sequence,
+                    batch_makespan_permutation, operation_stages,
+                    pairs_to_op_ids)
 from .openshop import (decode_job_repetition_lpt_machine,
                        decode_job_repetition_lpt_task, decode_pair_sequence,
                        openshop_makespan)
@@ -28,14 +34,16 @@ __all__ = [
     "Operation", "Schedule", "FeasibilityError",
     "Makespan", "TotalWeightedCompletion", "TotalWeightedTardiness",
     "TotalWeightedUnitPenalty", "MaximumTardiness", "TotalFlowTime",
-    "WeightedCombination",
+    "WeightedCombination", "BatchObjective", "batch_objective",
     "flowshop_completion", "flowshop_makespan", "flowshop_makespan_population",
-    "flowshop_schedule", "neh_heuristic",
+    "flowshop_completion_population", "flowshop_schedule", "neh_heuristic",
     "decode_operation_sequence", "operation_sequence_makespan",
     "giffler_thompson", "decode_blocking", "priority_rule_schedule",
     "DISPATCH_RULES",
     "batch_makespan_operation_sequence", "batch_makespan_permutation",
-    "operation_stages",
+    "batch_completion_operation_sequence", "batch_completion_permutation",
+    "batch_completion_fjsp", "batch_completion_pair_sequence",
+    "operation_stages", "pairs_to_op_ids",
     "decode_job_repetition_lpt_task", "decode_job_repetition_lpt_machine",
     "decode_pair_sequence", "openshop_makespan",
     "decode_fjsp", "fjsp_random_genome", "decode_hybrid_flowshop",

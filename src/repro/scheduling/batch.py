@@ -5,37 +5,63 @@ dominates GA runtime, which is why master-slave and GPU designs batch the
 whole population each generation ("the calculation of the fitness values
 ... is usually the most costly", Section III.B; the dual heterogeneous
 island GA of Luo & El Baz decodes entire sub-populations as array
-operations).  The scalar decoders in :mod:`repro.scheduling.jobshop` and
-:mod:`repro.scheduling.flowshop` walk one chromosome at a time in a
+operations).  The scalar decoders in :mod:`repro.scheduling.jobshop`,
+:mod:`repro.scheduling.flowshop`, :mod:`repro.scheduling.flexible` and
+:mod:`repro.scheduling.openshop` walk one chromosome at a time in a
 per-gene Python loop; the functions here take a ``(pop_size, n_genes)``
-matrix and return a ``(pop_size,)`` objective vector, keeping the
-per-position scan in Python but making every arithmetic step cover the
-population axis.
+matrix and keep the per-position scan in Python while making every
+arithmetic step cover the population axis.
 
-Numerical contract: both batch decoders perform exactly the same float64
-operations per individual as their scalar counterparts
-(:func:`~repro.scheduling.jobshop.operation_sequence_makespan` and
-:func:`~repro.scheduling.flowshop.flowshop_makespan`), so the results are
-bit-identical -- swapping the scalar path for the batch path never changes
-GA behaviour, only wall-clock time.  The test suite asserts this.
+Two layers of results:
+
+* ``batch_completion_*`` -- the ``(pop_size, n_jobs)`` **completion-time
+  matrix** ``C[p, j]``, the quantity every Section-II optimality criterion
+  is a function of.  The batch objective layer in
+  :mod:`repro.scheduling.objectives` reduces these matrices to criterion
+  vectors (makespan, weighted completion, tardiness family, ...).
+* ``batch_makespan_*`` -- the ``(pop_size,)`` makespan vector, kept as the
+  direct fast path for the dominant criterion.
+
+Numerical contract: every batch decoder performs exactly the same float64
+operations per individual as its scalar counterpart
+(:func:`~repro.scheduling.jobshop.operation_sequence_makespan`,
+:func:`~repro.scheduling.flowshop.flowshop_makespan`,
+:func:`~repro.scheduling.flexible.decode_fjsp`,
+:func:`~repro.scheduling.openshop.decode_pair_sequence`), so the results
+are bit-identical -- swapping the scalar path for the batch path never
+changes GA behaviour, only wall-clock time.  The test suite asserts this.
+
+Shape/dtype contract: all results are float64.  Completion matrices are
+``(pop_size, n_jobs)``; makespan vectors are ``(pop_size,)``.  An empty
+population returns an empty float64 array of the documented shape
+(``np.zeros((0, n_jobs))`` / ``np.zeros(0)``), never a default-dtype
+placeholder.
 
 The scalar decoders remain authoritative whenever a full
 :class:`~repro.scheduling.schedule.Schedule` is needed (Gantt charts,
 feasibility audits) and for decoding modes with data-dependent control flow
-(Giffler-Thompson active scheduling, blocking job shops, dispatch rules).
+(Giffler-Thompson active scheduling, blocking job shops, dispatch rules,
+LPT-Machine open-shop decoding, earliest-finish hybrid flow shops).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .flowshop import flowshop_makespan_population
-from .instance import FlowShopInstance, JobShopInstance
+from .flowshop import (flowshop_completion_population,
+                       flowshop_makespan_population)
+from .instance import (FlexibleJobShopInstance, FlowShopInstance,
+                       JobShopInstance, OpenShopInstance)
 
 __all__ = [
+    "batch_completion_operation_sequence",
     "batch_makespan_operation_sequence",
+    "batch_completion_permutation",
     "batch_makespan_permutation",
+    "batch_completion_fjsp",
+    "batch_completion_pair_sequence",
     "operation_stages",
+    "pairs_to_op_ids",
 ]
 
 
@@ -73,16 +99,20 @@ def operation_stages(instance: JobShopInstance,
     return stages
 
 
-def batch_makespan_operation_sequence(instance: JobShopInstance,
-                                      sequences: np.ndarray,
-                                      validate: bool = False) -> np.ndarray:
-    """Semi-active makespans of a whole population of JSSP chromosomes.
+# ---------------------------------------------------------------------------
+# job shop (permutation with repetition, semi-active)
+# ---------------------------------------------------------------------------
+
+def batch_completion_operation_sequence(instance: JobShopInstance,
+                                        sequences: np.ndarray,
+                                        validate: bool = False) -> np.ndarray:
+    """Per-job completion times of a whole population of JSSP chromosomes.
 
     ``sequences`` is a ``(pop_size, n_jobs * n_stages)`` int matrix of
     permutation-with-repetition chromosomes; the result is the
-    ``(pop_size,)`` vector of makespans, bit-identical to calling
-    :func:`~repro.scheduling.jobshop.operation_sequence_makespan` on each
-    row.
+    ``(pop_size, n_jobs)`` float64 matrix ``C[p, j]``, bit-identical to the
+    ``completion_times`` of
+    :func:`~repro.scheduling.jobshop.decode_operation_sequence` per row.
 
     The decode recurrence is sequential along the gene axis but independent
     across individuals, so the scan runs as ``n_genes`` vectorised steps of
@@ -94,9 +124,9 @@ def batch_makespan_operation_sequence(instance: JobShopInstance,
     if seqs.ndim == 1:
         seqs = seqs[None, :]
     pop, length = seqs.shape
-    if pop == 0:
-        return np.zeros(0)
     n, m = instance.n_jobs, instance.n_machines
+    if pop == 0:
+        return np.zeros((0, n))
     stages = operation_stages(instance, seqs, validate=validate)
     durations = instance.processing[seqs, stages]          # (pop, L)
     machines = instance.routing[seqs, stages]              # (pop, L)
@@ -118,8 +148,47 @@ def batch_makespan_operation_sequence(instance: JobShopInstance,
         start += dur_cols[i]
         job_ready[ji] = start
         mach_ready[mi] = start
-    # every job's final ready time is its completion; the max is C_max
-    return job_ready.reshape(pop, n).max(axis=1)
+    # every job's final ready time is the end of its last operation, and
+    # ends are non-decreasing along a job, so this is C_j
+    return job_ready.reshape(pop, n)
+
+
+def batch_makespan_operation_sequence(instance: JobShopInstance,
+                                      sequences: np.ndarray,
+                                      validate: bool = False) -> np.ndarray:
+    """Semi-active makespans of a whole population of JSSP chromosomes.
+
+    ``sequences`` is a ``(pop_size, n_jobs * n_stages)`` int matrix; the
+    result is the ``(pop_size,)`` float64 makespan vector, bit-identical to
+    calling :func:`~repro.scheduling.jobshop.operation_sequence_makespan`
+    on each row.  An empty population returns ``np.zeros(0)`` (float64).
+    """
+    completion = batch_completion_operation_sequence(instance, sequences,
+                                                     validate=validate)
+    if completion.shape[1] == 0:
+        return np.zeros(len(completion))
+    return completion.max(axis=1)
+
+
+# ---------------------------------------------------------------------------
+# flow shop (job permutation)
+# ---------------------------------------------------------------------------
+
+def batch_completion_permutation(instance: FlowShopInstance,
+                                 permutations: np.ndarray) -> np.ndarray:
+    """Per-job completion times of a population of flow-shop permutations.
+
+    ``permutations`` is a ``(pop_size, n_jobs)`` int matrix; the result is
+    the ``(pop_size, n_jobs)`` float64 matrix ``C[p, j]`` of the classic
+    completion-time recurrence, bit-identical to the last-machine column of
+    scalar :func:`~repro.scheduling.flowshop.flowshop_completion` per row.
+    """
+    perms = np.asarray(permutations, dtype=np.int64)
+    if perms.ndim == 1:
+        perms = perms[None, :]
+    if perms.shape[0] == 0:
+        return np.zeros((0, instance.n_jobs))
+    return flowshop_completion_population(instance, perms)
 
 
 def batch_makespan_permutation(instance: FlowShopInstance,
@@ -127,11 +196,12 @@ def batch_makespan_permutation(instance: FlowShopInstance,
     """Makespans of a whole population of flow-shop permutations.
 
     ``permutations`` is a ``(pop_size, n_jobs)`` int matrix; the result is
-    the ``(pop_size,)`` makespan vector of the classic completion-time
-    recurrence, vectorised over the population axis
+    the ``(pop_size,)`` float64 makespan vector of the classic
+    completion-time recurrence, vectorised over the population axis
     (:func:`~repro.scheduling.flowshop.flowshop_makespan_population` is the
     underlying kernel).  Bit-identical to scalar
-    :func:`~repro.scheduling.flowshop.flowshop_makespan` per row.
+    :func:`~repro.scheduling.flowshop.flowshop_makespan` per row.  An empty
+    population returns ``np.zeros(0)`` (float64).
     """
     perms = np.asarray(permutations, dtype=np.int64)
     if perms.ndim == 1:
@@ -142,3 +212,247 @@ def batch_makespan_permutation(instance: FlowShopInstance,
         raise ValueError(
             f"permutations must have n_jobs = {instance.n_jobs} columns")
     return flowshop_makespan_population(instance, perms)
+
+
+# ---------------------------------------------------------------------------
+# flexible job shop (assignment + sequence chromosome)
+# ---------------------------------------------------------------------------
+
+def _fjsp_tables(instance: FlexibleJobShopInstance):
+    """Dense gather tables for the ragged FJSP operation list.
+
+    Returns ``(offsets, job_of, n_alts, elig_mach, elig_dur, lag_after,
+    setup_flat)`` with operations flattened job-major.
+    ``elig_mach``/``elig_dur`` are padded ``(n_ops, max_alts)`` tables over
+    the *sorted* eligible-machine list (matching
+    :func:`~repro.scheduling.flexible.decode_fjsp`'s ``alts`` ordering);
+    ``lag_after[k]`` is the inter-stage time lag applied after operation
+    ``k`` (0 for each job's last stage); ``setup_flat`` is the flattened
+    ``(m, n_jobs + 1, n_jobs)`` sequence-dependent setup tensor (row 0 =
+    from idle) or ``None``.  The tables depend only on init-time instance
+    structure, so they are memoized on the instance -- the batch decoder
+    runs once per generation on the same instance.
+    """
+    cached = getattr(instance, "_fjsp_batch_tables", None)
+    if cached is not None:
+        return cached
+    counts = [instance.stages_of(j) for j in range(instance.n_jobs)]
+    offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+    n_ops = int(offsets[-1])
+    job_of = np.repeat(np.arange(instance.n_jobs, dtype=np.int64), counts)
+    max_alts = max(len(alts) for job in instance.operations for alts in job)
+    n_alts = np.zeros(n_ops, dtype=np.int64)
+    elig_mach = np.zeros((n_ops, max_alts), dtype=np.int64)
+    elig_dur = np.zeros((n_ops, max_alts))
+    lag_after = np.zeros(n_ops)
+    k = 0
+    for j, job in enumerate(instance.operations):
+        for s, alts in enumerate(job):
+            machs = sorted(alts)
+            n_alts[k] = len(machs)
+            elig_mach[k, :len(machs)] = machs
+            elig_dur[k, :len(machs)] = [float(alts[q]) for q in machs]
+            if s + 1 < len(job):
+                lag_after[k] = instance.lag(j, s)
+            k += 1
+    setup_flat = None
+    if instance.setup is not None:
+        setup_flat = np.ascontiguousarray(
+            np.stack([np.asarray(s, dtype=float)
+                      for s in instance.setup])).ravel()
+    tables = (offsets, job_of, n_alts, elig_mach, elig_dur, lag_after,
+              setup_flat)
+    instance._fjsp_batch_tables = tables
+    return tables
+
+
+def batch_completion_fjsp(instance: FlexibleJobShopInstance,
+                          assignments: np.ndarray,
+                          sequences: np.ndarray,
+                          validate: bool = False) -> np.ndarray:
+    """Per-job completion times of a population of two-part FJSP genomes.
+
+    ``assignments`` and ``sequences`` are ``(pop_size, n_ops)`` int
+    matrices: row ``p`` of ``assignments`` indexes each flattened
+    operation's *sorted* eligible-machine list (modulo its length) and row
+    ``p`` of ``sequences`` is a permutation with repetition of job ids
+    (job ``j`` appearing ``stages_of(j)`` times) -- exactly the genome of
+    :func:`~repro.scheduling.flexible.decode_fjsp`, whose schedule's
+    ``completion_times`` this reproduces bit-identically per row.
+
+    All the Defersha & Chen [36] realism knobs are vectorised: machine
+    release dates, inter-stage time lags, and sequence-dependent setups in
+    both attached and detached mode (the per-machine predecessor-job state
+    becomes one more gather/scatter array in the scan).  The machine choice
+    itself has no data-dependent control flow -- it is a pure gather of the
+    assignment gene through the eligible-machine table -- which is what
+    makes the FJSP batchable at all.
+    """
+    A = np.asarray(assignments, dtype=np.int64)
+    S = np.asarray(sequences, dtype=np.int64)
+    if A.ndim == 1:
+        A = A[None, :]
+    if S.ndim == 1:
+        S = S[None, :]
+    if A.shape != S.shape:
+        raise ValueError("assignments and sequences shapes differ")
+    pop, length = S.shape
+    n, m = instance.n_jobs, instance.n_machines
+    if pop == 0:
+        return np.zeros((0, n))
+    offsets, job_of, n_alts, elig_mach, elig_dur, lag_after, setup_flat = \
+        _fjsp_tables(instance)
+    n_ops = int(offsets[-1])
+    if length != n_ops:
+        raise ValueError(f"genomes must have total_operations = {n_ops} "
+                         "columns")
+
+    # Gene i of row p schedules the next stage of job S[p, i]; a stable
+    # argsort groups genes job-major, so sorted slot k IS flattened
+    # operation k and scattering arange back gives each gene's op index.
+    order = np.argsort(S, axis=1, kind="stable")
+    if validate:
+        sorted_jobs = np.take_along_axis(S, order, axis=1)
+        bad = (sorted_jobs != job_of[None, :]).any(axis=1)
+        if bad.any():
+            raise ValueError(
+                f"rows {np.flatnonzero(bad).tolist()} are not valid FJSP "
+                "sequences (job j exactly stages_of(j) times)")
+    op_idx = np.empty_like(S)
+    np.put_along_axis(op_idx, order,
+                      np.broadcast_to(np.arange(n_ops, dtype=np.int64),
+                                      (pop, n_ops)), axis=1)
+
+    # machine choice: gather the op's assignment gene through its sorted
+    # eligible-machine list (scalar: alts[assignment[op] % len(alts)])
+    a_gene = np.take_along_axis(A, op_idx, axis=1)         # (pop, L)
+    sel = a_gene % n_alts[op_idx]
+    machines = elig_mach[op_idx, sel]                      # (pop, L)
+    durations = elig_dur[op_idx, sel]                      # (pop, L)
+    lags = lag_after[op_idx]                               # (pop, L)
+
+    base = np.arange(pop, dtype=np.int64)[:, None]
+    job_cols = np.ascontiguousarray(S.T)                   # raw job ids
+    job_idx = np.ascontiguousarray((base * n + S).T)
+    mach_idx = np.ascontiguousarray((base * m + machines).T)
+    dur_cols = np.ascontiguousarray(durations.T)
+    lag_cols = np.ascontiguousarray(lags.T)
+
+    job_ready = np.tile(instance.release, pop)             # (pop * n,)
+    mach_ready = np.tile(instance.machine_release, pop)    # (pop * m,)
+    if setup_flat is not None:
+        last_job = np.full(pop * m, -1, dtype=np.int64)
+        mach_cols = np.ascontiguousarray(machines.T)
+    for i in range(length):
+        ji = job_idx[i]
+        mi = mach_idx[i]
+        jr = job_ready[ji]
+        mr = mach_ready[mi]
+        if setup_flat is None:
+            end = np.maximum(jr, mr)
+        else:
+            st = setup_flat[(mach_cols[i] * (n + 1) + last_job[mi] + 1) * n
+                            + job_cols[i]]
+            if instance.setup_attached:
+                end = np.maximum(jr, mr) + st
+            else:
+                end = np.maximum(jr, mr + st)
+        end += dur_cols[i]
+        job_ready[ji] = end + lag_cols[i]
+        mach_ready[mi] = end
+        if setup_flat is not None:
+            last_job[mi] = job_cols[i]
+    # lag_after is 0 on each job's last stage, so the final ready time is
+    # the end of the job's last operation, i.e. C_j
+    return job_ready.reshape(pop, n)
+
+
+# ---------------------------------------------------------------------------
+# open shop (explicit operation sequence)
+# ---------------------------------------------------------------------------
+
+def pairs_to_op_ids(instance: OpenShopInstance,
+                    pairs: np.ndarray) -> np.ndarray:
+    """Flatten ``(job, machine)`` pairs to op ids ``job * n_machines + mach``.
+
+    Accepts ``(L, 2)`` (one individual) or ``(pop, L, 2)`` and returns the
+    ``(pop, L)`` int64 op-id matrix the batch decoder scans.
+    """
+    pr = np.asarray(pairs, dtype=np.int64)
+    if pr.ndim == 2:
+        pr = pr[None, :, :]
+    if pr.ndim != 3 or pr.shape[-1] != 2:
+        raise ValueError("pairs must be (L, 2) or (pop, L, 2)")
+    return pr[:, :, 0] * instance.n_machines + pr[:, :, 1]
+
+
+def batch_completion_pair_sequence(instance: OpenShopInstance,
+                                   sequences: np.ndarray,
+                                   validate: bool = False) -> np.ndarray:
+    """Per-job completion times of a population of open-shop sequences.
+
+    ``sequences`` lists every operation of the open shop exactly once per
+    row, either as a ``(pop_size, n_jobs * n_machines)`` matrix of op ids
+    (``job * n_machines + machine`` -- i.e. a plain permutation of
+    ``range(n_jobs * n_machines)``) or as explicit ``(job, machine)`` pairs
+    of shape ``(L, 2)`` / ``(pop_size, L, 2)``.  Operations are placed
+    greedily in list order, bit-identical per row to the
+    ``completion_times`` of
+    :func:`~repro.scheduling.openshop.decode_pair_sequence`.
+
+    This covers the maximally expressive open-shop encoding the survey
+    notes both the flow-shop-style and job-shop-style encodings reduce to;
+    the LPT-Task/LPT-Machine greedy decoders of Kokosinski & Studzienny
+    [32] stay scalar (their machine choice is data-dependent).
+    """
+    seqs = np.asarray(sequences, dtype=np.int64)
+    n_total = instance.n_jobs * instance.n_machines
+    # (pop, L, 2) and (L, 2) are pair layouts.  A 2-column matrix is
+    # ambiguous only when the instance itself has two operations; there a
+    # valid op-id matrix has every row a permutation of (0, 1), which a
+    # valid single-individual pair list never is (its job/machine columns
+    # repeat an index), so content disambiguates the layouts exactly.
+    if seqs.ndim == 3:
+        seqs = pairs_to_op_ids(instance, seqs)
+    elif seqs.ndim == 2 and seqs.shape[1] == 2:
+        rows_are_op_ids = (n_total == 2 and
+                           (np.sort(seqs, axis=1)
+                            == np.array([0, 1])).all())
+        if not rows_are_op_ids:
+            seqs = pairs_to_op_ids(instance, seqs)
+    if seqs.ndim == 1:
+        seqs = seqs[None, :]
+    pop, length = seqs.shape
+    n, m = instance.n_jobs, instance.n_machines
+    if pop == 0:
+        return np.zeros((0, n))
+    if length != n * m:
+        raise ValueError(
+            f"sequences must have n_jobs * n_machines = {n * m} columns")
+    if validate:
+        expected = np.arange(n * m, dtype=np.int64)
+        bad = (np.sort(seqs, axis=1) != expected[None, :]).any(axis=1)
+        if bad.any():
+            raise ValueError(
+                f"rows {np.flatnonzero(bad).tolist()} do not list every "
+                "(job, machine) operation exactly once")
+    jobs = seqs // m                                       # (pop, L)
+    machines = seqs % m                                    # (pop, L)
+    durations = instance.processing[jobs, machines]        # (pop, L)
+
+    base = np.arange(pop, dtype=np.int64)[:, None]
+    job_idx = np.ascontiguousarray((base * n + jobs).T)
+    mach_idx = np.ascontiguousarray((base * m + machines).T)
+    dur_cols = np.ascontiguousarray(durations.T)
+
+    job_ready = np.tile(instance.release, pop)             # (pop * n,)
+    mach_ready = np.zeros(pop * m)                         # (pop * m,)
+    for i in range(length):
+        ji = job_idx[i]
+        mi = mach_idx[i]
+        start = job_ready[ji]
+        np.maximum(start, mach_ready[mi], out=start)
+        start += dur_cols[i]
+        job_ready[ji] = start
+        mach_ready[mi] = start
+    return job_ready.reshape(pop, n)

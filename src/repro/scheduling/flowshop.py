@@ -26,6 +26,7 @@ __all__ = [
     "flowshop_completion",
     "flowshop_makespan",
     "flowshop_makespan_population",
+    "flowshop_completion_population",
     "flowshop_schedule",
     "neh_heuristic",
 ]
@@ -87,6 +88,40 @@ def flowshop_makespan_population(instance: FlowShopInstance,
         for k in range(1, m):
             c[:, k] = np.maximum(c[:, k - 1], c[:, k]) + p_i[:, k]
     return c[:, -1].copy()
+
+
+def flowshop_completion_population(instance: FlowShopInstance,
+                                   permutations: np.ndarray) -> np.ndarray:
+    """Per-job completion times ``C_j`` of ``P`` permutations at once.
+
+    Same recurrence as :func:`flowshop_makespan_population`, but the
+    last-machine exit time of every position is scattered back to its job
+    id, giving the ``(P, n_jobs)`` completion matrix that the batch
+    objective layer consumes.  ``completion[p, perm[p, i]]`` is the value
+    the scalar :func:`flowshop_completion` puts in ``C[i, m-1]``, so the
+    matrix is bit-identical to per-row scalar decoding.
+    """
+    perms = np.asarray(permutations, dtype=np.int64)
+    if perms.ndim != 2:
+        raise ValueError("permutations must be (P, n)")
+    pop, n = perms.shape
+    if n != instance.n_jobs:
+        raise ValueError(
+            f"permutations must have n_jobs = {instance.n_jobs} columns")
+    m = instance.n_machines
+    proc = instance.processing
+    release = instance.release
+    rows = np.arange(pop)
+    c = np.zeros((pop, m))
+    completion = np.zeros((pop, n))
+    for i in range(n):
+        jobs = perms[:, i]                 # (P,)
+        p_i = proc[jobs]                   # (P, m)
+        c[:, 0] = np.maximum(c[:, 0], release[jobs]) + p_i[:, 0]
+        for k in range(1, m):
+            c[:, k] = np.maximum(c[:, k - 1], c[:, k]) + p_i[:, k]
+        completion[rows, jobs] = c[:, m - 1]
+    return completion
 
 
 def flowshop_schedule(instance: FlowShopInstance,

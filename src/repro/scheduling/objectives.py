@@ -12,11 +12,23 @@ Given a feasible schedule we can compute per job ``C_j`` (completion),
 "or any combination among them" -- provided by :class:`WeightedCombination`.
 Objectives are callables ``objective(schedule, instance) -> float`` and are
 always minimised.
+
+Every criterion is a function of the per-job completion vector alone, so
+each objective also exposes a **batch** form ``objective.batch(completion,
+instance) -> (pop,) vector`` over a ``(pop, n_jobs)`` completion-time
+matrix (the output of the vectorised decoders in
+:mod:`repro.scheduling.batch`).  The scalar ``__call__`` delegates to
+``batch`` on the schedule's one-row completion matrix, so the two paths
+are bit-identical *by construction*: same elementwise arithmetic, and
+NumPy's pairwise summation over the (contiguous) job axis groups a row of
+a matrix exactly like the standalone vector.  :func:`batch_objective` is
+the discovery point -- it returns the batch form when the whole criterion
+(including every part of a :class:`WeightedCombination`) supports it.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Protocol, Sequence
+from typing import Protocol, Sequence
 
 import numpy as np
 
@@ -25,6 +37,8 @@ from .schedule import Schedule
 
 __all__ = [
     "Objective",
+    "BatchObjective",
+    "batch_objective",
     "Makespan",
     "TotalWeightedCompletion",
     "TotalWeightedTardiness",
@@ -46,6 +60,41 @@ class Objective(Protocol):
         ...  # pragma: no cover
 
 
+class BatchObjective(Protocol):
+    """Minimised criterion vector over a batch of completion-time rows.
+
+    Maps a ``(pop, n_jobs)`` float64 completion matrix (and the instance
+    holding due dates / weights / releases) to the ``(pop,)`` criterion
+    vector, bit-identical per row to the scalar :class:`Objective`.
+    """
+
+    def __call__(self, completion: np.ndarray,
+                 instance: ShopInstance) -> np.ndarray:
+        ...  # pragma: no cover
+
+
+def batch_objective(objective: Objective) -> BatchObjective | None:
+    """The vectorised counterpart of ``objective``, if it has one.
+
+    Returns the objective's ``batch`` method when the criterion is fully
+    reducible from completion matrices (for a
+    :class:`WeightedCombination`, every part must be), else ``None`` --
+    callers fall back to decode-and-score per genome.
+    """
+    supported = getattr(objective, "supports_batch", None)
+    if supported is not None and not supported:
+        return None
+    return getattr(objective, "batch", None)
+
+
+def _scalar_from_batch(objective, schedule: Schedule,
+                       instance: ShopInstance) -> float:
+    """Scalar value via the batch form on a one-row completion matrix."""
+    completion = np.ascontiguousarray(schedule.completion_times,
+                                      dtype=float)[None, :]
+    return float(objective.batch(completion, instance)[0])
+
+
 def tardiness(schedule: Schedule, instance: ShopInstance) -> np.ndarray:
     """``T_j = max(0, C_j - D_j)`` per job."""
     due = np.where(np.isinf(instance.due), np.inf, instance.due)
@@ -65,6 +114,12 @@ class Makespan:
     def __call__(self, schedule: Schedule, instance: ShopInstance) -> float:
         return schedule.makespan
 
+    def batch(self, completion: np.ndarray,
+              instance: ShopInstance) -> np.ndarray:
+        if completion.shape[1] == 0:
+            return np.zeros(len(completion))
+        return completion.max(axis=1)
+
 
 class TotalWeightedCompletion:
     """``sum w_j C_j`` (Bozejko & Wodecki [31])."""
@@ -72,18 +127,26 @@ class TotalWeightedCompletion:
     name = "total_weighted_completion"
 
     def __call__(self, schedule: Schedule, instance: ShopInstance) -> float:
-        return float(np.dot(instance.weights, schedule.completion_times))
+        return _scalar_from_batch(self, schedule, instance)
+
+    def batch(self, completion: np.ndarray,
+              instance: ShopInstance) -> np.ndarray:
+        return (instance.weights * completion).sum(axis=1)
 
 
 class TotalWeightedTardiness:
-    """``sum w_j T_j``."""
+    """``sum w_j T_j`` (jobs with infinite tardiness are excluded)."""
 
     name = "total_weighted_tardiness"
 
     def __call__(self, schedule: Schedule, instance: ShopInstance) -> float:
-        t = tardiness(schedule, instance)
-        finite = np.isfinite(t)
-        return float(np.dot(instance.weights[finite], t[finite]))
+        return _scalar_from_batch(self, schedule, instance)
+
+    def batch(self, completion: np.ndarray,
+              instance: ShopInstance) -> np.ndarray:
+        t = np.maximum(completion - instance.due, 0.0)
+        weighted = np.where(np.isfinite(t), instance.weights * t, 0.0)
+        return weighted.sum(axis=1)
 
 
 class TotalWeightedUnitPenalty:
@@ -92,7 +155,11 @@ class TotalWeightedUnitPenalty:
     name = "total_weighted_unit_penalty"
 
     def __call__(self, schedule: Schedule, instance: ShopInstance) -> float:
-        return float(np.dot(instance.weights, unit_penalties(schedule, instance)))
+        return _scalar_from_batch(self, schedule, instance)
+
+    def batch(self, completion: np.ndarray,
+              instance: ShopInstance) -> np.ndarray:
+        return (instance.weights * (completion > instance.due)).sum(axis=1)
 
 
 class MaximumTardiness:
@@ -101,9 +168,16 @@ class MaximumTardiness:
     name = "maximum_tardiness"
 
     def __call__(self, schedule: Schedule, instance: ShopInstance) -> float:
-        t = tardiness(schedule, instance)
-        finite = t[np.isfinite(t)]
-        return float(finite.max()) if finite.size else 0.0
+        return _scalar_from_batch(self, schedule, instance)
+
+    def batch(self, completion: np.ndarray,
+              instance: ShopInstance) -> np.ndarray:
+        if completion.shape[1] == 0:
+            return np.zeros(len(completion))
+        t = np.maximum(completion - instance.due, 0.0)
+        finite = np.isfinite(t)
+        tmax = np.where(finite, t, -np.inf).max(axis=1)
+        return np.where(finite.any(axis=1), tmax, 0.0)
 
 
 class TotalFlowTime:
@@ -112,7 +186,11 @@ class TotalFlowTime:
     name = "total_flow_time"
 
     def __call__(self, schedule: Schedule, instance: ShopInstance) -> float:
-        return float(np.sum(schedule.completion_times - instance.release))
+        return _scalar_from_batch(self, schedule, instance)
+
+    def batch(self, completion: np.ndarray,
+              instance: ShopInstance) -> np.ndarray:
+        return (completion - instance.release).sum(axis=1)
 
 
 class WeightedCombination:
@@ -131,6 +209,25 @@ class WeightedCombination:
     def __call__(self, schedule: Schedule, instance: ShopInstance) -> float:
         return float(sum(w * obj(schedule, instance) for w, obj in self.parts))
 
+    @property
+    def supports_batch(self) -> bool:
+        """True when every part reduces from completion matrices."""
+        return all(batch_objective(obj) is not None for _, obj in self.parts)
+
+    def batch(self, completion: np.ndarray,
+              instance: ShopInstance) -> np.ndarray:
+        # same left-to-right accumulation as the scalar Python sum()
+        acc = np.zeros(len(completion))
+        for w, obj in self.parts:
+            acc = acc + w * obj.batch(completion, instance)
+        return acc
+
     def vector(self, schedule: Schedule, instance: ShopInstance) -> tuple[float, ...]:
         """The un-scalarised objective vector (for Pareto archiving)."""
         return tuple(obj(schedule, instance) for _, obj in self.parts)
+
+    def batch_vector(self, completion: np.ndarray,
+                     instance: ShopInstance) -> np.ndarray:
+        """Un-scalarised ``(pop, n_parts)`` objective matrix in one call."""
+        return np.stack([obj.batch(completion, instance)
+                         for _, obj in self.parts], axis=1)

@@ -41,9 +41,9 @@ class TestHarness:
 
 
 class TestRegistry:
-    def test_all_22_experiments_registered(self):
-        assert len(EXPERIMENTS) == 22
-        assert sorted(EXPERIMENTS) == [f"E{i:02d}" for i in range(1, 23)]
+    def test_all_23_experiments_registered(self):
+        assert len(EXPERIMENTS) == 23
+        assert sorted(EXPERIMENTS) == [f"E{i:02d}" for i in range(1, 24)]
 
     def test_unknown_experiment(self):
         with pytest.raises(KeyError):
@@ -64,6 +64,11 @@ class TestRegistry:
     def test_conformance_experiment_passes(self):
         res = run_experiment("E21", scale="smoke")
         assert res.passed, res.summary()
+
+    def test_decoder_conformance_experiment_passes(self):
+        res = run_experiment("E23", scale="smoke")
+        assert res.passed, res.summary()
+        assert len(res.rows) == 4  # all four vectorised problem classes
 
     @pytest.mark.parametrize("exp", ["E06", "E12", "E15"])
     def test_fast_native_experiments_run_smoke(self, exp):
