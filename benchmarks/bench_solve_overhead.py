@@ -1,0 +1,120 @@
+"""Benchmark: facade dispatch overhead of ``repro.solve`` vs direct use.
+
+The declarative API must stay free: resolving a spec (registry lookups,
+instance construction, validation) happens once per run, so its cost has
+to vanish next to the GA itself.  This benchmark times the same
+configuration -- ft06, population 60, 80 generations -- constructed
+directly (``SimpleGA(...).run()``) and through ``repro.solve(spec)``,
+asserts the results are bit-identical, and gates the facade's overhead
+at <5% (env ``BENCH_MAX_OVERHEAD_PCT`` relaxes the gate on noisy shared
+runners).  Emits ``BENCH_solve_overhead.json`` next to this file.
+
+Run with pytest (prints the table)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_solve_overhead.py -s -q
+
+or standalone::
+
+    PYTHONPATH=src python benchmarks/bench_solve_overhead.py
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro import GAConfig, MaxGenerations, Problem, SimpleGA, SolverSpec, solve
+from repro.encodings import OperationBasedEncoding
+from repro.instances import get_instance
+
+POP = 60
+GENERATIONS = 80
+SEED = 42
+REPS = 15
+MAX_OVERHEAD_PCT = float(os.environ.get("BENCH_MAX_OVERHEAD_PCT", "5.0"))
+OUT_PATH = Path(__file__).resolve().parent / "BENCH_solve_overhead.json"
+
+
+def _direct():
+    problem = Problem(OperationBasedEncoding(get_instance("ft06")))
+    return SimpleGA(problem, GAConfig(population_size=POP),
+                    MaxGenerations(GENERATIONS), seed=SEED).run()
+
+
+def _facade():
+    return solve(SolverSpec(instance="ft06",
+                            ga={"population_size": POP},
+                            termination={"max_generations": GENERATIONS},
+                            seed=SEED))
+
+
+def timed_pairs(fn_a, fn_b, reps=REPS):
+    """Interleaved (a, b) wall-time pairs; adjacency decorrelates drift."""
+    pairs = []
+    out_a = out_b = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        out_a = fn_a()
+        ta = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        out_b = fn_b()
+        tb = time.perf_counter() - t0
+        pairs.append((ta, tb))
+    return pairs, out_a, out_b
+
+
+def _median(values):
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def test_solve_overhead():
+    # warm both paths (imports, registry population, numpy caches)
+    _direct()
+    _facade()
+
+    pairs, direct, facade = timed_pairs(_direct, _facade)
+
+    assert facade.best_objective == direct.best_objective, \
+        "facade must be bit-identical to direct construction"
+    assert facade.evaluations == direct.evaluations
+
+    t_direct = min(ta for ta, _ in pairs)
+    t_facade = min(tb for _, tb in pairs)
+    # gate on the median of per-pair ratios: each ratio compares adjacent
+    # runs, so a background-load spike poisons one pair, not the estimate
+    overhead_pct = _median([100.0 * (tb - ta) / ta for ta, tb in pairs])
+    resolve_s = facade.timings["resolve"]
+
+    print(f"\n{'path':>8} {'best-of-' + str(REPS) + ' wall s':>18}")
+    print(f"{'direct':>8} {t_direct:>18.4f}")
+    print(f"{'facade':>8} {t_facade:>18.4f}")
+    print(f"facade overhead (median of per-pair ratios): "
+          f"{overhead_pct:+.2f}% "
+          f"(resolve step: {resolve_s * 1e3:.2f} ms; gate: "
+          f"<{MAX_OVERHEAD_PCT:g}%)")
+
+    OUT_PATH.write_text(json.dumps({
+        "instance": "ft06",
+        "population": POP,
+        "generations": GENERATIONS,
+        "reps": REPS,
+        "direct_s": t_direct,
+        "facade_s": t_facade,
+        "overhead_pct": overhead_pct,
+        "resolve_s": resolve_s,
+        "gate_pct": MAX_OVERHEAD_PCT,
+        "bit_identical": True,
+    }, indent=2) + "\n")
+    print(f"wrote {OUT_PATH.name}")
+
+    assert overhead_pct < MAX_OVERHEAD_PCT, (
+        f"facade dispatch overhead {overhead_pct:.2f}% exceeds "
+        f"{MAX_OVERHEAD_PCT:g}% gate")
+
+
+if __name__ == "__main__":
+    test_solve_overhead()

@@ -1,16 +1,18 @@
-"""Quickstart: solve the classic ft06 job shop with the simple GA.
+"""Quickstart: solve the classic ft06 job shop through `repro.solve()`.
 
 Run with::
 
     python examples/quickstart.py
 
-Demonstrates the core workflow every other example builds on:
-instance -> encoding -> Problem -> engine -> decoded schedule.
+Demonstrates the declarative workflow every other example builds on: one
+:class:`repro.SolverSpec` names the instance, objective, engine and
+budgets; ``repro.solve(spec)`` resolves the names through the registries
+and returns a :class:`repro.SolveReport` with the decoded best schedule
+one call away.  The spec is plain data -- ``spec.to_json()`` is a
+complete, reproducible job description.
 """
 
-from repro import GAConfig, MaxGenerations, Problem, SimpleGA
-from repro.core import TargetObjective
-from repro.encodings import OperationBasedEncoding
+import repro
 from repro.instances import FT06_OPTIMUM, get_instance
 
 
@@ -20,27 +22,29 @@ def main() -> None:
           f"({instance.n_jobs} jobs x {instance.n_machines} machines), "
           f"known optimum makespan = {FT06_OPTIMUM:g}")
 
-    problem = Problem(OperationBasedEncoding(instance))
-    ga = SimpleGA(
-        problem,
-        GAConfig(population_size=80, crossover_rate=0.9, mutation_rate=0.25,
-                 n_elites=2),
-        termination=TargetObjective(FT06_OPTIMUM) | MaxGenerations(150),
+    spec = repro.SolverSpec(
+        instance="ft06",
+        engine="simple",                    # try: island, cellular, hybrid
+        ga={"population_size": 80, "crossover_rate": 0.9,
+            "mutation_rate": 0.25, "n_elites": 2},
+        termination={"target": FT06_OPTIMUM, "max_generations": 150},
         seed=42,
     )
-    result = ga.run()
+    print(f"\nspec (JSON-serializable job description):\n{spec.to_json()}\n")
 
-    print(f"best makespan: {result.best_objective:g} "
-          f"after {result.generations} generations "
-          f"({result.evaluations} evaluations)")
-    print(f"stopped because: {result.termination_reason}")
+    report = repro.solve(spec)
 
-    schedule = problem.decode(result.best.genome)
+    print(f"best makespan: {report.best_objective:g} "
+          f"after {report.generations} generations "
+          f"({report.evaluations} evaluations)")
+    print(f"stopped because: {report.termination_reason}")
+
+    schedule = report.schedule()
     schedule.audit(instance)  # feasibility oracle: raises on any violation
     print("\nGantt chart (digits are job ids):")
     print(schedule.gantt())
 
-    gap = (result.best_objective - FT06_OPTIMUM) / FT06_OPTIMUM
+    gap = (report.best_objective - FT06_OPTIMUM) / FT06_OPTIMUM
     print(f"\ngap to optimum: {100 * gap:.1f}%")
 
 

@@ -1,0 +1,53 @@
+"""Scenario sweep: one base spec, many scenarios, concurrent execution.
+
+The declarative answer to "how does each parallel model behave across
+instances and seeds?": a :class:`repro.ScenarioSweep` expands a base
+:class:`repro.SolverSpec` over the product instances x engines x seeds
+and a :class:`repro.SolverService` executes the batch on a process pool,
+streaming structured results as runs finish.
+
+Run with::
+
+    python examples/scenario_sweep.py
+"""
+
+from collections import defaultdict
+
+import repro
+
+
+def main() -> None:
+    sweep = repro.ScenarioSweep(
+        base=repro.SolverSpec(
+            instance="ft06",
+            ga={"population_size": 48},
+            termination={"max_generations": 40},
+        ),
+        instances=("ft06", "la01-shaped"),
+        engines=("simple", "island", "cellular"),
+        seeds=(1, 2, 3),
+    )
+    specs = sweep.specs()
+    print(f"{len(specs)} scenarios "
+          f"({len(sweep.instances)} instances x {len(sweep.engines)} "
+          f"engines x {len(sweep.seeds)} seeds), 4 workers\n")
+
+    bests: dict[tuple[str, str], list[float]] = defaultdict(list)
+    for result in repro.SolverService(n_workers=4).run(specs):
+        print(result.summary())
+        if result.ok:
+            spec = result.spec
+            bests[(spec["instance"], spec["engine"])].append(
+                result.report["best_objective"])
+
+    print("\nmean best makespan per (instance, engine):")
+    for (instance, engine), values in sorted(bests.items()):
+        mean = sum(values) / len(values)
+        print(f"  {instance:<14} {engine:<10} {mean:8.1f}")
+
+    print("\nevery row above is reproducible from its spec alone: "
+          "repro.solve(result.spec) reruns it bit-identically.")
+
+
+if __name__ == "__main__":
+    main()

@@ -14,9 +14,24 @@ Genetic Algorithms for Shop Scheduling Problems" (IPPS 2018):
 * :mod:`repro.extensions` -- fuzzy, stochastic, quantum, energy-aware,
   dynamic and multi-objective variants,
 * :mod:`repro.instances` -- ft06 + shaped benchmark stand-ins + generators,
-* :mod:`repro.experiments` -- the 22 reproduced claims (E01-E22).
+* :mod:`repro.experiments` -- the 23 reproduced claims (E01-E23).
+
+* :mod:`repro.api` -- the declarative front door: :class:`SolverSpec`,
+  ``repro.solve()``, named registries and concurrent scenario sweeps.
 
 Quickstart::
+
+    import repro
+
+    report = repro.solve(repro.SolverSpec(
+        instance="ft06", engine="island",
+        ga={"population_size": 60},
+        termination={"max_generations": 100}, seed=42))
+    print(report.best_objective)
+
+Every engine, encoding and objective is addressable by name
+(``repro.available_engines()`` etc.); the classes behind them remain
+importable for programmatic use::
 
     from repro import SimpleGA, GAConfig, MaxGenerations, Problem
     from repro.encodings import OperationBasedEncoding
@@ -33,6 +48,9 @@ from .core import (GAConfig, GAResult, Individual, MaxEvaluations,
                    TargetObjective, TimeLimit)
 from .encodings import Problem
 from .parallel import (CellularGA, IslandGA, MasterSlaveGA, MigrationPolicy)
+from .api import (ScenarioSweep, SolveReport, SolverService, SolverSpec,
+                  SpecError, available_encodings, available_engines,
+                  available_objectives, solve)
 
 __version__ = "1.0.0"
 
@@ -42,5 +60,8 @@ __all__ = [
     "Stagnation",
     "Problem",
     "MasterSlaveGA", "IslandGA", "CellularGA", "MigrationPolicy",
+    "SolverSpec", "SolveReport", "solve", "SpecError",
+    "ScenarioSweep", "SolverService",
+    "available_engines", "available_encodings", "available_objectives",
     "__version__",
 ]

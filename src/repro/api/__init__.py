@@ -1,0 +1,43 @@
+"""Declarative solver API: specs, registries, facade, sweeps.
+
+The one import site for config-driven solving::
+
+    from repro.api import SolverSpec, solve, available_engines
+
+    report = solve(SolverSpec(instance="ft06", engine="cellular",
+                              termination={"max_generations": 50}))
+
+Modules:
+
+* :mod:`repro.api.registry` -- string-keyed registries for engines,
+  encodings and objectives (``@register_*`` / ``available_*()``),
+* :mod:`repro.api.spec` -- the frozen, JSON-round-trippable
+  :class:`SolverSpec` with actionable validation,
+* :mod:`repro.api.components` -- built-in encoding/objective
+  registrations and ``spec -> Problem`` resolution,
+* :mod:`repro.api.engines` -- adapters for all six engines (simple,
+  master-slave, island, cellular/fine-grained, hybrid, two-level),
+* :mod:`repro.api.facade` -- ``solve(spec) -> SolveReport``,
+* :mod:`repro.api.sweep` -- :class:`ScenarioSweep` expansion and the
+  concurrent :class:`SolverService`.
+"""
+
+from .registry import (SpecError, available_encodings, available_engines,
+                       available_objectives, encoding_entry, engine_entry,
+                       first_doc_line, objective_entry, register_encoding,
+                       register_engine, register_objective)
+from .spec import SolverSpec
+from . import components as _components  # noqa: F401 - populates registries
+from . import engines as _engines        # noqa: F401 - populates registries
+from .components import resolve_problem
+from .facade import SolveReport, resolve_spec, resolve_termination, solve
+from .sweep import ScenarioSweep, SolverService, SweepResult
+
+__all__ = [
+    "SolverSpec", "SolveReport", "solve", "SpecError",
+    "resolve_problem", "resolve_spec", "resolve_termination",
+    "register_engine", "register_encoding", "register_objective",
+    "available_engines", "available_encodings", "available_objectives",
+    "engine_entry", "encoding_entry", "objective_entry", "first_doc_line",
+    "ScenarioSweep", "SolverService", "SweepResult",
+]

@@ -1,0 +1,316 @@
+"""Built-in encoding and objective registrations + problem resolution.
+
+Populates the :mod:`repro.api.registry` registries with every chromosome
+representation of Section III.A and every optimality criterion of
+Section II, then provides the resolution steps
+``spec -> instance -> encoding -> objective -> Problem`` that
+:func:`repro.api.facade.solve` composes.
+
+Each encoding entry is tagged with the instance classes it can decode
+(``instance_classes``), whether it is the documented default for a class
+(``default_for``), and a representative registry instance
+(``sample_instance``) used by conformance tests to exercise every
+combination the registries expose.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..encodings import (DispatchRuleEncoding, FlexibleJobShopEncoding,
+                         FlowShopPermutationEncoding, HybridFlowShopEncoding,
+                         LotStreamingEncoding, OpenShopPairSequenceEncoding,
+                         OpenShopPermutationEncoding, OperationBasedEncoding,
+                         Problem, RandomKeysFlowShopEncoding,
+                         RandomKeysJobShopEncoding)
+from ..instances import get_instance, with_due_dates_twk, with_weights
+from ..scheduling.objectives import (Makespan, MaximumTardiness,
+                                     TotalFlowTime, TotalWeightedCompletion,
+                                     TotalWeightedTardiness,
+                                     TotalWeightedUnitPenalty,
+                                     WeightedCombination)
+from .registry import (ENCODINGS, SpecError, register_encoding,
+                       register_objective)
+
+__all__ = ["resolve_instance", "resolve_encoding", "resolve_objective",
+           "resolve_problem", "default_encoding_name",
+           "instance_class_name"]
+
+
+# -- encodings (Section III.A) ---------------------------------------------------
+
+@register_encoding(
+    "operation-based", aliases=("operation_based",),
+    description="Job shop permutation-with-repetition (direct encoding)",
+    params={"mode": "semi_active"},
+    instance_classes=("JobShopInstance",),
+    default_for=("JobShopInstance",),
+    sample_instance="ft06")
+def _operation_based(instance, mode: str = "semi_active"):
+    return OperationBasedEncoding(instance, mode=mode)
+
+
+@register_encoding(
+    "permutation", aliases=("flowshop-permutation",),
+    description="Flow shop job permutation (the standard n-string)",
+    params={},
+    instance_classes=("FlowShopInstance",),
+    default_for=("FlowShopInstance",),
+    sample_instance="ta-fs-20x5-shaped")
+def _flowshop_permutation(instance):
+    return FlowShopPermutationEncoding(instance)
+
+
+@register_encoding(
+    "random-keys-flowshop", aliases=("random_keys_flowshop",),
+    description="Flow shop random keys (real vector, argsort decode)",
+    params={},
+    instance_classes=("FlowShopInstance",),
+    sample_instance="ta-fs-20x5-shaped")
+def _random_keys_flowshop(instance):
+    return RandomKeysFlowShopEncoding(instance)
+
+
+@register_encoding(
+    "random-keys-jobshop", aliases=("random_keys_jobshop",),
+    description="Job shop random keys (indirect real-vector encoding)",
+    params={},
+    instance_classes=("JobShopInstance",),
+    sample_instance="ft06")
+def _random_keys_jobshop(instance):
+    return RandomKeysJobShopEncoding(instance)
+
+
+@register_encoding(
+    "dispatch-rules", aliases=("dispatch_rules",),
+    description="Job shop dispatching-rule alphabet (indirect encoding)",
+    params={"rules": ("SPT", "LPT", "MWR", "LWR", "FIFO")},
+    instance_classes=("JobShopInstance",),
+    sample_instance="ft06")
+def _dispatch_rules(instance, rules=("SPT", "LPT", "MWR", "LWR", "FIFO")):
+    return DispatchRuleEncoding(instance, rules=tuple(rules))
+
+
+@register_encoding(
+    "openshop-permutation", aliases=("openshop_permutation",),
+    description="Open shop job repetitions + greedy LPT decoder",
+    params={"decoder": "lpt_task"},
+    instance_classes=("OpenShopInstance",),
+    default_for=("OpenShopInstance",),
+    sample_instance="ta-os-5x5-shaped")
+def _openshop_permutation(instance, decoder: str = "lpt_task"):
+    return OpenShopPermutationEncoding(instance, decoder=decoder)
+
+
+@register_encoding(
+    "openshop-pairs", aliases=("openshop_pairs",),
+    description="Open shop operation-id permutation (vectorised decode)",
+    params={},
+    instance_classes=("OpenShopInstance",),
+    sample_instance="ta-os-5x5-shaped")
+def _openshop_pairs(instance):
+    return OpenShopPairSequenceEncoding(instance)
+
+
+@register_encoding(
+    "flexible-job-shop", aliases=("flexible_job_shop", "fjsp"),
+    description="FJSP two-part (machine assignment, operation sequence)",
+    params={},
+    instance_classes=("FlexibleJobShopInstance",),
+    default_for=("FlexibleJobShopInstance",),
+    sample_instance="fjsp-8x5-shaped")
+def _flexible_job_shop(instance):
+    return FlexibleJobShopEncoding(instance)
+
+
+@register_encoding(
+    "hybrid-flow-shop", aliases=("hybrid_flow_shop", "hfs"),
+    description="Hybrid flow shop (assignment matrix, job permutation)",
+    params={"use_assignment": True},
+    instance_classes=("FlexibleFlowShopInstance",),
+    default_for=("FlexibleFlowShopInstance",),
+    sample_instance="hfs-10x3x2-shaped")
+def _hybrid_flow_shop(instance, use_assignment: bool = True):
+    return HybridFlowShopEncoding(instance, use_assignment=use_assignment)
+
+
+@register_encoding(
+    "lot-streaming", aliases=("lot_streaming",),
+    description="HFS lot streaming (sublot-size keys, job permutation)",
+    params={"sublots": 2},
+    instance_classes=("FlexibleFlowShopInstance",),
+    sample_instance="hfs-10x3x2-shaped")
+def _lot_streaming(instance, sublots: int = 2):
+    return LotStreamingEncoding(instance, sublots=sublots)
+
+
+# -- objectives (Section II) -----------------------------------------------------
+
+@register_objective("makespan", aliases=("cmax",),
+                    description="C_max — the dominant surveyed criterion",
+                    params={})
+def _makespan():
+    return Makespan()
+
+
+@register_objective("total-weighted-completion",
+                    aliases=("total_weighted_completion", "sum-wc"),
+                    description="Σ w_j C_j (Bozejko & Wodecki [31])",
+                    params={})
+def _total_weighted_completion():
+    return TotalWeightedCompletion()
+
+
+@register_objective("total-weighted-tardiness",
+                    aliases=("total_weighted_tardiness", "sum-wt"),
+                    description="Σ w_j T_j", params={})
+def _total_weighted_tardiness():
+    return TotalWeightedTardiness()
+
+
+@register_objective("total-weighted-unit-penalty",
+                    aliases=("total_weighted_unit_penalty", "sum-wu"),
+                    description="Σ w_j U_j (weighted late-job count)",
+                    params={})
+def _total_weighted_unit_penalty():
+    return TotalWeightedUnitPenalty()
+
+
+@register_objective("maximum-tardiness", aliases=("maximum_tardiness", "tmax"),
+                    description="T_max (Rashidi et al. [38])", params={})
+def _maximum_tardiness():
+    return MaximumTardiness()
+
+
+@register_objective("total-flow-time", aliases=("total_flow_time",),
+                    description="Σ (C_j − R_j), unweighted flow time",
+                    params={})
+def _total_flow_time():
+    return TotalFlowTime()
+
+
+@register_objective(
+    "weighted", aliases=("weighted-combination", "weighted_combination"),
+    description="Linear combination of named criteria ('any combination')",
+    params={"parts": ()})
+def _weighted(parts=()):
+    if not parts:
+        raise SpecError(
+            "objective_params: 'weighted' needs parts, e.g. "
+            "{'parts': [[0.7, 'makespan'], [0.3, 'maximum-tardiness']]}")
+    resolved = []
+    for item in parts:
+        try:
+            weight, name = item
+        except (TypeError, ValueError) as exc:
+            raise SpecError(
+                f"objective_params: each part must be a [weight, name] "
+                f"pair, got {item!r}") from exc
+        if name in ("weighted", "weighted-combination",
+                    "weighted_combination"):
+            raise SpecError("objective_params: 'weighted' parts cannot nest "
+                            "another weighted combination")
+        resolved.append((float(weight), _make_objective(str(name))))
+    return WeightedCombination(resolved)
+
+
+def _make_objective(name: str, **params: Any):
+    from .registry import objective_entry
+    entry = objective_entry(name)
+    entry.check_params(params, "objective_params")
+    return entry.factory(**params)
+
+
+# -- resolution ------------------------------------------------------------------
+
+def instance_class_name(instance_or_name) -> str:
+    """Class name of a registry instance (``'JobShopInstance'`` etc.)."""
+    if isinstance(instance_or_name, str):
+        instance_or_name = get_instance(instance_or_name)
+    return type(instance_or_name).__name__
+
+
+def default_encoding_name(instance_or_name) -> str:
+    """The documented default encoding for an instance's problem class."""
+    cls_name = instance_class_name(instance_or_name)
+    for entry in ENCODINGS.entries():
+        if cls_name in entry.tags.get("default_for", ()):
+            return entry.name
+    raise SpecError(f"no default encoding for {cls_name}; set "
+                    f"spec.encoding explicitly (available: "
+                    f"{ENCODINGS.names()})")
+
+
+def resolve_instance(spec):
+    """Fresh instance named by ``spec.instance``, post-processed.
+
+    ``instance_params.due_tau`` attaches TWK due dates (tardiness-family
+    objectives need finite due dates); ``instance_params.weights`` --
+    ``true`` or an ``[lo, hi]`` pair -- attaches job weights.  Both are
+    deterministic (Taillard LCG streams).
+    """
+    try:
+        instance = get_instance(spec.instance)
+    except KeyError as exc:
+        from ..instances import available_instances
+        from .registry import suggest
+        raise SpecError(
+            f"instance: unknown instance {spec.instance!r}"
+            f"{suggest(spec.instance, available_instances())}") from exc
+    params = spec.instance_params
+    try:
+        if params.get("due_tau") is not None:
+            instance = with_due_dates_twk(instance,
+                                          tau=float(params["due_tau"]))
+        weights = params.get("weights")
+        if weights:
+            if weights is True:
+                instance = with_weights(instance)
+            else:
+                lo, hi = weights
+                instance = with_weights(instance, lo=int(lo), hi=int(hi))
+    except (TypeError, ValueError) as exc:
+        raise SpecError(
+            f"instance_params: {exc} (due_tau takes a number; weights "
+            f"takes true or an [lo, hi] pair)") from exc
+    return instance
+
+
+def resolve_encoding(spec, instance):
+    """Encoding object for ``spec`` bound to ``instance``."""
+    name = spec.encoding or default_encoding_name(instance)
+    entry = ENCODINGS.get(name)
+    accepted = entry.tags.get("instance_classes", ())
+    cls_name = type(instance).__name__
+    if accepted and cls_name not in accepted:
+        raise SpecError(
+            f"encoding: {entry.name!r} decodes {sorted(accepted)} "
+            f"instances, but {instance.name!r} is a {cls_name}")
+    entry.check_params(spec.encoding_params, "encoding_params")
+    try:
+        return entry.factory(instance, **spec.encoding_params)
+    except (TypeError, ValueError) as exc:
+        raise SpecError(f"encoding_params: {exc}") from exc
+
+
+def resolve_objective(spec):
+    """Objective object named by ``spec.objective``."""
+    try:
+        return _make_objective(spec.objective, **spec.objective_params)
+    except SpecError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise SpecError(f"objective_params: {exc}") from exc
+
+
+def resolve_problem(spec, instance=None) -> Problem:
+    """``spec -> Problem`` (instance + encoding + objective + eval_cost).
+
+    ``instance`` optionally reuses an already-resolved instance object
+    (the facade resolves once and threads it through every step).
+    """
+    if instance is None:
+        instance = resolve_instance(spec)
+    encoding = resolve_encoding(spec, instance)
+    objective = resolve_objective(spec)
+    return Problem(encoding, objective, eval_cost=spec.eval_cost)

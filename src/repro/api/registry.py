@@ -1,0 +1,203 @@
+"""String-keyed component registries for the declarative solver API.
+
+The survey's whole taxonomy is a product of independent axes -- problem
+class x encoding x objective x parallel model -- and a serializable
+:class:`~repro.api.spec.SolverSpec` addresses each axis *by name*.  This
+module provides the naming layer: three registries (engines, encodings,
+objectives) populated by decorators, enumerable via ``available_*()``,
+and queried by spec validation/resolution with actionable error messages
+(unknown names come back with close-match suggestions).
+
+Registering a component::
+
+    @register_engine("island", params={"islands": 4, "topology": "ring"})
+    def _run_island(problem, config, termination, seed, *, islands, topology):
+        ...
+
+Every entry carries a one-line description (first docstring line, or an
+em-dash placeholder when the component has no docstring -- enumeration
+must never crash on an undocumented component) and a ``params`` mapping
+naming the accepted keyword parameters with their defaults, which is what
+spec validation checks ``engine_params`` / ``encoding_params`` /
+``objective_params`` keys against.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+__all__ = [
+    "SpecError",
+    "Registry",
+    "RegistryEntry",
+    "first_doc_line",
+    "register_engine", "available_engines", "engine_entry",
+    "register_encoding", "available_encodings", "encoding_entry",
+    "register_objective", "available_objectives", "objective_entry",
+]
+
+#: Placeholder shown for components that ship no docstring.
+NO_DESCRIPTION = "—"
+
+
+class SpecError(ValueError):
+    """A solver spec names an unknown component or an invalid parameter.
+
+    Always carries an actionable message: what was wrong, where in the
+    spec it sits, and what the valid options are.
+    """
+
+
+def first_doc_line(obj: Any) -> str:
+    """First docstring line of ``obj``, or an em-dash placeholder.
+
+    Registry enumeration and ``repro list`` print this; components (or
+    experiments) without docstrings must render as a placeholder rather
+    than crash with ``AttributeError`` on ``None.strip()``.
+    """
+    doc = getattr(obj, "__doc__", None)
+    if not doc or not doc.strip():
+        return NO_DESCRIPTION
+    return doc.strip().splitlines()[0].strip()
+
+
+def suggest(name, options) -> str:
+    """``did you mean ...?`` suffix for an unknown name (may be empty).
+
+    ``name`` may be any JSON value (a spec can hold ``null`` or a number
+    where a name belongs); only strings get close-match suggestions --
+    the error-reporting path itself must never raise.
+    """
+    if not isinstance(name, str):
+        return ""
+    close = difflib.get_close_matches(name, list(options), n=3, cutoff=0.5)
+    return f" (did you mean {', '.join(map(repr, close))}?)" if close else ""
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One named component: factory + parameter schema + metadata."""
+
+    name: str
+    factory: Callable[..., Any]
+    aliases: tuple[str, ...] = ()
+    description: str = NO_DESCRIPTION
+    #: accepted keyword parameters and their defaults (the validation schema)
+    params: Mapping[str, Any] = field(default_factory=dict)
+    #: free-form metadata (e.g. instance types an encoding accepts)
+    tags: Mapping[str, Any] = field(default_factory=dict)
+
+    def check_params(self, given: Mapping[str, Any], where: str) -> None:
+        """Reject parameter names outside the entry's schema."""
+        unknown = sorted(set(given) - set(self.params))
+        if unknown:
+            allowed = sorted(self.params) or ["(none)"]
+            raise SpecError(
+                f"{where}: unknown parameter(s) {unknown} for "
+                f"{self.name!r}; accepted: {allowed}")
+
+
+class Registry:
+    """A named family of components (engines, encodings, objectives)."""
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._entries: dict[str, RegistryEntry] = {}
+        self._aliases: dict[str, str] = {}
+
+    def register(self, name: str, *, aliases: tuple[str, ...] = (),
+                 description: str | None = None,
+                 params: Mapping[str, Any] | None = None,
+                 **tags: Any) -> Callable:
+        """Decorator registering ``factory`` under ``name`` (+ aliases)."""
+        def deco(factory: Callable) -> Callable:
+            if name in self._entries or name in self._aliases:
+                raise ValueError(f"{self.kind} {name!r} already registered")
+            entry = RegistryEntry(
+                name=name, factory=factory, aliases=tuple(aliases),
+                description=description or first_doc_line(factory),
+                params=dict(params or {}), tags=tags)
+            self._entries[name] = entry
+            for alias in entry.aliases:
+                if alias in self._entries or alias in self._aliases:
+                    raise ValueError(
+                        f"{self.kind} alias {alias!r} already registered")
+                self._aliases[alias] = name
+            return factory
+        return deco
+
+    def get(self, name: str) -> RegistryEntry:
+        """Entry for ``name`` (aliases resolve); :class:`SpecError` if unknown."""
+        key = self._aliases.get(name, name)
+        if key not in self._entries:
+            options = self.names() + sorted(self._aliases)
+            raise SpecError(
+                f"unknown {self.kind} {name!r}{suggest(name, options)}; "
+                f"available {self.kind}s: {self.names()}")
+        return self._entries[key]
+
+    def names(self) -> list[str]:
+        """Sorted primary names (aliases excluded)."""
+        return sorted(self._entries)
+
+    def entries(self) -> list[RegistryEntry]:
+        """All entries, sorted by primary name."""
+        return [self._entries[n] for n in self.names()]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries or name in self._aliases
+
+    def __iter__(self):
+        return iter(self.names())
+
+
+ENGINES = Registry("engine")
+ENCODINGS = Registry("encoding")
+OBJECTIVES = Registry("objective")
+
+
+def register_engine(name: str, **kwargs) -> Callable:
+    """Register a GA engine adapter under ``name``."""
+    return ENGINES.register(name, **kwargs)
+
+
+def register_encoding(name: str, **kwargs) -> Callable:
+    """Register a chromosome encoding factory under ``name``."""
+    return ENCODINGS.register(name, **kwargs)
+
+
+def register_objective(name: str, **kwargs) -> Callable:
+    """Register an objective factory under ``name``."""
+    return OBJECTIVES.register(name, **kwargs)
+
+
+def available_engines() -> list[str]:
+    """Names of every runnable engine (all six parallel-model adapters)."""
+    return ENGINES.names()
+
+
+def available_encodings() -> list[str]:
+    """Names of every registered chromosome encoding."""
+    return ENCODINGS.names()
+
+
+def available_objectives() -> list[str]:
+    """Names of every registered Section-II optimality criterion."""
+    return OBJECTIVES.names()
+
+
+def engine_entry(name: str) -> RegistryEntry:
+    """Engine entry by name or alias."""
+    return ENGINES.get(name)
+
+
+def encoding_entry(name: str) -> RegistryEntry:
+    """Encoding entry by name or alias."""
+    return ENCODINGS.get(name)
+
+
+def objective_entry(name: str) -> RegistryEntry:
+    """Objective entry by name or alias."""
+    return OBJECTIVES.get(name)

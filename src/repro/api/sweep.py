@@ -1,0 +1,221 @@
+"""Scenario sweeps: batches of specs executed concurrently.
+
+The ROADMAP's config-driven job submission layer: a
+:class:`ScenarioSweep` expands a base :class:`~repro.api.spec.SolverSpec`
+over the product of instances x engines x objectives x seeds, and a
+:class:`SolverService` executes any batch of specs concurrently on a
+process pool (the same ``concurrent.futures`` machinery the master-slave
+executors ride), streaming structured :class:`SweepResult` records as
+runs finish.
+
+Because specs and reports are plain data, the worker boundary is two
+JSON-safe dicts -- a spec in, a report out -- so the service doubles as
+the in-process model of a distributed job queue: any transport that can
+move JSON can move this workload.
+
+::
+
+    sweep = ScenarioSweep(base=SolverSpec(instance="ft06",
+                                          termination={"max_generations": 30}),
+                          instances=("ft06", "la01-shaped"),
+                          engines=("simple", "island"),
+                          seeds=(1, 2, 3))
+    for res in SolverService(n_workers=4).run(sweep.specs()):
+        print(res.summary())
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from .registry import SpecError
+from .spec import SolverSpec
+
+__all__ = ["ScenarioSweep", "SolverService", "SweepResult"]
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one spec within a sweep (success or structured failure)."""
+
+    index: int
+    spec: dict[str, Any]
+    ok: bool
+    report: dict[str, Any] | None = None
+    error: str | None = None
+    elapsed: float = 0.0
+
+    def summary(self) -> str:
+        """One status line (what the CLI ``sweep`` subcommand prints)."""
+        s = self.spec
+        head = (f"[{self.index:>3}] {s.get('instance', '?'):<20} "
+                f"{s.get('engine', '?'):<13} seed={s.get('seed', '?'):<6}")
+        if not self.ok:
+            return f"{head} ERROR: {self.error}"
+        r = self.report
+        return (f"{head} best={r['best_objective']:g} "
+                f"evals={r['evaluations']} "
+                f"[{r['spec']['objective']}] {self.elapsed:.2f}s")
+
+
+@dataclass(frozen=True)
+class ScenarioSweep:
+    """Product expansion of a base spec over scenario axes.
+
+    Empty axes keep the base spec's own value, so a sweep varies exactly
+    the axes you name.  Expansion order is deterministic:
+    instances (outer) x engines x objectives x seeds (inner).
+    """
+
+    base: SolverSpec
+    instances: tuple[str, ...] = ()
+    engines: tuple[str, ...] = ()
+    objectives: tuple[str, ...] = ()
+    seeds: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.base, SolverSpec):
+            object.__setattr__(self, "base",
+                               SolverSpec.from_dict(self.base))
+        for axis in ("instances", "engines", "objectives", "seeds"):
+            object.__setattr__(self, axis, tuple(getattr(self, axis)))
+
+    def specs(self) -> list[SolverSpec]:
+        """The expanded spec list (validated lazily by ``solve``)."""
+        out = []
+        for instance in self.instances or (self.base.instance,):
+            for engine in self.engines or (self.base.engine,):
+                for objective in self.objectives or (self.base.objective,):
+                    for seed in self.seeds or (self.base.seed,):
+                        out.append(self.base.replace(
+                            instance=instance, engine=engine,
+                            objective=objective, seed=int(seed)))
+        return out
+
+    def __len__(self) -> int:
+        return (max(1, len(self.instances)) * max(1, len(self.engines))
+                * max(1, len(self.objectives)) * max(1, len(self.seeds)))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"base": self.base.to_dict(),
+                "instances": list(self.instances),
+                "engines": list(self.engines),
+                "objectives": list(self.objectives),
+                "seeds": list(self.seeds)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSweep":
+        known = {"base", "instances", "engines", "objectives", "seeds"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise SpecError(f"sweep: unknown field(s) {unknown}; "
+                            f"valid fields: {sorted(known)}")
+        if "base" not in data:
+            raise SpecError("sweep: missing required 'base' spec")
+        return cls(base=SolverSpec.from_dict(data["base"]),
+                   instances=_axis(data, "instances"),
+                   engines=_axis(data, "engines"),
+                   objectives=_axis(data, "objectives"),
+                   seeds=_axis(data, "seeds", coerce=int))
+
+
+def _axis(data: Mapping[str, Any], name: str, coerce=None) -> tuple:
+    """One sweep axis from a JSON payload; bad shapes are SpecErrors.
+
+    ``null`` and a missing key both mean "don't vary this axis".
+    """
+    values = data.get(name)
+    if values is None:
+        return ()
+    if isinstance(values, str) or not isinstance(values, (list, tuple)):
+        raise SpecError(f"sweep: {name} must be a list, got {values!r}")
+    if coerce is None:
+        return tuple(values)
+    try:
+        return tuple(coerce(v) for v in values)
+    except (TypeError, ValueError) as exc:
+        raise SpecError(f"sweep: {name}: {exc}") from exc
+
+
+def _solve_payload(payload: tuple[int, dict]) -> SweepResult:
+    """Worker task: one spec dict in, one JSON-safe result out."""
+    from .facade import solve
+    index, spec_dict = payload
+    t0 = time.perf_counter()
+    try:
+        report = solve(spec_dict)
+        return SweepResult(index=index, spec=spec_dict, ok=True,
+                           report=report.to_dict(),
+                           elapsed=time.perf_counter() - t0)
+    except Exception as exc:  # noqa: BLE001 - a failed scenario must not
+        # take the sweep down; the failure is part of the result stream
+        return SweepResult(index=index, spec=spec_dict, ok=False,
+                           error=f"{type(exc).__name__}: {exc}",
+                           elapsed=time.perf_counter() - t0)
+
+
+class SolverService:
+    """Concurrent executor for batches of solver specs.
+
+    Parameters
+    ----------
+    n_workers:
+        process count; ``0`` or ``1`` runs in-process (serial) -- the
+        right choice for tiny sweeps, tests, and engines that spawn
+        their own pools (``parallel="process"`` islands, master-slave).
+    ordered:
+        yield results in submission order (default) or as completed
+        (lower latency to the first result on heterogeneous batches).
+    """
+
+    def __init__(self, n_workers: int | None = None, ordered: bool = True):
+        import os
+        if n_workers is None:
+            n_workers = min(8, os.cpu_count() or 1)
+        self.n_workers = int(n_workers)
+        self.ordered = ordered
+
+    def run(self, specs: Iterable[SolverSpec | Mapping[str, Any]]
+            ) -> Iterator[SweepResult]:
+        """Execute every spec; yields a :class:`SweepResult` per spec.
+
+        Failures are streamed as ``ok=False`` results, never raised --
+        one bad scenario must not abort the remaining ones.
+        """
+        payloads = []
+        for i, spec in enumerate(specs):
+            if isinstance(spec, SolverSpec):
+                spec = spec.to_dict()
+            else:
+                spec = dict(spec)
+            payloads.append((i, spec))
+        if not payloads:
+            return
+        if self.n_workers <= 1:
+            for payload in payloads:
+                yield _solve_payload(payload)
+            return
+        yield from self._run_pool(payloads)
+
+    def _run_pool(self, payloads: Sequence[tuple[int, dict]]
+                  ) -> Iterator[SweepResult]:
+        with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
+            futures = {pool.submit(_solve_payload, p): p[0]
+                       for p in payloads}
+            if self.ordered:
+                for fut in list(futures):
+                    yield fut.result()
+            else:
+                pending = set(futures)
+                while pending:
+                    done, pending = wait(pending,
+                                         return_when=FIRST_COMPLETED)
+                    for fut in done:
+                        yield fut.result()
+
+    def run_sweep(self, sweep: ScenarioSweep) -> Iterator[SweepResult]:
+        """Expand and execute a :class:`ScenarioSweep`."""
+        return self.run(sweep.specs())

@@ -2,43 +2,50 @@
 
 ::
 
-    repro list                          # experiment ids + instance names
+    repro list                          # experiments, instances, registries
     repro run E07 [--scale small]       # run one reproduced experiment
     repro run-all [--scale smoke]       # regenerate the whole evaluation
     repro solve ft06 [--engine island]  # solve an instance, print Gantt
+    repro solve --spec job.json         # declarative JSON job submission
+    repro sweep ft06 la01-shaped --engines simple island --seeds 1 2 3
+
+``solve`` and ``sweep`` are thin shells over the declarative API
+(:mod:`repro.api`): flags assemble a :class:`~repro.api.SolverSpec`,
+``--spec`` loads one from JSON (flags override it), and every engine /
+encoding / objective the registries expose is addressable by name --
+there is no per-engine dispatch here.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from .core import GAConfig, MaxGenerations, SimpleGA
-from .encodings import (FlowShopPermutationEncoding, OpenShopPermutationEncoding,
-                        OperationBasedEncoding, Problem)
+from .api import (ScenarioSweep, SolverService, SolverSpec, SpecError,
+                  available_encodings, available_engines,
+                  available_objectives, encoding_entry, engine_entry,
+                  first_doc_line, objective_entry, solve)
 from .experiments import EXPERIMENTS, run_all, run_experiment
-from .instances import available_instances, get_instance
-from .parallel import CellularGA, IslandGA, MasterSlaveGA
-from .scheduling import (FlowShopInstance, JobShopInstance, OpenShopInstance)
+from .instances import available_instances
 
 __all__ = ["main"]
-
-
-def _build_problem(name: str) -> Problem:
-    instance = get_instance(name)
-    if isinstance(instance, JobShopInstance):
-        return Problem(OperationBasedEncoding(instance))
-    if isinstance(instance, FlowShopInstance):
-        return Problem(FlowShopPermutationEncoding(instance))
-    if isinstance(instance, OpenShopInstance):
-        return Problem(OpenShopPermutationEncoding(instance))
-    raise TypeError(f"no default encoding for {type(instance).__name__}")
 
 
 def _cmd_list(_args) -> int:
     print("experiments:")
     for key in sorted(EXPERIMENTS):
-        print(f"  {key}: {EXPERIMENTS[key].__doc__.strip().splitlines()[0]}")
+        print(f"  {key}: {first_doc_line(EXPERIMENTS[key])}")
+    for kind, names, entry_of in (
+            ("engines", available_engines(), engine_entry),
+            ("encodings", available_encodings(), encoding_entry),
+            ("objectives", available_objectives(), objective_entry)):
+        print(f"\n{kind}:")
+        for name in names:
+            entry = entry_of(name)
+            alias = (f" (aliases: {', '.join(entry.aliases)})"
+                     if entry.aliases else "")
+            print(f"  {name}: {entry.description}{alias}")
     print("\ninstances:")
     for name in available_instances():
         print(f"  {name}")
@@ -60,35 +67,126 @@ def _cmd_run_all(args) -> int:
     return 0 if not failed else 1
 
 
+def _load_json(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except OSError as exc:
+        raise SpecError(f"--spec: cannot read {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise SpecError(f"--spec: {path!r} is not valid JSON: {exc}") from exc
+
+
+def _spec_from_args(args) -> SolverSpec:
+    """Assemble the SolverSpec: ``--spec`` file first, flags override."""
+    base = _load_json(args.spec) if args.spec else {}
+    spec = SolverSpec.from_dict(base) if base else None
+    overrides: dict = {}
+    if args.instance is not None:
+        overrides["instance"] = args.instance
+    if args.engine is not None:
+        overrides["engine"] = args.engine
+    if args.encoding is not None:
+        overrides["encoding"] = args.encoding
+    if args.objective is not None:
+        overrides["objective"] = args.objective
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    ga = dict(spec.ga) if spec else {}
+    if args.population is not None:
+        ga["population_size"] = args.population
+    if ga:
+        overrides["ga"] = ga
+    if args.generations is not None:
+        overrides["termination"] = dict(
+            spec.termination if spec else {},
+            max_generations=args.generations)
+    if args.workers is not None:
+        params = dict(spec.engine_params) if spec else {}
+        engine = overrides.get("engine", spec.engine if spec else "simple")
+        # one count flag, engine-appropriate meaning: processes for the
+        # master-slave pool, island count for the multi-population models
+        name = engine_entry(engine).name
+        if name == "master-slave":
+            params["workers"] = args.workers
+        elif name in ("island", "hybrid", "two-level"):
+            params["islands"] = args.workers
+        overrides["engine_params"] = params
+    if spec is None:
+        if "instance" not in overrides:
+            raise SpecError("solve needs an instance name or --spec FILE")
+        return SolverSpec.from_dict(overrides)
+    return spec.replace(**overrides)
+
+
 def _cmd_solve(args) -> int:
-    problem = _build_problem(args.instance)
-    term = MaxGenerations(args.generations)
-    cfg = GAConfig(population_size=args.population)
-    if args.engine == "simple":
-        result = SimpleGA(problem, cfg, term, seed=args.seed).run()
-        best, evals = result.best, result.evaluations
-    elif args.engine == "master-slave":
-        result = MasterSlaveGA(problem, cfg, term, seed=args.seed,
-                               n_workers=args.workers).run()
-        best, evals = result.best, result.evaluations
-    elif args.engine == "island":
-        result = IslandGA(problem, n_islands=args.workers,
-                          config=GAConfig(population_size=max(
-                              4, args.population // args.workers)),
-                          termination=term, seed=args.seed).run()
-        best, evals = result.best, result.evaluations
-    elif args.engine == "cellular":
-        side = max(2, int(args.population ** 0.5))
-        result = CellularGA(problem, rows=side, cols=side,
-                            termination=term, seed=args.seed).run()
-        best, evals = result.best, result.evaluations
-    else:  # pragma: no cover - argparse restricts choices
-        raise ValueError(args.engine)
-    print(f"instance={args.instance} engine={args.engine} "
-          f"best={best.objective:g} evaluations={evals}")
-    schedule = problem.decode(best.genome)
-    print(schedule.gantt())
+    spec = _spec_from_args(args)
+    report = solve(spec)
+    print(f"instance={report.spec.instance} engine={report.engine} "
+          f"objective={report.spec.objective} "
+          f"best={report.best_objective:g} evaluations={report.evaluations}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+        print(f"report written to {args.json}")
+    print(report.gantt())
     return 0
+
+
+def _cmd_sweep(args) -> int:
+    if args.spec:
+        sweep = ScenarioSweep.from_dict(_load_json(args.spec))
+        base = sweep.base
+    else:
+        if not args.instances:
+            raise SpecError("sweep needs instance names or --spec FILE")
+        sweep = ScenarioSweep(base=SolverSpec(
+            instance=args.instances[0],
+            termination={"max_generations": 50}))
+        base = sweep.base
+    # flags override the file (same contract as `solve`): scalar flags
+    # rewrite the base spec, axis flags replace the corresponding axis
+    changes: dict = {}
+    if args.population is not None:
+        changes["ga"] = dict(base.ga, population_size=args.population)
+    if args.generations is not None:
+        changes["termination"] = dict(base.termination,
+                                      max_generations=args.generations)
+    if args.seed is not None:
+        changes["seed"] = args.seed
+    if changes:
+        base = base.replace(**changes)
+    sweep = ScenarioSweep(
+        base=base,
+        instances=(tuple(args.instances) if args.instances
+                   else sweep.instances),
+        engines=(tuple(args.engines) if args.engines is not None
+                 else sweep.engines),
+        objectives=(tuple(args.objectives) if args.objectives is not None
+                    else sweep.objectives),
+        seeds=(tuple(args.seeds) if args.seeds is not None
+               else sweep.seeds))
+    specs = sweep.specs()
+    print(f"sweep: {len(specs)} scenario(s), {args.workers} worker(s)")
+    service = SolverService(n_workers=args.workers)
+    stream = open(args.json, "w", encoding="utf-8") if args.json else None
+    failures = 0
+    try:
+        for result in service.run(specs):
+            print(result.summary())
+            if stream is not None:
+                stream.write(json.dumps({
+                    "index": result.index, "ok": result.ok,
+                    "spec": result.spec, "report": result.report,
+                    "error": result.error,
+                    "elapsed": result.elapsed}) + "\n")
+            if not result.ok:
+                failures += 1
+    finally:
+        if stream is not None:
+            stream.close()
+    print(f"{len(specs) - failures}/{len(specs)} scenarios OK")
+    return 0 if failures == 0 else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -98,7 +196,8 @@ def main(argv: list[str] | None = None) -> int:
         description="Parallel GAs for shop scheduling (survey reproduction)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list experiments and instances") \
+    sub.add_parser("list",
+                   help="list experiments, registries and instances") \
         .set_defaults(fn=_cmd_list)
 
     p_run = sub.add_parser("run", help="run one experiment")
@@ -112,19 +211,65 @@ def main(argv: list[str] | None = None) -> int:
                        choices=("smoke", "small", "paper"))
     p_all.set_defaults(fn=_cmd_run_all)
 
-    p_solve = sub.add_parser("solve", help="solve a named instance")
-    p_solve.add_argument("instance")
-    p_solve.add_argument("--engine", default="simple",
-                         choices=("simple", "master-slave", "island",
-                                  "cellular"))
-    p_solve.add_argument("--population", type=int, default=60)
-    p_solve.add_argument("--generations", type=int, default=100)
-    p_solve.add_argument("--workers", type=int, default=4)
-    p_solve.add_argument("--seed", type=int, default=42)
+    p_solve = sub.add_parser(
+        "solve", help="solve a named instance via the declarative API")
+    p_solve.add_argument("instance", nargs="?",
+                         help="instance name (optional with --spec)")
+    p_solve.add_argument("--spec", metavar="FILE",
+                         help="JSON SolverSpec; flags override its fields")
+    p_solve.add_argument("--engine", default=None,
+                         help="engine name or alias "
+                              f"({', '.join(available_engines())}; "
+                              "default: simple)")
+    p_solve.add_argument("--encoding", default=None,
+                         help="encoding name (default: per problem class)")
+    p_solve.add_argument("--objective", default=None,
+                         help="objective name "
+                              f"({', '.join(available_objectives())}; "
+                              "default: makespan)")
+    p_solve.add_argument("--population", type=int, default=None,
+                         help="total population size (default: 60)")
+    p_solve.add_argument("--generations", type=int, default=None,
+                         help="generation budget (default: 100)")
+    p_solve.add_argument("--workers", type=int, default=None,
+                         help="pool size (master-slave) or island count "
+                              "(island/hybrid/two-level)")
+    p_solve.add_argument("--seed", type=int, default=None,
+                         help="root RNG seed (default: 42)")
+    p_solve.add_argument("--json", metavar="FILE",
+                         help="also write the SolveReport as JSON")
     p_solve.set_defaults(fn=_cmd_solve)
 
+    p_sweep = sub.add_parser(
+        "sweep", help="run a batch of scenarios concurrently")
+    p_sweep.add_argument("instances", nargs="*",
+                         help="instance names (axis 1 of the product)")
+    p_sweep.add_argument("--spec", metavar="FILE",
+                         help="JSON ScenarioSweep "
+                              "({base, instances, engines, objectives, "
+                              "seeds})")
+    p_sweep.add_argument("--engines", nargs="*", default=None,
+                         help="engine names (axis 2)")
+    p_sweep.add_argument("--objectives", nargs="*", default=None,
+                         help="objective names (axis 3)")
+    p_sweep.add_argument("--seeds", nargs="*", type=int, default=None,
+                         help="seeds (axis 4)")
+    p_sweep.add_argument("--population", type=int, default=None)
+    p_sweep.add_argument("--generations", type=int, default=None)
+    p_sweep.add_argument("--seed", type=int, default=None,
+                         help="base seed when --seeds is not given")
+    p_sweep.add_argument("--workers", type=int, default=0,
+                         help="parallel scenario processes (0 = in-process)")
+    p_sweep.add_argument("--json", metavar="FILE",
+                         help="stream results as JSON lines to FILE")
+    p_sweep.set_defaults(fn=_cmd_sweep)
+
     args = parser.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

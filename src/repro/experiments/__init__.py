@@ -1,7 +1,8 @@
 """Reproduced experiments: one per surveyed paper's quantitative claim."""
 
-from .harness import SCALES, ExperimentResult, Scale, format_table
+from .harness import (SCALES, ExperimentResult, Scale, format_table,
+                      solve_scaled)
 from .registry import EXPERIMENTS, run_all, run_experiment
 
 __all__ = ["ExperimentResult", "Scale", "SCALES", "format_table",
-           "EXPERIMENTS", "run_experiment", "run_all"]
+           "solve_scaled", "EXPERIMENTS", "run_experiment", "run_all"]

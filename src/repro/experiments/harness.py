@@ -12,12 +12,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
 __all__ = ["ExperimentResult", "format_table", "Scale", "SCALES",
-           "repeat_seeds", "relative_improvement"]
+           "repeat_seeds", "relative_improvement", "solve_scaled"]
 
 
 @dataclass
@@ -89,6 +89,45 @@ def _fmt(v: Any) -> str:
     if isinstance(v, float):
         return f"{v:.3g}"
     return str(v)
+
+
+def solve_scaled(spec: Mapping[str, Any] | Any,
+                 scale: str | Scale | None = None,
+                 population: int | None = None,
+                 generations: int | None = None,
+                 seed: int | None = None):
+    """Run one declarative spec through the :mod:`repro.api` facade.
+
+    The experiment-side entry point for facade-based runs: experiments
+    describe each configuration as a :class:`~repro.api.SolverSpec` (or
+    plain dict) and this helper applies the effort knob -- a
+    :class:`Scale` (or its name) sets population and generation budget
+    unless explicit ``population``/``generations`` override it -- then
+    delegates to :func:`repro.api.solve`.  Returns the
+    :class:`~repro.api.SolveReport`; bit-identical to constructing the
+    engine directly with the same parameters.
+    """
+    from ..api import SolverSpec, solve
+
+    if not isinstance(spec, SolverSpec):
+        spec = SolverSpec.from_dict(spec)
+    if isinstance(scale, str):
+        scale = SCALES[scale]
+    pop = population if population is not None else (
+        scale.pop if scale else None)
+    gens = generations if generations is not None else (
+        scale.generations if scale else None)
+    changes: dict[str, Any] = {}
+    if pop is not None:
+        changes["ga"] = dict(spec.ga, population_size=int(pop))
+    if gens is not None:
+        changes["termination"] = dict(spec.termination,
+                                      max_generations=int(gens))
+    if seed is not None:
+        changes["seed"] = int(seed)
+    if changes:
+        spec = spec.replace(**changes)
+    return solve(spec)
 
 
 def repeat_seeds(base: int, repeats: int) -> list[int]:

@@ -30,11 +30,10 @@ from ..operators.selection import (RouletteWheelSelection,
                                    TournamentSelection)
 from ..parallel.island import IslandGA
 from ..parallel.migration import MigrationPolicy
-from ..parallel.topology import (FullyConnectedTopology, HypercubeTopology,
-                                 RingTopology)
+from ..parallel.topology import FullyConnectedTopology, RingTopology
 from ..scheduling.jobshop import giffler_thompson
 from ..scheduling.objectives import TotalWeightedCompletion
-from .harness import SCALES, ExperimentResult, repeat_seeds
+from .harness import SCALES, ExperimentResult, repeat_seeds, solve_scaled
 
 __all__ = ["e06_lin_models", "e09_park_island_vs_single",
            "e10_asadzadeh_cube", "e11_gu_quantum",
@@ -184,29 +183,31 @@ def e10_asadzadeh_cube(scale: str = "small") -> ExperimentResult:
     """
     t0 = time.perf_counter()
     sc = SCALES[scale]
-    instance = library.get_instance("la21-shaped")
-    problem = Problem(OperationBasedEncoding(instance))
     # [27]: "each processor agent located on a distinct host" -- eight
     # hosts work concurrently, so the comparison is at equal wall-clock:
     # every agent runs a full-size subpopulation.
     pop = max(24, sc.pop)
     gens = max(60, sc.generations * 2)
+    # both configurations as declarative specs through the repro.api
+    # facade (bit-identical to direct engine construction)
+    serial_spec = {"instance": "la21-shaped", "engine": "simple"}
+    cube_spec = {"instance": "la21-shaped", "engine": "island",
+                 "engine_params": {"islands": 8, "topology": "hypercube",
+                                   "island_population": pop,
+                                   "migration_interval": 5,
+                                   "migration_rate": 1}}
     rows = []
     bests = {"serial": [], "cube8": []}
     aucs = {"serial": [], "cube8": []}
     for seed in repeat_seeds(120, sc.repeats):
-        serial = SimpleGA(problem, GAConfig(population_size=pop),
-                          MaxGenerations(gens), seed=seed).run()
-        island = IslandGA(problem, n_islands=8,
-                          config=GAConfig(population_size=pop),
-                          topology=HypercubeTopology(8),
-                          migration=MigrationPolicy(interval=5, rate=1),
-                          termination=MaxGenerations(gens),
-                          seed=seed).run()
+        serial = solve_scaled(serial_spec, population=pop,
+                              generations=gens, seed=seed)
+        island = solve_scaled(cube_spec, population=pop,
+                              generations=gens, seed=seed)
         bests["serial"].append(serial.best_objective)
         bests["cube8"].append(island.best_objective)
         aucs["serial"].append(serial.history.convergence_auc())
-        aucs["cube8"].append(island.global_history.convergence_auc())
+        aucs["cube8"].append(island.history.convergence_auc())
     for label in ("serial", "cube8"):
         rows.append({"model": label,
                      "mean_best": round(_mean(bests[label]), 1),

@@ -8,7 +8,7 @@ from .topology import (BidirectionalRingTopology, FullyConnectedTopology,
                        topology_by_name)
 from .migration import MigrationPolicy, integrate_immigrants, select_emigrants
 from .master_slave import MasterSlaveGA
-from .island import IslandGA, IslandGAResult
+from .island import IslandGA, IslandGAResult, default_island_population
 from .fine_grained import NEIGHBORHOODS, CellularGA, neighborhood_offsets
 from .hybrid import (IslandOfCellularGA, TwoLevelIslandGA,
                      island_with_torus_topology)
@@ -28,6 +28,7 @@ __all__ = [
     "StarTopology", "RandomEpochTopology", "topology_by_name",
     "MigrationPolicy", "select_emigrants", "integrate_immigrants",
     "MasterSlaveGA", "IslandGA", "IslandGAResult",
+    "default_island_population",
     "CellularGA", "NEIGHBORHOODS", "neighborhood_offsets",
     "IslandOfCellularGA", "island_with_torus_topology", "TwoLevelIslandGA",
     "DeviceModel", "GATrace", "cpu_core", "multicore", "lan_star", "beowulf",

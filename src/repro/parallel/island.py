@@ -60,7 +60,22 @@ from .migration import (MigrationPolicy, integrate_immigrants,
                         select_emigrants)
 from .topology import RingTopology, Topology
 
-__all__ = ["IslandGA", "IslandGAResult"]
+__all__ = ["IslandGA", "IslandGAResult", "default_island_population"]
+
+
+def default_island_population(total_population: int, n_islands: int) -> int:
+    """Per-island subpopulation size for a given *total* population.
+
+    The documented project-wide default for splitting one population
+    budget across ``n_islands`` subpopulations: an even share, floored at
+    4 so every island keeps enough individuals for selection + crossover
+    to act (``GAConfig`` requires >= 2; 4 leaves room for elites).  Spec
+    resolution (:mod:`repro.api.engines`) and every island-style engine
+    default use this one heuristic -- do not re-derive it inline.
+    """
+    if n_islands < 1:
+        raise ValueError("need at least one island")
+    return max(4, int(total_population) // int(n_islands))
 
 
 @dataclass

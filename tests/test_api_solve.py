@@ -1,0 +1,208 @@
+"""Tests for repro.solve(): engine smoke, bit-identity, reports."""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (GAConfig, IslandGA, MasterSlaveGA, MaxGenerations,
+                   Problem, SimpleGA, SolverSpec, solve)
+from repro.api.engines import grid_shape_for
+from repro.api.registry import SpecError
+from repro.encodings import OperationBasedEncoding
+from repro.instances import get_instance
+from repro.parallel import default_island_population
+
+
+def _spec(engine, **kwargs):
+    kwargs.setdefault("ga", {"population_size": 24})
+    kwargs.setdefault("termination", {"max_generations": 4})
+    kwargs.setdefault("seed", 11)
+    return SolverSpec(instance="ft06", engine=engine, **kwargs)
+
+
+class TestSolveSmoke:
+    @pytest.mark.parametrize("engine", ["simple", "master-slave", "island",
+                                        "cellular", "hybrid", "two-level"])
+    def test_all_six_engines_solve_by_name(self, engine):
+        params = {"backend": "serial"} if engine == "master-slave" else {}
+        report = solve(_spec(engine, engine_params=params))
+        assert report.engine == engine
+        assert report.best_objective > 0
+        assert report.evaluations > 0
+        assert report.generations > 0
+        assert report.termination_reason
+        assert set(report.timings) == {"resolve", "run", "total"}
+        # the best schedule decodes and passes the feasibility oracle
+        schedule = report.schedule()
+        schedule.audit(report.problem.instance)
+        assert schedule.makespan == report.best_objective or \
+            report.spec.objective != "makespan"
+
+    def test_solve_accepts_plain_dict(self):
+        report = solve({"instance": "ft06",
+                        "termination": {"max_generations": 2},
+                        "ga": {"population_size": 8}})
+        assert report.engine == "simple"
+
+    def test_report_to_dict_is_json_serializable(self):
+        report = solve(_spec("island"))
+        payload = json.dumps(report.to_dict())
+        back = json.loads(payload)
+        assert back["best_objective"] == report.best_objective
+        assert back["spec"]["engine"] == "island"
+        # a report's spec alone reproduces the run
+        again = solve(back["spec"])
+        assert again.best_objective == report.best_objective
+
+    def test_composite_genome_report_serializes(self):
+        report = solve(SolverSpec(instance="fjsp-8x5-shaped",
+                                  ga={"population_size": 10},
+                                  termination={"max_generations": 2}))
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert isinstance(payload["best_genome"], list)
+
+    def test_history_attached(self):
+        report = solve(_spec("simple"))
+        assert report.history is not None
+        assert report.history.final_best() == report.best_objective
+
+
+class TestBitIdentity:
+    """solve(spec) must equal direct engine construction, same seed."""
+
+    def test_simple_engine_matches_direct_simple_ga(self):
+        pop, gens, seed = 30, 6, 123
+        direct = SimpleGA(
+            Problem(OperationBasedEncoding(get_instance("ft06"))),
+            GAConfig(population_size=pop),
+            MaxGenerations(gens), seed=seed).run()
+        report = solve(SolverSpec(instance="ft06",
+                                  ga={"population_size": pop},
+                                  termination={"max_generations": gens},
+                                  seed=seed))
+        assert report.best_objective == direct.best_objective
+        assert report.evaluations == direct.evaluations
+        assert report.generations == direct.generations
+        np.testing.assert_array_equal(report.best_genome,
+                                      direct.best.genome)
+
+    def test_island_engine_matches_direct_island_ga(self):
+        pop, gens, seed, n_isl = 32, 6, 9, 4
+        direct = IslandGA(
+            Problem(OperationBasedEncoding(get_instance("ft06"))),
+            n_islands=n_isl,
+            config=GAConfig(population_size=default_island_population(
+                pop, n_isl)),
+            termination=MaxGenerations(gens), seed=seed).run()
+        report = solve(SolverSpec(instance="ft06", engine="island",
+                                  ga={"population_size": pop},
+                                  termination={"max_generations": gens},
+                                  engine_params={"islands": n_isl},
+                                  seed=seed))
+        assert report.best_objective == direct.best_objective
+        assert report.evaluations == direct.evaluations
+
+    def test_master_slave_serial_backend_matches_simple(self):
+        spec = _spec("simple")
+        serial = solve(spec)
+        ms = solve(spec.replace(engine="master-slave",
+                                engine_params={"backend": "serial"}))
+        assert ms.best_objective == serial.best_objective
+        assert ms.evaluations == serial.evaluations
+
+    def test_same_spec_same_result(self):
+        spec = _spec("two-level", termination={"max_generations": 8})
+        a, b = solve(spec), solve(spec)
+        assert a.best_objective == b.best_objective
+        assert a.evaluations == b.evaluations
+
+
+class TestObjectivesAndInstances:
+    def test_objective_by_name_changes_criterion(self):
+        base = SolverSpec(instance="ta-fs-20x5-shaped",
+                          ga={"population_size": 16},
+                          termination={"max_generations": 3}, seed=5)
+        makespan = solve(base)
+        flow = solve(base.replace(objective="total-flow-time"))
+        assert flow.spec.objective == "total-flow-time"
+        # flow time sums over jobs, so it dominates the makespan scale
+        assert flow.best_objective > makespan.best_objective
+
+    def test_weighted_combination_objective(self):
+        report = solve(SolverSpec(
+            instance="ft06", objective="weighted",
+            objective_params={"parts": [[0.7, "makespan"],
+                                        [0.3, "total-flow-time"]]},
+            ga={"population_size": 12},
+            termination={"max_generations": 2}))
+        assert len(report.objective_vector) == 2
+
+    def test_due_tau_enables_tardiness_family(self):
+        spec = SolverSpec(instance="ft06", objective="maximum-tardiness",
+                          instance_params={"due_tau": 0.6},
+                          ga={"population_size": 12},
+                          termination={"max_generations": 3}, seed=2)
+        report = solve(spec)
+        # tau < 1 makes most jobs late: tardiness must be positive/finite
+        assert 0 < report.best_objective < float("inf")
+
+    def test_weights_instance_param(self):
+        spec = SolverSpec(instance="ft06",
+                          objective="total-weighted-completion",
+                          instance_params={"weights": [2, 9]},
+                          ga={"population_size": 12},
+                          termination={"max_generations": 2}, seed=2)
+        assert solve(spec).best_objective > 0
+
+    def test_encoding_params_flow_through(self):
+        report = solve(SolverSpec(
+            instance="ft06", encoding="operation-based",
+            encoding_params={"mode": "active"},
+            ga={"population_size": 12},
+            termination={"max_generations": 2}))
+        assert report.spec.encoding_params == {"mode": "active"}
+
+    def test_bad_encoding_param_value_is_spec_error(self):
+        with pytest.raises(SpecError, match="encoding_params"):
+            solve(SolverSpec(instance="ft06",
+                             encoding="operation-based",
+                             encoding_params={"mode": "sideways"},
+                             termination={"max_generations": 1}))
+
+
+class TestEngineHelpers:
+    def test_default_island_population(self):
+        assert default_island_population(60, 4) == 15
+        assert default_island_population(8, 4) == 4   # floor kicks in
+        assert default_island_population(3, 2) == 4
+        with pytest.raises(ValueError):
+            default_island_population(60, 0)
+
+    def test_grid_shape_for(self):
+        assert grid_shape_for(64, None, None) == (8, 8)
+        assert grid_shape_for(60, None, None) == (7, 7)
+        assert grid_shape_for(2, None, None) == (2, 2)   # floor
+        assert grid_shape_for(100, 4, None) == (4, 4)    # mirror missing
+        assert grid_shape_for(100, None, 5) == (5, 5)
+        assert grid_shape_for(100, 3, 9) == (3, 9)
+        with pytest.raises(SpecError):
+            grid_shape_for(10, 0, 5)
+
+    def test_termination_disjunction(self):
+        # target fires long before the generation cap
+        report = solve(SolverSpec(
+            instance="ft06",
+            ga={"population_size": 40},
+            termination={"max_generations": 500, "target": 70.0},
+            seed=4))
+        assert report.best_objective <= 70.0
+        assert report.generations < 500
+
+    def test_package_level_exports(self):
+        assert repro.solve is solve
+        assert repro.SolverSpec is SolverSpec
+        assert callable(repro.available_engines)
+        # MasterSlaveGA still importable for programmatic use
+        assert MasterSlaveGA is not None

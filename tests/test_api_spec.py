@@ -1,0 +1,289 @@
+"""Tests for the declarative API: SolverSpec, registries, validation."""
+
+import json
+
+import pytest
+
+from repro.api import (SolverSpec, SpecError, available_encodings,
+                       available_engines, available_objectives,
+                       encoding_entry, engine_entry, first_doc_line,
+                       objective_entry, resolve_spec)
+from repro.api.registry import NO_DESCRIPTION, Registry
+from repro.instances import available_instances
+
+
+class TestRegistries:
+    def test_all_six_engines_registered(self):
+        assert available_engines() == ["cellular", "hybrid", "island",
+                                       "master-slave", "simple", "two-level"]
+
+    def test_engine_aliases_resolve(self):
+        assert engine_entry("fine-grained").name == "cellular"
+        assert engine_entry("fine_grained").name == "cellular"
+        assert engine_entry("master_slave").name == "master-slave"
+        assert engine_entry("serial").name == "simple"
+        assert engine_entry("island-of-cellular").name == "hybrid"
+
+    def test_every_section_ii_objective_registered(self):
+        names = available_objectives()
+        for expected in ("makespan", "total-weighted-completion",
+                         "total-weighted-tardiness",
+                         "total-weighted-unit-penalty", "maximum-tardiness",
+                         "total-flow-time", "weighted"):
+            assert expected in names
+
+    def test_every_encoding_registered(self):
+        names = available_encodings()
+        assert len(names) == 10
+        assert "operation-based" in names and "openshop-pairs" in names
+
+    def test_unknown_name_suggests_close_match(self):
+        with pytest.raises(SpecError, match="did you mean"):
+            engine_entry("iland")
+        with pytest.raises(SpecError, match="available objective"):
+            objective_entry("zzz-not-a-thing")
+
+    def test_entries_have_descriptions(self):
+        for name in available_engines():
+            assert engine_entry(name).description != NO_DESCRIPTION
+        for name in available_encodings():
+            assert encoding_entry(name).description != NO_DESCRIPTION
+
+    def test_first_doc_line_placeholder_for_missing_docstring(self):
+        def undocumented(scale):
+            return None
+        assert first_doc_line(undocumented) == NO_DESCRIPTION
+        assert first_doc_line(None) == NO_DESCRIPTION
+
+        def documented(scale):
+            """One line.
+
+            More detail.
+            """
+        assert first_doc_line(documented) == "One line."
+
+    def test_duplicate_registration_rejected(self):
+        reg = Registry("thing")
+
+        @reg.register("a", aliases=("b",))
+        def _a():
+            """A thing."""
+
+        with pytest.raises(ValueError, match="already registered"):
+            @reg.register("a")
+            def _a2():
+                """Clash."""
+        with pytest.raises(ValueError, match="alias"):
+            @reg.register("c", aliases=("b",))
+            def _c():
+                """Alias clash."""
+
+
+def _sample_instance_for(encoding_name):
+    return encoding_entry(encoding_name).tags["sample_instance"]
+
+
+class TestRoundTrip:
+    def test_round_trip_every_engine_encoding_objective_combination(self):
+        """Acceptance: from_dict(to_dict(spec)) round-trips for the whole
+        registry product (and survives JSON serialization)."""
+        for engine in available_engines():
+            for encoding in available_encodings():
+                instance = _sample_instance_for(encoding)
+                for objective in available_objectives():
+                    params = ({"parts": [[0.7, "makespan"],
+                                         [0.3, "maximum-tardiness"]]}
+                              if objective == "weighted" else {})
+                    spec = SolverSpec(
+                        instance=instance, encoding=encoding,
+                        objective=objective, objective_params=params,
+                        engine=engine, seed=13,
+                        termination={"max_generations": 7})
+                    again = SolverSpec.from_dict(spec.to_dict())
+                    assert again == spec, (engine, encoding, objective)
+                    via_json = SolverSpec.from_json(spec.to_json())
+                    assert via_json == spec, (engine, encoding, objective)
+
+    def test_registry_product_specs_all_validate(self):
+        for engine in available_engines():
+            for encoding in available_encodings():
+                spec = SolverSpec(instance=_sample_instance_for(encoding),
+                                  encoding=encoding, engine=engine)
+                spec.validate()
+
+    def test_resolved_spec_round_trips_and_validates(self):
+        spec = SolverSpec(instance="ft06", engine="fine_grained",
+                          ga={"population_size": 16})
+        resolved = resolve_spec(spec)
+        assert resolved.engine == "cellular"        # canonical name
+        assert resolved.encoding == "operation-based"  # class default
+        assert resolved.engine_params["neighborhood"] == "L5"  # defaults
+        assert SolverSpec.from_dict(resolved.to_dict()) == resolved
+        resolved.validate()
+
+    def test_frozen_spec_not_mutable_through_shared_dict(self):
+        ga = {"population_size": 30}
+        spec = SolverSpec(instance="ft06", ga=ga)
+        ga["population_size"] = 999
+        assert spec.ga["population_size"] == 30
+        assert spec.to_dict()["ga"]["population_size"] == 30
+
+    def test_replace_produces_new_spec(self):
+        spec = SolverSpec(instance="ft06")
+        other = spec.replace(engine="island", seed=7)
+        assert other.engine == "island" and other.seed == 7
+        assert spec.engine == "simple" and spec.seed == 42
+
+
+class TestValidation:
+    def test_unknown_spec_field(self):
+        with pytest.raises(SpecError, match="unknown spec field"):
+            SolverSpec.from_dict({"instance": "ft06", "enginee": "simple"})
+
+    def test_missing_instance_field(self):
+        with pytest.raises(SpecError, match="instance"):
+            SolverSpec.from_dict({"engine": "simple"})
+
+    def test_unknown_instance(self):
+        with pytest.raises(SpecError, match="unknown instance"):
+            SolverSpec(instance="nope").validate()
+
+    def test_unknown_engine_with_suggestion(self):
+        with pytest.raises(SpecError, match="did you mean 'island'"):
+            SolverSpec(instance="ft06", engine="islnd").validate()
+
+    def test_unknown_engine_param_lists_accepted(self):
+        with pytest.raises(SpecError, match="accepted"):
+            SolverSpec(instance="ft06", engine="island",
+                       engine_params={"n_islands": 4}).validate()
+
+    def test_bad_topology_rejected_at_validation(self):
+        with pytest.raises(SpecError, match="unknown topology"):
+            SolverSpec(instance="ft06", engine="island",
+                       engine_params={"topology": "pentagram"}).validate()
+
+    def test_bad_neighborhood_rejected_at_validation(self):
+        with pytest.raises(SpecError, match="unknown neighborhood"):
+            SolverSpec(instance="ft06", engine="cellular",
+                       engine_params={"neighborhood": "L7"}).validate()
+
+    def test_unknown_ga_key_suggests(self):
+        with pytest.raises(SpecError, match="population_size"):
+            SolverSpec(instance="ft06",
+                       ga={"poplation_size": 10}).validate()
+
+    def test_invalid_ga_value_surfaces_gaconfig_message(self):
+        with pytest.raises(SpecError, match=r"ga: .*\[0, 1\]"):
+            SolverSpec(instance="ft06",
+                       ga={"crossover_rate": 1.5}).validate()
+
+    def test_termination_must_not_be_empty(self):
+        with pytest.raises(SpecError, match="at least one criterion"):
+            SolverSpec(instance="ft06", termination={}).validate()
+
+    def test_unknown_termination_criterion(self):
+        with pytest.raises(SpecError, match="unknown criterion"):
+            SolverSpec(instance="ft06",
+                       termination={"max_gens": 5}).validate()
+
+    def test_non_numeric_termination_value(self):
+        with pytest.raises(SpecError, match="must be a number"):
+            SolverSpec(instance="ft06",
+                       termination={"max_generations": "ten"}).validate()
+
+    def test_encoding_instance_class_mismatch(self):
+        with pytest.raises(SpecError, match="FlowShopInstance"):
+            SolverSpec(instance="ft06", encoding="permutation").validate()
+
+    def test_weighted_objective_requires_parts(self):
+        import repro
+        with pytest.raises(SpecError, match="parts"):
+            repro.solve(SolverSpec(instance="ft06", objective="weighted",
+                                   termination={"max_generations": 1}))
+
+    def test_weighted_objective_rejects_nesting(self):
+        import repro
+        spec = SolverSpec(instance="ft06", objective="weighted",
+                          objective_params={
+                              "parts": [[1.0, "weighted"]]},
+                          termination={"max_generations": 1})
+        with pytest.raises(SpecError, match="nest"):
+            repro.solve(spec)
+
+    def test_bad_seed_and_eval_cost(self):
+        with pytest.raises(SpecError, match="seed"):
+            SolverSpec(instance="ft06", seed="abc").validate()
+        with pytest.raises(SpecError, match="eval_cost"):
+            SolverSpec(instance="ft06", eval_cost=-1.0).validate()
+
+    def test_unknown_instance_param(self):
+        with pytest.raises(SpecError, match="instance_params"):
+            SolverSpec(instance="ft06",
+                       instance_params={"due": 1.5}).validate()
+
+    def test_non_mapping_dict_fields_are_spec_errors(self):
+        # malformed JSON job payloads must fail actionably, not with a
+        # raw TypeError/ValueError from dict()
+        with pytest.raises(SpecError, match="ga: must be a mapping"):
+            SolverSpec.from_dict({"instance": "ft06", "ga": "big"})
+        with pytest.raises(SpecError, match="termination: must be a"):
+            SolverSpec.from_dict({"instance": "ft06", "termination": 5})
+        with pytest.raises(SpecError, match="engine_params"):
+            SolverSpec(instance="ft06", engine_params=[("workers", 2)])
+
+    def test_bad_instance_param_value_is_spec_error(self):
+        import repro
+        with pytest.raises(SpecError, match="instance_params"):
+            repro.solve(SolverSpec(instance="ft06",
+                                   instance_params={"weights": "x"},
+                                   termination={"max_generations": 1}))
+
+    def test_every_registry_instance_loads(self):
+        # the spec layer points at the instance registry; every name it
+        # exposes must construct
+        for name in available_instances():
+            SolverSpec(instance=name).validate()
+
+
+class TestHypothesisRoundTrip:
+    def test_property_round_trip(self):
+        """Property test: random specs over the registries round-trip
+        through to_dict/from_dict and JSON."""
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        encodings = available_encodings()
+
+        @st.composite
+        def specs(draw):
+            encoding = draw(st.sampled_from(encodings))
+            termination = draw(st.dictionaries(
+                st.sampled_from(("max_generations", "max_evaluations",
+                                 "stagnation")),
+                st.integers(min_value=1, max_value=500),
+                min_size=1, max_size=3))
+            return SolverSpec(
+                instance=_sample_instance_for(encoding),
+                encoding=encoding,
+                objective=draw(st.sampled_from(
+                    ("makespan", "total-flow-time", "maximum-tardiness"))),
+                ga=draw(st.fixed_dictionaries({}, optional={
+                    "population_size": st.integers(4, 200),
+                    "crossover_rate": st.floats(0, 1),
+                    "mutation_rate": st.floats(0, 1),
+                })),
+                termination=termination,
+                engine=draw(st.sampled_from(available_engines())),
+                seed=draw(st.integers(0, 2**31)),
+            )
+
+        @settings(max_examples=60, deadline=None)
+        @given(spec=specs())
+        def check(spec):
+            assert SolverSpec.from_dict(spec.to_dict()) == spec
+            assert SolverSpec.from_json(spec.to_json()) == spec
+            # JSON text is canonical plain data
+            json.loads(spec.to_json())
+            spec.validate()
+
+        check()
