@@ -50,7 +50,7 @@ from .encodings import Problem
 from .parallel import (CellularGA, IslandGA, MasterSlaveGA, MigrationPolicy)
 from .api import (ScenarioSweep, SolveReport, SolverService, SolverSpec,
                   SpecError, available_encodings, available_engines,
-                  available_objectives, solve)
+                  available_objectives, available_substrates, solve)
 
 __version__ = "1.0.0"
 
@@ -63,5 +63,6 @@ __all__ = [
     "SolverSpec", "SolveReport", "solve", "SpecError",
     "ScenarioSweep", "SolverService",
     "available_engines", "available_encodings", "available_objectives",
+    "available_substrates",
     "__version__",
 ]

@@ -89,7 +89,7 @@ def _island_config(config: GAConfig, n_islands: int,
 @register_engine(
     "simple", aliases=("serial",),
     description="Serial GA of Table II (the panmictic baseline)",
-    params={})
+    params={}, array_substrate=True)
 def _run_simple(problem: Problem, config: GAConfig,
                 termination: Termination, seed: int):
     return SimpleGA(problem, config, termination, seed=seed).run()
@@ -100,7 +100,8 @@ def _run_simple(problem: Problem, config: GAConfig,
     description="Master-slave parallel evaluation, Table III "
                 "(bit-identical to the serial GA)",
     params={"workers": 4, "backend": "process", "batch_size": 16,
-            "chunks_per_worker": 1})
+            "chunks_per_worker": 1},
+    array_substrate=True)
 def _run_master_slave(problem: Problem, config: GAConfig,
                       termination: Termination, seed: int, *,
                       workers: int = 4, backend: str = "process",
@@ -121,7 +122,7 @@ def _run_master_slave(problem: Problem, config: GAConfig,
             "shared_start": False, "cooperation": True,
             "merge_on_stagnation": None, "parallel": "serial",
             "workers": None},
-    check_params=_check_topology)
+    check_params=_check_topology, array_substrate=True)
 def _run_island(problem: Problem, config: GAConfig,
                 termination: Termination, seed: int, *,
                 islands: int = 4, island_population: int | None = None,
@@ -191,7 +192,8 @@ def _run_hybrid(problem: Problem, config: GAConfig,
                 "migration (Harmanani et al. [33])",
     params={"islands": 5, "island_population": None,
             "migration_interval": 5, "migration_rate": 1,
-            "broadcast_interval": 50})
+            "broadcast_interval": 50},
+    array_substrate=True)
 def _run_two_level(problem: Problem, config: GAConfig,
                    termination: Termination, seed: int, *,
                    islands: int = 5, island_population: int | None = None,

@@ -180,9 +180,17 @@ def solve(spec: SolverSpec | Mapping[str, Any],
 
     problem = resolve_problem(resolved, instance=instance)
     try:
-        config = GAConfig(**resolved.ga)
+        config = GAConfig(**resolved.ga, substrate=resolved.substrate)
     except (TypeError, ValueError) as exc:
         raise SpecError(f"ga: {exc}") from exc
+    if resolved.substrate == "array":
+        # fail before any work with the spec path prefixed (the engine
+        # would raise the same check from deeper inside otherwise)
+        from ..core.substrate import check_array_support
+        try:
+            check_array_support(problem, config.resolved(problem))
+        except ValueError as exc:
+            raise SpecError(f"substrate: {exc}") from exc
     termination = resolve_termination(resolved.termination)
     entry = engine_entry(resolved.engine)
     t_resolved = time.perf_counter()

@@ -65,7 +65,7 @@ INSTANCE_PARAM_KEYS = ("due_tau", "weights")
 _FIELD_NAMES: tuple[str, ...] = (
     "instance", "encoding", "encoding_params", "objective",
     "objective_params", "ga", "termination", "engine", "engine_params",
-    "seed", "eval_cost", "instance_params")
+    "seed", "eval_cost", "instance_params", "substrate")
 
 
 @dataclass(frozen=True)
@@ -110,6 +110,13 @@ class SolverSpec:
     instance_params:
         instance post-processing: ``due_tau`` attaches TWK due dates,
         ``weights`` (``true`` or ``[lo, hi]``) attaches job weights.
+    substrate:
+        generation substrate: ``"object"`` (default -- per-``Individual``
+        operator calls, bit-identical to pre-substrate behaviour) or
+        ``"array"`` (the population lives as a chromosome matrix and
+        every stage runs as a matrix kernel; see
+        :mod:`repro.core.substrate`).  Supported by the ``simple``,
+        ``master-slave``, ``island`` and ``two-level`` engines.
     """
 
     instance: str
@@ -125,6 +132,7 @@ class SolverSpec:
     seed: int = 42
     eval_cost: float = 0.0
     instance_params: dict[str, Any] = field(default_factory=dict)
+    substrate: str = "object"
 
     def __post_init__(self) -> None:
         # normalise: None -> {}, defensive copy so a frozen spec cannot be
@@ -155,6 +163,7 @@ class SolverSpec:
             "seed": self.seed,
             "eval_cost": self.eval_cost,
             "instance_params": copy.deepcopy(self.instance_params),
+            "substrate": self.substrate,
         }
 
     @classmethod
@@ -265,6 +274,22 @@ class SolverSpec:
         check = eng_entry.tags.get("check_params")
         if check is not None:
             check(dict(eng_entry.params, **self.engine_params))
+
+        from ..core.substrate import SUBSTRATES
+        if self.substrate not in SUBSTRATES:
+            raise SpecError(
+                f"substrate: unknown substrate {self.substrate!r}"
+                f"{suggest(self.substrate, SUBSTRATES)}; "
+                f"available: {sorted(SUBSTRATES)}")
+        if self.substrate == "array" \
+                and not eng_entry.tags.get("array_substrate"):
+            from .registry import ENGINES
+            supported = [e.name for e in ENGINES.entries()
+                         if e.tags.get("array_substrate")]
+            raise SpecError(
+                f"substrate: engine {eng_entry.name!r} runs on the object "
+                f"substrate only; substrate='array' is supported by "
+                f"{supported}")
 
         if not isinstance(self.seed, int) or isinstance(self.seed, bool):
             raise SpecError(f"seed: must be an int, got {self.seed!r}")

@@ -24,8 +24,9 @@ import sys
 
 from .api import (ScenarioSweep, SolverService, SolverSpec, SpecError,
                   available_encodings, available_engines,
-                  available_objectives, encoding_entry, engine_entry,
-                  first_doc_line, objective_entry, solve)
+                  available_objectives, available_substrates,
+                  encoding_entry, engine_entry, first_doc_line,
+                  objective_entry, solve)
 from .experiments import EXPERIMENTS, run_all, run_experiment
 from .instances import available_instances
 
@@ -46,6 +47,12 @@ def _cmd_list(_args) -> int:
             alias = (f" (aliases: {', '.join(entry.aliases)})"
                      if entry.aliases else "")
             print(f"  {name}: {entry.description}{alias}")
+    array_engines = [name for name in available_engines()
+                     if engine_entry(name).tags.get("array_substrate")]
+    print("\nsubstrates:")
+    print("  object: per-Individual operator calls (default, all engines)")
+    print(f"  array: matrix-kernel generations "
+          f"(engines: {', '.join(array_engines)})")
     print("\ninstances:")
     for name in available_instances():
         print(f"  {name}")
@@ -90,6 +97,8 @@ def _spec_from_args(args) -> SolverSpec:
         overrides["encoding"] = args.encoding
     if args.objective is not None:
         overrides["objective"] = args.objective
+    if args.substrate is not None:
+        overrides["substrate"] = args.substrate
     if args.seed is not None:
         overrides["seed"] = args.seed
     ga = dict(spec.ga) if spec else {}
@@ -154,6 +163,8 @@ def _cmd_sweep(args) -> int:
                                       max_generations=args.generations)
     if args.seed is not None:
         changes["seed"] = args.seed
+    if args.substrate is not None:
+        changes["substrate"] = args.substrate
     if changes:
         base = base.replace(**changes)
     sweep = ScenarioSweep(
@@ -227,6 +238,10 @@ def main(argv: list[str] | None = None) -> int:
                          help="objective name "
                               f"({', '.join(available_objectives())}; "
                               "default: makespan)")
+    p_solve.add_argument("--substrate", default=None,
+                         choices=available_substrates(),
+                         help="generation substrate: object (default) or "
+                              "array (matrix-kernel generations)")
     p_solve.add_argument("--population", type=int, default=None,
                          help="total population size (default: 60)")
     p_solve.add_argument("--generations", type=int, default=None,
@@ -254,6 +269,9 @@ def main(argv: list[str] | None = None) -> int:
                          help="objective names (axis 3)")
     p_sweep.add_argument("--seeds", nargs="*", type=int, default=None,
                          help="seeds (axis 4)")
+    p_sweep.add_argument("--substrate", default=None,
+                         choices=available_substrates(),
+                         help="generation substrate for every scenario")
     p_sweep.add_argument("--population", type=int, default=None)
     p_sweep.add_argument("--generations", type=int, default=None)
     p_sweep.add_argument("--seed", type=int, default=None,

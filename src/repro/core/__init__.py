@@ -10,10 +10,14 @@ from .termination import (AllOf, AnyOf, MaxEvaluations, MaxGenerations,
 from .observers import (CallbackObserver, GenerationRecord, HistoryRecorder,
                         Observer)
 from .rng import RngStream, derive_rng, make_rng, spawn_rngs, spawn_seeds
+from .substrate import (SUBSTRATES, ArrayPopulationView, ArrayState,
+                        available_substrates)
 from .ga import GAConfig, GAResult, SimpleGA
 
 __all__ = [
     "Individual", "Population", "PopulationStats", "hamming_distance",
+    "SUBSTRATES", "available_substrates", "ArrayState",
+    "ArrayPopulationView",
     "HeuristicOffsetFitness", "ReciprocalFitness", "RankFitness",
     "NegationFitness", "apply_fitness", "apply_fitness_array",
     "Termination", "TerminationState", "MaxGenerations", "MaxEvaluations",

@@ -37,10 +37,13 @@ from ..operators.crossover import Crossover, default_crossover_for
 from ..operators.mutation import Mutation, default_mutation_for
 from ..operators.selection import Selection, RouletteWheelSelection
 from .fitness import FitnessTransform, HeuristicOffsetFitness, apply_fitness
-from .individual import Individual
+from .individual import Individual, copy_genome
 from .observers import HistoryRecorder, Observer
 from .population import Population
 from .rng import make_rng
+from .substrate import (SUBSTRATES, ArrayPopulationView, ArrayState,
+                        check_array_support, elitist_merge_arrays,
+                        make_offspring_matrix, random_matrix)
 from .termination import MaxGenerations, Termination, TerminationState
 
 __all__ = ["GAConfig", "GAResult", "SimpleGA", "Evaluator"]
@@ -72,6 +75,12 @@ class GAConfig:
         generational model of Table II, smaller values give the *partial
         replacement* of Akhshabi et al. [18] (only the bred fraction can
         displace parents, the rest survive unchanged).
+    substrate:
+        ``"object"`` (default) evolves ``Individual`` objects with
+        per-genome operator calls; ``"array"`` keeps the population as a
+        ``(pop, n_genes)`` chromosome matrix and runs every stage as a
+        matrix kernel (see :mod:`repro.core.substrate`).  The object
+        substrate's behaviour is bit-for-bit unchanged by this knob.
     selection / crossover / mutation:
         operator instances; ``None`` picks a default for the problem's
         genome kind.
@@ -85,6 +94,7 @@ class GAConfig:
     n_elites: int = 2
     immigration_rate: float = 0.0
     generation_gap: float = 1.0
+    substrate: str = "object"
     selection: Selection | None = None
     crossover: Crossover | None = None
     mutation: Mutation | None = None
@@ -99,6 +109,9 @@ class GAConfig:
                 raise ValueError(f"{nm} must be in [0, 1]")
         if not 0.0 < self.generation_gap <= 1.0:
             raise ValueError("generation_gap must be in (0, 1]")
+        if self.substrate not in SUBSTRATES:
+            raise ValueError(f"substrate must be one of {SUBSTRATES}, "
+                             f"got {self.substrate!r}")
         if not 0 <= self.n_elites <= self.population_size:
             raise ValueError("n_elites must be in [0, population_size]")
 
@@ -176,10 +189,20 @@ class SimpleGA:
         self.observers: list[Observer] = [self.history, *observers]
         self.state = TerminationState()
         self.population: Population | None = None
+        self.substrate = self.config.substrate
+        self.arrays: ArrayState | None = None
+        if self.substrate == "array":
+            check_array_support(problem, self.config)
 
     # -- building blocks ---------------------------------------------------------
     def initialize(self) -> Population:
         """Line 1 of Table II: random initial population, evaluated."""
+        if self.substrate == "array":
+            matrix = random_matrix(self.problem,
+                                   self.config.population_size, self.rng)
+            self.adopt_arrays(matrix, self._evaluate_matrix(matrix))
+            self._notify()
+            return self.population
         pop = Population(
             Individual(self.problem.random_genome(self.rng))
             for _ in range(self.config.population_size)
@@ -188,6 +211,20 @@ class SimpleGA:
         self.population = pop
         self._notify()
         return pop
+
+    def adopt_arrays(self, matrix: np.ndarray,
+                     objectives: np.ndarray) -> None:
+        """Install an evaluated chromosome matrix as the current population.
+
+        The array-substrate counterpart of assigning ``self.population``;
+        reuses the existing matrix buffer when shapes match, so island
+        tensor slices stay bound across generations.
+        """
+        if self.arrays is None:
+            self.arrays = ArrayState(matrix, objectives)
+        else:
+            self.arrays.update(matrix, objectives)
+        self.population = ArrayPopulationView(self.problem, self.arrays)
 
     @property
     def uses_batch_path(self) -> bool:
@@ -224,6 +261,21 @@ class SimpleGA:
             ind.objective = float(obj)
         self.state.evaluations += len(todo)
 
+    def _evaluate_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        """Objectives of a chromosome matrix (array-substrate evaluation).
+
+        Uses the batch seam when the problem/evaluator provide one;
+        otherwise un-stacks rows and scores through the per-genome
+        evaluator (still correct, just not vectorised).
+        """
+        if self._batch_evaluate is not None:
+            objectives = self._batch_evaluate(matrix)
+        else:
+            genomes = [self.problem.unstack_row(row) for row in matrix]
+            objectives = self.evaluator(genomes)
+        self.state.evaluations += matrix.shape[0]
+        return np.asarray(objectives, dtype=float)
+
     def _notify(self) -> None:
         best = self.population.best()
         self.state.record_best(float(best.objective))
@@ -249,8 +301,8 @@ class SimpleGA:
             if self.rng.random() < cfg.crossover_rate:
                 ga, gb = cfg.crossover(pa.genome, pb.genome, self.rng)
             else:
-                ga = pa.copy().genome
-                gb = pb.copy().genome
+                ga = copy_genome(pa.genome)
+                gb = copy_genome(pb.genome)
             offspring.append(Individual(ga))
             offspring.append(Individual(gb))
         offspring = offspring[:n_bred]
@@ -274,9 +326,17 @@ class SimpleGA:
         cfg = self.config
         n_bred = max(2, int(round(cfg.generation_gap * cfg.population_size)))
         n_keep = max(cfg.n_elites, cfg.population_size - n_bred)
-        offspring = self.make_offspring(self.population, n_bred)
-        self._evaluate(offspring)
-        self.population = self.population.elitist_merge(offspring, n_keep)
+        if self.substrate == "array":
+            offspring = make_offspring_matrix(self.arrays, cfg,
+                                              self.problem, self.rng, n_bred)
+            objectives = self._evaluate_matrix(offspring)
+            self.adopt_arrays(*elitist_merge_arrays(
+                self.arrays, offspring, objectives, n_keep,
+                cfg.population_size))
+        else:
+            offspring = self.make_offspring(self.population, n_bred)
+            self._evaluate(offspring)
+            self.population = self.population.elitist_merge(offspring, n_keep)
         self._notify()
         return self.population
 
@@ -295,4 +355,5 @@ class SimpleGA:
             evaluations=self.state.evaluations,
             elapsed=self.state.elapsed(),
             termination_reason=self.termination.reason(),
+            extra={"substrate": self.substrate},
         )

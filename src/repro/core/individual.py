@@ -15,18 +15,26 @@ from typing import Any
 
 import numpy as np
 
-__all__ = ["Individual"]
+__all__ = ["Individual", "copy_genome"]
 
 
-def _copy_genome(genome: Any) -> Any:
-    """Deep-enough copy of a genome (ndarray, tuple of ndarrays, or list)."""
+def copy_genome(genome: Any) -> Any:
+    """Deep-enough copy of a genome (ndarray, tuple of ndarrays, or list).
+
+    The cheap way to clone genetic material without allocating a
+    throwaway :class:`Individual` around it (uncrossed pairs in
+    ``SimpleGA.make_offspring`` clone thousands of genomes per run).
+    """
     if isinstance(genome, np.ndarray):
         return genome.copy()
     if isinstance(genome, tuple):
-        return tuple(_copy_genome(g) for g in genome)
+        return tuple(copy_genome(g) for g in genome)
     if isinstance(genome, list):
-        return [_copy_genome(g) for g in genome]
+        return [copy_genome(g) for g in genome]
     return genome
+
+
+_copy_genome = copy_genome  # backwards-compatible private alias
 
 
 @dataclass(slots=True)
@@ -78,6 +86,20 @@ class Individual:
     def with_genome(self, genome: Any) -> "Individual":
         """A fresh, unevaluated individual carrying ``genome``."""
         return Individual(genome=genome)
+
+    @classmethod
+    def from_row(cls, problem: Any, row: np.ndarray,
+                 objective: float | None = None) -> "Individual":
+        """Individual from one chromosome-matrix row (array substrate).
+
+        Inverse of the genome-stacking seam: the row is copied and
+        un-stacked through ``problem.unstack_row`` (composite encodings
+        rebuild their tuple genomes).
+        """
+        genome = problem.unstack_row(np.asarray(row).copy())
+        if objective is None:
+            return cls(genome)
+        return cls(genome, objective=float(objective))
 
     def genome_key(self) -> tuple:
         """Hashable projection of the genome (used for diversity metrics)."""

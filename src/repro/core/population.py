@@ -103,6 +103,32 @@ class Population:
         """Deep copy of the population."""
         return Population(ind.copy() for ind in self._members)
 
+    # -- matrix adapters (array substrate) ----------------------------------------
+    def to_arrays(self, problem) -> tuple[np.ndarray, np.ndarray]:
+        """``(chromosome_matrix, objectives)`` of this population.
+
+        Reuses the problem's genome-stacking seam (composite genomes
+        flatten into rows); raises when genomes are ragged and cannot
+        form a matrix.  The objectives vector carries ``nan`` for
+        unevaluated members.
+        """
+        matrix = problem.stack_genomes([ind.genome for ind in self._members])
+        if matrix is None:
+            raise ValueError("population genomes do not stack into a "
+                             "matrix; the array substrate cannot hold them")
+        return matrix, self.objectives()
+
+    @classmethod
+    def from_arrays(cls, problem, matrix: np.ndarray,
+                    objectives: np.ndarray | None = None) -> "Population":
+        """Population materialised from a chromosome matrix (+ objectives)."""
+        matrix = np.asarray(matrix)
+        if objectives is None:
+            return cls(Individual.from_row(problem, row) for row in matrix)
+        objectives = np.asarray(objectives, dtype=float)
+        return cls(Individual.from_row(problem, row, obj)
+                   for row, obj in zip(matrix, objectives))
+
     @property
     def members(self) -> list[Individual]:
         """Direct (mutable) access to the underlying list."""

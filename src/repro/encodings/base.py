@@ -153,6 +153,19 @@ class Problem:
     def random_genome(self, rng: np.random.Generator) -> Any:
         return self.encoding.random_genome(rng)
 
+    def random_matrix(self, count: int,
+                      rng: np.random.Generator) -> np.ndarray | None:
+        """``count`` random genomes stacked into a chromosome matrix.
+
+        Same draws as ``count`` :meth:`random_genome` calls, stacked
+        through the genome-stacking seam; ``None`` when the genomes are
+        ragged and cannot form a matrix.  The array substrate
+        (:mod:`repro.core.substrate`) seeds populations and immigrants
+        through this.
+        """
+        return self.stack_genomes(
+            [self.random_genome(rng) for _ in range(count)])
+
     def decode(self, genome: Any) -> Schedule:
         return self.encoding.decode(genome)
 

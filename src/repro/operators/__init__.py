@@ -18,6 +18,10 @@ from .mutation import (AssignmentMutation, CompositeMutation,
                        default_mutation_for)
 from .gt_crossover import GTThreeParentCrossover
 from .repair import is_permutation, is_repetition_of, repair_to_multiset
+from .batch import (batch_crossover_for, batch_mutation_for,
+                    batch_selection_for, register_batch_crossover,
+                    register_batch_mutation, register_batch_selection,
+                    supported_batch_operators)
 
 __all__ = [
     "Selection", "RouletteWheelSelection", "StochasticUniversalSampling",
@@ -35,4 +39,7 @@ __all__ = [
     "default_mutation_for",
     "GTThreeParentCrossover",
     "repair_to_multiset", "is_permutation", "is_repetition_of",
+    "batch_selection_for", "batch_crossover_for", "batch_mutation_for",
+    "register_batch_selection", "register_batch_crossover",
+    "register_batch_mutation", "supported_batch_operators",
 ]

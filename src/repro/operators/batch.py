@@ -1,0 +1,539 @@
+"""Batch (array-native) forms of the variation operators.
+
+The scalar operators in :mod:`repro.operators` act on one genome (or one
+parent pair) per call; this module provides their population-wide twins
+for the array substrate (:mod:`repro.core.substrate`): every function
+takes whole ``(rows, n_genes)`` chromosome matrices and performs the
+same transformation as ``rows`` scalar calls, with all per-gene work as
+NumPy array operations -- the "keep the entire generation in flat array
+form" substrate of Luo & El Baz's island/GPU follow-up papers
+(arXiv:1903.10722, arXiv:1903.10741).
+
+Three conformance contracts hold throughout (pinned by
+``tests/test_substrate.py``):
+
+* **closure** -- every batch crossover/mutation preserves each row's
+  multiset (and hence permutation validity) exactly as its scalar twin
+  does;
+* **kernel equality** -- the deterministic kernels (``ox_kernel``,
+  ``pmx_kernel``, ``jox_kernel``, ``batch_repair_to_multiset``, ...)
+  reproduce the scalar operator bit-for-bit when fed the same cut
+  points / masks;
+* **selection stream equality** -- the batch selections consume the RNG
+  with exactly the same calls as their scalar twins and return the same
+  choices (as index arrays instead of ``Individual`` lists), which is
+  what makes the array substrate's rate-0 generations *exactly* equal to
+  the object substrate's under a shared RNG.
+
+Random *parameter drawing* inside crossovers/mutations is vectorised
+(one call for all rows), so it is distribution-equivalent but not
+stream-identical to the scalar loop -- the documented limit of array
+conformance (see ``docs/architecture.md``, "Two substrates").
+
+Dispatch is by operator class: :func:`batch_selection_for` /
+:func:`batch_crossover_for` / :func:`batch_mutation_for` map a
+configured scalar operator instance to its batch twin, honouring the
+instance's parameters.  Third-party operators join via the
+``register_batch_*`` hooks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .crossover import (ArithmeticCrossover, Crossover, JobBasedCrossover,
+                        NPointCrossover, OrderCrossover,
+                        ParameterizedUniformCrossover, PMXCrossover,
+                        UniformCrossover)
+from .mutation import (GaussianKeyMutation, InversionMutation, Mutation,
+                       ShiftMutation, SwapMutation)
+from .selection import (ElitistRouletteSelection, RandomSelection,
+                        RankSelection, RouletteWheelSelection, Selection,
+                        StochasticUniversalSampling, TournamentSelection,
+                        _normalised_probs)
+
+__all__ = [
+    "batch_selection_for", "batch_crossover_for", "batch_mutation_for",
+    "register_batch_selection", "register_batch_crossover",
+    "register_batch_mutation",
+    "supported_batch_operators",
+    "row_occurrence", "row_bincount", "batch_repair_to_multiset",
+    "ox_kernel", "pmx_kernel", "jox_kernel", "npoint_kernel",
+    "inversion_kernel", "shift_kernel",
+]
+
+BatchSelection = Callable[..., np.ndarray]
+BatchCrossover = Callable[..., tuple[np.ndarray, np.ndarray]]
+BatchMutation = Callable[..., np.ndarray]
+
+_BATCH_SELECTIONS: dict[type, Callable] = {}
+_BATCH_CROSSOVERS: dict[type, Callable] = {}
+_BATCH_MUTATIONS: dict[type, Callable] = {}
+
+
+# -- shared integer-genome machinery ---------------------------------------------
+
+def row_occurrence(X: np.ndarray, n_values: int) -> np.ndarray:
+    """``occ[i, j]`` = earlier occurrences of ``X[i, j]`` within row ``i``.
+
+    The building block behind every vectorised order-preserving fill
+    (repair, OX, JOX): a stable argsort groups equal ``(row, value)``
+    keys while keeping positions in order, so the index within each
+    group is exactly the left-to-right occurrence counter the scalar
+    operators maintain one element at a time.
+    """
+    m, n = X.shape
+    keys = (X + np.arange(m, dtype=np.int64)[:, None] * n_values).ravel()
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    pos = np.arange(keys.size, dtype=np.int64)
+    starts = np.empty(keys.size, dtype=bool)
+    starts[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=starts[1:])
+    group_start = np.maximum.accumulate(np.where(starts, pos, 0))
+    occ = np.empty(keys.size, dtype=np.int64)
+    occ[order] = pos - group_start
+    return occ.reshape(m, n)
+
+
+def row_bincount(X: np.ndarray, n_values: int,
+                 mask: np.ndarray | None = None) -> np.ndarray:
+    """Per-row value counts: ``out[i, v]`` = occurrences of v in row i.
+
+    ``mask`` restricts counting to selected positions.
+    """
+    m, n = X.shape
+    keys = X + np.arange(m, dtype=np.int64)[:, None] * n_values
+    if mask is not None:
+        keys = keys[mask]
+    return np.bincount(keys.ravel(),
+                       minlength=m * n_values).reshape(m, n_values)
+
+
+def _value_range(A: np.ndarray, B: np.ndarray) -> int:
+    return int(max(A.max(initial=0), B.max(initial=0))) + 1
+
+
+def batch_repair_to_multiset(children: np.ndarray, counts: np.ndarray,
+                             donors: np.ndarray) -> np.ndarray:
+    """Row-wise :func:`~repro.operators.repair.repair_to_multiset`.
+
+    ``counts`` is ``(rows, n_values)`` -- the target multiset per row;
+    ``donors`` supplies missing values in donor order, exactly like the
+    scalar repair.  Requires each donor row to cover its row's missing
+    values (true whenever parents share a multiset, the GA invariant).
+    """
+    m, n = children.shape
+    n_values = counts.shape[1]
+    occ_child = row_occurrence(children, n_values)
+    rows = np.arange(m)[:, None]
+    legal = occ_child < counts[rows, children]
+    if legal.all():
+        return children.copy()
+    child_counts = row_bincount(children, n_values)
+    missing = counts - np.minimum(child_counts, counts)
+    occ_donor = row_occurrence(donors, n_values)
+    take = occ_donor < missing[rows, donors]
+    out = children.copy()
+    # both masks enumerate row-major with equal per-row counts, so the
+    # k-th surplus position and the k-th donor filler share a row
+    out[~legal] = donors[take]
+    return out
+
+
+def _sorted_distinct_pairs(n: int, rows: int, rng: np.random.Generator,
+                           high: int | None = None
+                           ) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row uniform distinct index pairs ``lo < hi`` in ``[0, n)``."""
+    high = n if high is None else high
+    i = rng.integers(0, high, size=rows)
+    j = rng.integers(0, high - 1, size=rows)
+    j = j + (j >= i)
+    return np.minimum(i, j), np.maximum(i, j)
+
+
+# -- crossover kernels (deterministic given cuts/masks) --------------------------
+
+def ox_kernel(A: np.ndarray, B: np.ndarray, lo: np.ndarray,
+              hi: np.ndarray) -> np.ndarray:
+    """Row-wise OX child: keep ``A[lo:hi)``, fill from B wrapped at hi.
+
+    Bit-identical to ``OrderCrossover._ox_child`` per row (multiset-safe,
+    wrap-around fill order).
+    """
+    m, n = A.shape
+    n_values = _value_range(A, B)
+    rows = np.arange(m)[:, None]
+    pos = np.arange(n)
+    seg = (pos >= lo[:, None]) & (pos < hi[:, None])
+    counts = row_bincount(A, n_values)
+    used = row_bincount(A, n_values, mask=seg)
+    need = counts - used
+    # rotated frame: slot t holds original position (hi + t) mod n, so
+    # slots 0 .. n-seg_len-1 enumerate hi..n-1, 0..lo-1 -- the OX fill order
+    rot_idx = (hi[:, None] + pos) % n
+    B_rot = np.take_along_axis(B, rot_idx, axis=1)
+    occ = row_occurrence(B_rot, n_values)
+    take = occ < need[rows, B_rot]
+    seg_len = hi - lo
+    fill_slots = pos < (n - seg_len)[:, None]
+    child = A.copy()
+    child[np.nonzero(fill_slots)[0], rot_idx[fill_slots]] = B_rot[take]
+    return child
+
+
+def pmx_kernel(A: np.ndarray, B: np.ndarray, lo: np.ndarray,
+               hi: np.ndarray) -> np.ndarray:
+    """Row-wise PMX child (strict permutations of ``range(n)``).
+
+    Bit-identical to ``PMXCrossover._pmx_child`` per row: the copied B
+    segment induces a value mapping that outside positions follow until
+    they leave the segment's value set (chains resolved iteratively, all
+    rows at once).
+    """
+    m, n = A.shape
+    rows = np.arange(m)[:, None]
+    pos = np.arange(n)
+    seg = (pos >= lo[:, None]) & (pos < hi[:, None])
+    seg_rows = np.nonzero(seg)[0]
+    mapping = np.tile(np.arange(n, dtype=np.int64), (m, 1))
+    mapping[seg_rows, B[seg]] = A[seg]
+    in_b_seg = np.zeros((m, n), dtype=bool)
+    in_b_seg[seg_rows, B[seg]] = True
+    values = A.copy()
+    conflict = in_b_seg[rows, values] & ~seg
+    for _ in range(n):
+        if not conflict.any():
+            break
+        values = np.where(conflict, mapping[rows, values], values)
+        conflict = in_b_seg[rows, values] & ~seg
+    return np.where(seg, B, values)
+
+
+def jox_kernel(A: np.ndarray, B: np.ndarray, keep: np.ndarray) -> np.ndarray:
+    """Row-wise JOX child: jobs with ``keep[row, job]`` hold A's positions,
+    the rest are filled with B's occurrences in B order.
+
+    Bit-identical to ``JobBasedCrossover._jox_child`` per row.
+    """
+    rows = np.arange(A.shape[0])[:, None]
+    mask_a = keep[rows, A]
+    child = np.where(mask_a, A, -1)
+    child[~mask_a] = B[~keep[rows, B]]
+    return child
+
+
+def npoint_kernel(A: np.ndarray, B: np.ndarray,
+                  cuts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Row-wise n-point exchange masks from sorted ``(rows, k)`` cuts.
+
+    Returns the raw (pre-repair) children; segment parity starts at
+    parent A exactly like ``NPointCrossover``.
+    """
+    m, n = A.shape
+    delta = np.zeros((m, n), dtype=np.int64)
+    np.add.at(delta, (np.arange(m)[:, None], cuts), 1)
+    mask = (np.cumsum(delta, axis=1) % 2).astype(bool)
+    return np.where(mask, B, A), np.where(mask, A, B)
+
+
+def inversion_kernel(X: np.ndarray, lo: np.ndarray,
+                     hi: np.ndarray) -> np.ndarray:
+    """Reverse the inclusive segment ``[lo, hi]`` of every row."""
+    pos = np.arange(X.shape[1])
+    seg = (pos >= lo[:, None]) & (pos <= hi[:, None])
+    idx = np.where(seg, lo[:, None] + hi[:, None] - pos, pos)
+    return np.take_along_axis(X, idx, axis=1)
+
+
+def shift_kernel(X: np.ndarray, src: np.ndarray,
+                 dst: np.ndarray) -> np.ndarray:
+    """Remove gene ``src`` and reinsert at ``dst`` (of the n-1 list), rowwise.
+
+    Bit-identical to ``ShiftMutation``'s delete-then-insert per row.
+    """
+    m, n = X.shape
+    pos = np.arange(n)[None, :]
+    s, d = src[:, None], dst[:, None]
+    after_delete = pos - (pos > s)
+    dest = after_delete + (after_delete >= d)
+    dest = np.where(pos == s, d, dest)
+    out = np.empty_like(X)
+    out[np.arange(m)[:, None], dest] = X
+    return out
+
+
+# -- batch crossovers ------------------------------------------------------------
+
+def register_batch_crossover(scalar_cls: type):
+    """Register ``fn(op, A, B, rng) -> (CA, CB)`` as the batch twin."""
+    def deco(fn):
+        _BATCH_CROSSOVERS[scalar_cls] = fn
+        return fn
+    return deco
+
+
+@register_batch_crossover(OrderCrossover)
+def _batch_ox(op: OrderCrossover, A: np.ndarray, B: np.ndarray,
+              rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    m, n = A.shape
+    if n < 2:
+        return A.copy(), B.copy()
+    lo, hi = _sorted_distinct_pairs(n, m, rng)
+    hi = hi + 1
+    return ox_kernel(A, B, lo, hi), ox_kernel(B, A, lo, hi)
+
+
+@register_batch_crossover(PMXCrossover)
+def _batch_pmx(op: PMXCrossover, A: np.ndarray, B: np.ndarray,
+               rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    m, n = A.shape
+    if n < 2:
+        return A.copy(), B.copy()
+    lo, hi = _sorted_distinct_pairs(n, m, rng)
+    hi = hi + 1
+    return pmx_kernel(A, B, lo, hi), pmx_kernel(B, A, lo, hi)
+
+
+@register_batch_crossover(JobBasedCrossover)
+def _batch_jox(op: JobBasedCrossover, A: np.ndarray, B: np.ndarray,
+               rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    m = A.shape[0]
+    n_jobs = _value_range(A, B)
+    keep = rng.random((m, n_jobs)) < 0.5
+    return jox_kernel(A, B, keep), jox_kernel(B, A, keep)
+
+
+def _repair_pair(A, B, CA, CB):
+    n_values = _value_range(A, B)
+    counts = row_bincount(A, n_values)
+    return (batch_repair_to_multiset(CA, counts, B),
+            batch_repair_to_multiset(CB, counts, A))
+
+
+@register_batch_crossover(NPointCrossover)
+def _batch_npoint(op: NPointCrossover, A: np.ndarray, B: np.ndarray,
+                  rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    m, n = A.shape
+    if n < 2:
+        return A.copy(), B.copy()
+    k = min(op.points, n - 1)
+    if k == n - 1:
+        cuts = np.tile(np.arange(1, n, dtype=np.int64), (m, 1))
+    else:
+        # k smallest random keys over positions 1..n-1 = a uniform
+        # k-subset without replacement, like the scalar rng.choice
+        keys = rng.random((m, n - 1))
+        cuts = np.sort(np.argpartition(keys, k - 1, axis=1)[:, :k],
+                       axis=1) + 1
+    CA, CB = npoint_kernel(A, B, cuts)
+    if op.repair and np.issubdtype(A.dtype, np.integer):
+        CA, CB = _repair_pair(A, B, CA, CB)
+    return CA, CB
+
+
+@register_batch_crossover(UniformCrossover)
+def _batch_uniform(op: UniformCrossover, A: np.ndarray, B: np.ndarray,
+                   rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    mask = rng.random(A.shape) < op.swap_prob
+    CA = np.where(mask, B, A)
+    CB = np.where(mask, A, B)
+    if op.repair and np.issubdtype(A.dtype, np.integer):
+        CA, CB = _repair_pair(A, B, CA, CB)
+    return CA, CB
+
+
+@register_batch_crossover(ParameterizedUniformCrossover)
+def _batch_param_uniform(op: ParameterizedUniformCrossover, A: np.ndarray,
+                         B: np.ndarray, rng: np.random.Generator
+                         ) -> tuple[np.ndarray, np.ndarray]:
+    A = np.asarray(A, dtype=float)
+    B = np.asarray(B, dtype=float)
+    take_a = rng.random(A.shape) < op.bias
+    return np.where(take_a, A, B), np.where(take_a, B, A)
+
+
+@register_batch_crossover(ArithmeticCrossover)
+def _batch_arithmetic(op: ArithmeticCrossover, A: np.ndarray, B: np.ndarray,
+                      rng: np.random.Generator
+                      ) -> tuple[np.ndarray, np.ndarray]:
+    A = np.asarray(A, dtype=float)
+    B = np.asarray(B, dtype=float)
+    if op.fixed_weight is not None:
+        w = op.fixed_weight
+    else:
+        w = rng.random((A.shape[0], 1))
+    return w * A + (1 - w) * B, (1 - w) * A + w * B
+
+
+# -- batch mutations -------------------------------------------------------------
+
+def register_batch_mutation(scalar_cls: type):
+    """Register ``fn(op, X, rng) -> X'`` as the batch twin."""
+    def deco(fn):
+        _BATCH_MUTATIONS[scalar_cls] = fn
+        return fn
+    return deco
+
+
+@register_batch_mutation(SwapMutation)
+def _batch_swap(op: SwapMutation, X: np.ndarray,
+                rng: np.random.Generator) -> np.ndarray:
+    m, n = X.shape
+    out = X.copy()
+    if n < 2:
+        return out
+    rows = np.arange(m)
+    for _ in range(op.pairs):
+        i, j = _sorted_distinct_pairs(n, m, rng)
+        vi = out[rows, i].copy()
+        out[rows, i] = out[rows, j]
+        out[rows, j] = vi
+    return out
+
+
+@register_batch_mutation(ShiftMutation)
+def _batch_shift(op: ShiftMutation, X: np.ndarray,
+                 rng: np.random.Generator) -> np.ndarray:
+    m, n = X.shape
+    if n < 2:
+        return X.copy()
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n - 1, size=m)
+    return shift_kernel(X, src, dst)
+
+
+@register_batch_mutation(InversionMutation)
+def _batch_inversion(op: InversionMutation, X: np.ndarray,
+                     rng: np.random.Generator) -> np.ndarray:
+    m, n = X.shape
+    if n < 2:
+        return X.copy()
+    lo, hi = _sorted_distinct_pairs(n, m, rng)
+    return inversion_kernel(X, lo, hi)
+
+
+@register_batch_mutation(GaussianKeyMutation)
+def _batch_gaussian(op: GaussianKeyMutation, X: np.ndarray,
+                    rng: np.random.Generator) -> np.ndarray:
+    out = np.asarray(X, dtype=float).copy()
+    mask = rng.random(out.shape) < op.rate
+    hits = int(mask.sum())
+    if hits:
+        out[mask] = np.clip(out[mask] + rng.normal(0, op.sigma, hits),
+                            0.0, 1.0 - 1e-12)
+    return out
+
+
+# -- batch selections ------------------------------------------------------------
+#
+# Contract: identical RNG calls to the scalar operator, returning the
+# chosen *indices* instead of Individual references.  This is what makes
+# rate-0 array generations exactly reproduce object generations.
+
+def register_batch_selection(scalar_cls: type):
+    """Register ``fn(op, fitness, objectives, k, rng) -> idx`` as twin."""
+    def deco(fn):
+        _BATCH_SELECTIONS[scalar_cls] = fn
+        return fn
+    return deco
+
+
+@register_batch_selection(RouletteWheelSelection)
+def _batch_roulette(op, fitness, objectives, k, rng) -> np.ndarray:
+    probs = _normalised_probs(fitness)
+    return np.asarray(
+        rng.choice(fitness.size, size=k, replace=True, p=probs),
+        dtype=np.int64)
+
+
+@register_batch_selection(StochasticUniversalSampling)
+def _batch_sus(op, fitness, objectives, k, rng) -> np.ndarray:
+    probs = _normalised_probs(fitness)
+    cum = np.cumsum(probs)
+    start = rng.random() / k
+    pointers = start + np.arange(k) / k
+    idx = np.searchsorted(cum, pointers, side="right")
+    idx = np.clip(idx, 0, fitness.size - 1)
+    # the scalar twin shuffles a Python list of chosen individuals; use a
+    # list here too so the Fisher-Yates draws (and permutation) match
+    chosen = [int(i) for i in idx]
+    rng.shuffle(chosen)
+    return np.asarray(chosen, dtype=np.int64)
+
+
+@register_batch_selection(TournamentSelection)
+def _batch_tournament(op: TournamentSelection, fitness, objectives, k,
+                      rng) -> np.ndarray:
+    n = fitness.size
+    entrants = rng.integers(0, n, size=(k, op.size))
+    winners = entrants[np.arange(k), np.argmax(fitness[entrants], axis=1)]
+    return winners.astype(np.int64)
+
+
+@register_batch_selection(ElitistRouletteSelection)
+def _batch_elitist_roulette(op: ElitistRouletteSelection, fitness,
+                            objectives, k, rng) -> np.ndarray:
+    n_elite = min(k, int(round(op.elite_fraction * k)))
+    elites = np.argsort(objectives, kind="stable")[:n_elite]
+    rest = _batch_roulette(op._roulette, fitness, objectives, k - n_elite,
+                           rng)
+    return np.concatenate([elites.astype(np.int64), rest])
+
+
+@register_batch_selection(RandomSelection)
+def _batch_random(op, fitness, objectives, k, rng) -> np.ndarray:
+    return np.asarray(rng.integers(0, fitness.size, size=k), dtype=np.int64)
+
+
+@register_batch_selection(RankSelection)
+def _batch_rank(op, fitness, objectives, k, rng) -> np.ndarray:
+    order = np.argsort(np.argsort(fitness))  # 0 = worst
+    weights = (order + 1).astype(float)
+    probs = weights / weights.sum()
+    return np.asarray(
+        rng.choice(fitness.size, size=k, replace=True, p=probs),
+        dtype=np.int64)
+
+
+# -- dispatch --------------------------------------------------------------------
+
+def _lookup(registry: dict[type, Callable], op, what: str) -> Callable:
+    for cls in type(op).__mro__:
+        if cls in registry:
+            return registry[cls]
+    supported = sorted(c.__name__ for c in registry)
+    raise ValueError(
+        f"no batch {what} registered for {type(op).__name__}; the array "
+        f"substrate supports: {supported} (register one via "
+        f"repro.operators.batch.register_batch_{what})")
+
+
+def batch_selection_for(op: Selection) -> Callable:
+    """``(fitness, objectives, k, rng) -> idx`` twin of scalar ``op``."""
+    fn = _lookup(_BATCH_SELECTIONS, op, "selection")
+    return lambda fitness, objectives, k, rng: fn(op, fitness, objectives,
+                                                  k, rng)
+
+
+def batch_crossover_for(op: Crossover) -> Callable:
+    """``(A, B, rng) -> (CA, CB)`` twin of scalar ``op``."""
+    fn = _lookup(_BATCH_CROSSOVERS, op, "crossover")
+    return lambda A, B, rng: fn(op, A, B, rng)
+
+
+def batch_mutation_for(op: Mutation) -> Callable:
+    """``(X, rng) -> X'`` twin of scalar ``op``."""
+    fn = _lookup(_BATCH_MUTATIONS, op, "mutation")
+    return lambda X, rng: fn(op, X, rng)
+
+
+def supported_batch_operators() -> dict[str, list[str]]:
+    """Scalar operator class names with a registered batch twin."""
+    return {
+        "selection": sorted(c.__name__ for c in _BATCH_SELECTIONS),
+        "crossover": sorted(c.__name__ for c in _BATCH_CROSSOVERS),
+        "mutation": sorted(c.__name__ for c in _BATCH_MUTATIONS),
+    }

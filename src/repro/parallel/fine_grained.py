@@ -108,6 +108,12 @@ class CellularGA:
             raise ValueError("replacement must be 'if_better' or 'always'")
         if update not in ("synchronous", "asynchronous"):
             raise ValueError("update must be 'synchronous' or 'asynchronous'")
+        if config is not None and config.substrate != "object":
+            # per-cell neighbourhood selection has no matrix form; fail
+            # loudly rather than silently running the object path
+            raise ValueError("the cellular GA runs on the object substrate "
+                             "only; got substrate="
+                             f"{config.substrate!r}")
         self.problem = problem
         self.rows, self.cols = rows, cols
         self.offsets = neighborhood_offsets(neighborhood)

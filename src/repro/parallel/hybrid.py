@@ -201,12 +201,16 @@ class TwoLevelIslandGA:
             termination_reason=inner.termination.reason(),
             n_islands_final=len(inner._active),
             extra={"model": "two_level", "GN": self.migration.interval,
-                   "LN": self.broadcast_interval},
+                   "LN": self.broadcast_interval,
+                   "substrate": inner.substrate},
         )
 
     def _broadcast(self) -> None:
         """Every island's best goes to every other island (replace worst)."""
         inner = self.inner
+        if inner.substrate == "array":
+            self._broadcast_arrays()
+            return
         bests = [inner.islands[i].population.best().copy()
                  for i in inner._active]
         for k, i in enumerate(inner._active):
@@ -214,5 +218,24 @@ class TwoLevelIslandGA:
             integrate_immigrants(
                 inner.islands[i].population, immigrants,
                 MigrationPolicy(interval=1, rate=len(immigrants),
+                                emigrant="best", replacement="worst"),
+                inner._migration_rng)
+
+    def _broadcast_arrays(self) -> None:
+        """Array-substrate broadcast: best rows gathered, worst replaced."""
+        from .migration import integrate_immigrant_rows
+        inner = self.inner
+        states = [inner.islands[i].arrays for i in inner._active]
+        best_idx = [int(np.argmin(s.objectives)) for s in states]
+        rows = np.stack([s.matrix[b].copy()
+                         for s, b in zip(states, best_idx)])
+        objs = np.array([float(s.objectives[b])
+                         for s, b in zip(states, best_idx)])
+        keep = np.arange(len(states))
+        for k, i in enumerate(inner._active):
+            others = keep != k
+            integrate_immigrant_rows(
+                inner.islands[i].arrays, rows[others], objs[others],
+                MigrationPolicy(interval=1, rate=int(others.sum()),
                                 emigrant="best", replacement="worst"),
                 inner._migration_rng)

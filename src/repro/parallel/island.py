@@ -38,6 +38,13 @@ Each island evaluates its sub-population through the vectorised batch path
 encoding ships a batch decoder -- the per-generation offspring of every
 island is decoded as one chromosome matrix, exactly the sub-population
 array decoding of the dual heterogeneous island GA (Luo & El Baz, 2019).
+
+With ``GAConfig.substrate="array"`` the islands evolve on the array
+substrate (:mod:`repro.core.substrate`); the serial engine then binds all
+island populations as slices of one ``(n_islands, pop, n_genes)`` tensor
+and migration becomes pure row slice assignment
+(:func:`repro.parallel.migration.integrate_immigrant_rows`) -- no
+``Individual`` boxing anywhere in the generation loop.
 """
 
 from __future__ import annotations
@@ -56,7 +63,8 @@ from ..core.population import Population
 from ..core.rng import spawn_rngs
 from ..core.termination import (MaxGenerations, Termination, TerminationState)
 from ..encodings.base import Problem
-from .migration import (MigrationPolicy, integrate_immigrants,
+from .migration import (MigrationPolicy, integrate_immigrant_rows,
+                        integrate_immigrants, select_emigrant_rows,
                         select_emigrants)
 from .topology import RingTopology, Topology
 
@@ -174,6 +182,17 @@ class IslandGA:
             configs = list(config)
             if len(configs) != n_islands:
                 raise ValueError("need one config per island")
+        substrates = {cfg.substrate for cfg in configs}
+        if len(substrates) > 1:
+            raise ValueError("all islands must share one substrate, got "
+                             f"{sorted(substrates)}")
+        self.substrate = substrates.pop()
+        if self.substrate == "array" and merge_on_stagnation is not None:
+            raise ValueError("merge_on_stagnation needs the object "
+                             "substrate (island merging resizes "
+                             "populations); use substrate='object'")
+        self._tensor: np.ndarray | None = None
+        self._tensor_objectives: np.ndarray | None = None
         rngs = spawn_rngs(seed, n_islands + 1)
         self._migration_rng = rngs[-1]
         self.islands: list[SimpleGA] = [
@@ -192,13 +211,40 @@ class IslandGA:
         if self._shared_start:
             first = self.islands[0].initialize()
             for isl in self.islands[1:]:
-                isl.population = first.copy()
+                if self.substrate == "array":
+                    src = self.islands[0].arrays
+                    isl.adopt_arrays(src.matrix.copy(),
+                                     src.objectives.copy())
+                else:
+                    isl.population = first.copy()
                 isl._notify()
         else:
             for isl in self.islands:
                 isl.initialize()
+        if self.substrate == "array" and self.parallel == "serial":
+            self._bind_tensor()
         self._sync_state()
         self._record_global()
+
+    def _bind_tensor(self) -> None:
+        """Stack the island matrices into one (n_islands, pop, n_genes) tensor.
+
+        Each island's :class:`~repro.core.substrate.ArrayState` is rebound
+        to a slice view; per-generation updates copy in place, so the
+        binding survives the whole run and migration becomes pure slice
+        assignment on the tensor.  Heterogeneous island sizes (possible
+        with per-island configs) keep separate per-island arrays --
+        migration still runs on rows, just not through one tensor.
+        """
+        shapes = {isl.arrays.matrix.shape for isl in self.islands}
+        if len(shapes) != 1:
+            return
+        self._tensor = np.stack([isl.arrays.matrix for isl in self.islands])
+        self._tensor_objectives = np.stack(
+            [isl.arrays.objectives for isl in self.islands])
+        for i, isl in enumerate(self.islands):
+            isl.arrays.matrix = self._tensor[i]
+            isl.arrays.objectives = self._tensor_objectives[i]
 
     def _sync_state(self) -> None:
         self.state.evaluations = sum(isl.state.evaluations
@@ -208,9 +254,19 @@ class IslandGA:
         self.state.record_best(float(best))
 
     def _record_global(self) -> None:
-        merged = Population([ind for isl in self.islands
-                             if isl.population is not None
-                             for ind in isl.population])
+        if self.substrate == "array":
+            # concatenate the island arrays instead of boxing every
+            # member: the view's stats()/best() stay fully vectorised
+            from ..core.substrate import ArrayPopulationView, ArrayState
+            states = [isl.arrays for isl in self.islands
+                      if isl.arrays is not None]
+            merged = ArrayPopulationView(self.problem, ArrayState(
+                np.concatenate([s.matrix for s in states]),
+                np.concatenate([s.objectives for s in states])))
+        else:
+            merged = Population([ind for isl in self.islands
+                                 if isl.population is not None
+                                 for ind in isl.population])
         self.global_history.observe(self.state.generation, merged,
                                     self.state.evaluations,
                                     self.state.elapsed(),
@@ -240,6 +296,8 @@ class IslandGA:
         active = self._active
         if len(active) < 2:
             return 0
+        if self.substrate == "array":
+            return self._migrate_arrays(epoch)
         # map active slot -> position so shrunken (merged) systems reuse the
         # topology over the remaining islands
         pos_of = {isl: k for k, isl in enumerate(active)}
@@ -260,6 +318,42 @@ class IslandGA:
         for tgt, immigrants in outbox.items():
             integrate_immigrants(self.islands[tgt].population, immigrants,
                                  self.migration, self._migration_rng)
+        return moved
+
+    def _migrate_arrays(self, epoch: int) -> int:
+        """Array-substrate migration: emigrant rows gathered per edge,
+        then scattered over each target's replacement slots.
+
+        In the serial engine the island states are slices of one
+        ``(n_islands, pop, n_genes)`` tensor, so the whole exchange is
+        slice assignment on two arrays -- no per-individual work.  Same
+        policy semantics (and the same migration-RNG call pattern) as the
+        object path.
+        """
+        active = self._active
+        pos_of = {isl: k for k, isl in enumerate(active)}
+        outbox: dict[int, list[tuple[np.ndarray, np.ndarray]]] = \
+            {i: [] for i in active}
+        moved = 0
+        for i in active:
+            targets = self.topology.neighbors_out(
+                pos_of[i], epoch, self._migration_rng)
+            for tgt_pos in targets:
+                tgt = active[tgt_pos % len(active)]
+                if tgt == i:
+                    continue
+                rows, objs = select_emigrant_rows(
+                    self.islands[i].arrays, self.migration,
+                    self._migration_rng)
+                outbox[tgt].append((rows, objs))
+                moved += rows.shape[0]
+        for tgt, shipments in outbox.items():
+            if not shipments:
+                continue
+            rows = np.concatenate([r for r, _ in shipments])
+            objs = np.concatenate([o for _, o in shipments])
+            integrate_immigrant_rows(self.islands[tgt].arrays, rows, objs,
+                                     self.migration, self._migration_rng)
         return moved
 
     def _maybe_merge(self) -> None:
@@ -314,7 +408,9 @@ class IslandGA:
             termination_reason=self.termination.reason(),
             n_islands_final=len(self._active),
             extra={"batch_path": all(isl.uses_batch_path
-                                     for isl in self.islands)},
+                                     for isl in self.islands),
+                   "substrate": self.substrate,
+                   "tensor_mode": self._tensor is not None},
         )
 
     def _remaining_gens(self) -> int:

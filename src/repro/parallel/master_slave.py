@@ -103,4 +103,5 @@ class MasterSlaveGA:
         # decode itself was vectorised -- distinct facts, reported apart
         result.extra["matrix_eval_calls"] = self.eval_stats.batch_calls
         result.extra["batch_path"] = self.engine.uses_batch_path
+        result.extra["substrate"] = self.engine.substrate
         return result

@@ -22,8 +22,10 @@ import numpy as np
 
 from ..core.individual import Individual
 from ..core.population import Population
+from ..core.substrate import ArrayState, stable_topk
 
-__all__ = ["MigrationPolicy", "select_emigrants", "integrate_immigrants"]
+__all__ = ["MigrationPolicy", "select_emigrants", "integrate_immigrants",
+           "select_emigrant_rows", "integrate_immigrant_rows"]
 
 
 @dataclass(frozen=True)
@@ -109,3 +111,50 @@ def integrate_immigrants(population: Population,
         targets = rng.choice(n, size=k, replace=False)
     for ind, pos in zip(immigrants, targets):
         population[int(pos)] = ind.copy() if policy.copy else ind
+
+
+# -- array-substrate twins -------------------------------------------------------
+#
+# When islands evolve on the array substrate their populations are
+# chromosome matrices (slices of one (n_islands, pop, n_genes) tensor in
+# the serial engine), so migration reduces to gather/scatter row
+# assignment -- no Individual boxing on the exchange path.
+
+def select_emigrant_rows(state: ArrayState, policy: MigrationPolicy,
+                         rng: np.random.Generator
+                         ) -> tuple[np.ndarray, np.ndarray]:
+    """Array twin of :func:`select_emigrants`: emigrant rows + objectives.
+
+    Rows are copied at selection time so a later replacement in the
+    source island (ring exchanges are often bidirectional) cannot
+    corrupt in-flight emigrants.
+    """
+    k = min(policy.rate, len(state))
+    if k == 0:
+        return (np.empty((0, state.matrix.shape[1]),
+                         dtype=state.matrix.dtype), np.empty(0))
+    if policy.emigrant == "best":
+        idx = stable_topk(state.objectives, k)
+    else:
+        idx = rng.choice(len(state), size=k, replace=False)
+    return state.matrix[idx].copy(), state.objectives[idx].copy()
+
+
+def integrate_immigrant_rows(state: ArrayState, rows: np.ndarray,
+                             objectives: np.ndarray,
+                             policy: MigrationPolicy,
+                             rng: np.random.Generator) -> None:
+    """Array twin of :func:`integrate_immigrants`: in-place row scatter."""
+    if rows.shape[0] == 0:
+        return
+    n = len(state)
+    k = min(rows.shape[0], n)
+    rows, objectives = rows[:k], objectives[:k]
+    if policy.replacement == "worst":
+        order = np.argsort(state.objectives)  # ascending: best first
+        targets = order[::-1][:k]
+    else:
+        targets = rng.choice(n, size=k, replace=False)
+    state.matrix[targets] = rows
+    state.objectives[targets] = objectives
+    state.touch()

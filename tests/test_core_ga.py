@@ -96,6 +96,75 @@ class TestSimpleGARun:
         offspring = ga.make_offspring(ga.population, 20)
         assert len(offspring) == 20
 
+
+class TestPartialReplacementEdges:
+    """generation_gap / immigration_rate / n_elites corner cases."""
+
+    def test_odd_n_bred_truncates_last_pair_child(self, ft06_problem):
+        # gap 0.5 of 10 breeds 5: three pairs produce 6 children, the
+        # surplus sixth is truncated
+        cfg = GAConfig(population_size=10, generation_gap=0.5)
+        ga = SimpleGA(ft06_problem, cfg, MaxGenerations(2), seed=1)
+        ga.initialize()
+        offspring = ga.make_offspring(ga.population, 5)
+        assert len(offspring) == 5
+        pop = ga.step()
+        assert len(pop) == 10
+
+    def test_immigration_rounds_down_to_zero(self, ft06_problem):
+        # round(0.04 * 10) == 0: every offspring is bred, none random
+        cfg = GAConfig(population_size=10, immigration_rate=0.04,
+                       crossover_rate=0.0, mutation_rate=0.0)
+        ga = SimpleGA(ft06_problem, cfg, MaxGenerations(1), seed=3)
+        ga.initialize()
+        parent_keys = {ind.genome_key() for ind in ga.population}
+        offspring = ga.make_offspring(ga.population, 10)
+        assert len(offspring) == 10
+        # with crossover/mutation off, every child clones a parent
+        assert all(ind.genome_key() in parent_keys for ind in offspring)
+
+    def test_immigration_one_replaces_all_offspring(self, ft06_problem):
+        # rate 1.0 breeds nobody: the whole offspring set is immigrants
+        cfg = GAConfig(population_size=10, immigration_rate=1.0)
+        ga = SimpleGA(ft06_problem, cfg, MaxGenerations(2), seed=4)
+        ga.initialize()
+        offspring = ga.make_offspring(ga.population, 10)
+        assert len(offspring) == 10
+        assert all(not ind.evaluated for ind in offspring)
+        assert len(ga.step()) == 10  # engine runs to a full generation
+
+    def test_partial_replacement_keeps_unbred_majority(self, ft06_problem):
+        # gap 1/3 of 12 breeds 4; n_keep = max(n_elites, 12 - 4) = 8, so
+        # at least 8 parents survive each generation regardless of elites
+        cfg = GAConfig(population_size=12, generation_gap=1 / 3, n_elites=2)
+        ga = SimpleGA(ft06_problem, cfg, MaxGenerations(1), seed=5)
+        ga.initialize()
+        parent_keys = {ind.genome_key() for ind in ga.population}
+        survivors = sum(ind.genome_key() in parent_keys for ind in ga.step())
+        assert survivors >= 8
+
+    def test_n_elites_dominates_small_keep(self, ft06_problem):
+        # full generational gap: n_keep = max(5, 0) = 5 elites survive
+        cfg = GAConfig(population_size=10, generation_gap=1.0, n_elites=5)
+        ga = SimpleGA(ft06_problem, cfg, MaxGenerations(1), seed=6)
+        ga.initialize()
+        elite_keys = {ind.genome_key() for ind in ga.population.top(5)}
+        next_keys = {ind.genome_key() for ind in ga.step()}
+        assert elite_keys <= next_keys
+
+    @pytest.mark.parametrize("substrate", ["object", "array"])
+    def test_edge_configs_run_on_both_substrates(self, ft06_problem,
+                                                 substrate):
+        for cfg in (GAConfig(population_size=9, generation_gap=0.55,
+                             immigration_rate=0.3, n_elites=4,
+                             substrate=substrate),
+                    GAConfig(population_size=8, immigration_rate=1.0,
+                             substrate=substrate)):
+            result = SimpleGA(ft06_problem, cfg, MaxGenerations(3),
+                              seed=7).run()
+            assert len(result.population) == cfg.population_size
+            assert result.generations == 3
+
     def test_custom_evaluator_seam(self, ft06_problem):
         calls = []
 

@@ -1,0 +1,542 @@
+"""Conformance suite for the array-native variation substrate.
+
+Three layers of guarantees (see ``docs/architecture.md``, "Two
+substrates"):
+
+1. **kernel equality** -- each deterministic batch kernel reproduces its
+   scalar twin bit-for-bit given the same cuts/masks;
+2. **closure** -- every batch crossover/mutation preserves row multisets
+   (hence permutation validity) like the scalar operators do;
+3. **engine equivalence** -- batch selections consume the RNG exactly
+   like the scalar operators, so whole array generations are *exactly*
+   equal to object generations at the crossover/mutation rate extremes
+   under a shared seed, and quality stays on par at intermediate rates
+   (per-draw bit-identity there is impossible: batching reorders the
+   stream).
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import GAConfig, IslandGA, MaxGenerations, Population, SimpleGA
+from repro.core.substrate import (ArrayPopulationView, ArrayState,
+                                  available_substrates, elitist_merge_arrays,
+                                  make_offspring_matrix, stable_topk)
+from repro.encodings import (FlowShopPermutationEncoding,
+                             OperationBasedEncoding, Problem,
+                             RandomKeysFlowShopEncoding)
+from repro.instances import flow_shop, get_instance
+from repro.operators import (ArithmeticCrossover, ElitistRouletteSelection,
+                             GaussianKeyMutation, InversionMutation,
+                             JobBasedCrossover, NPointCrossover,
+                             OrderCrossover, ParameterizedUniformCrossover,
+                             PMXCrossover, RandomSelection, RankSelection,
+                             RouletteWheelSelection, ShiftMutation,
+                             StochasticUniversalSampling, SwapMutation,
+                             TournamentSelection, UniformCrossover,
+                             batch_crossover_for, batch_mutation_for,
+                             batch_selection_for, register_batch_mutation,
+                             repair_to_multiset)
+from repro.operators.batch import (batch_repair_to_multiset,
+                                   inversion_kernel, jox_kernel,
+                                   npoint_kernel, ox_kernel, pmx_kernel,
+                                   row_bincount, row_occurrence,
+                                   shift_kernel)
+
+
+def perm_population(m, n, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.stack([rng.permutation(n) for _ in range(m)]).astype(np.int64)
+
+
+def repetition_population(m, n_jobs, repeats, seed=0):
+    rng = np.random.default_rng(seed)
+    base = np.repeat(np.arange(n_jobs, dtype=np.int64), repeats)
+    return np.stack([rng.permutation(base) for _ in range(m)])
+
+
+def same_multiset_rows(A, B):
+    for a, b in zip(A, B):
+        if not np.array_equal(np.sort(a), np.sort(b)):
+            return False
+    return True
+
+
+# -- layer 1: kernels vs scalar operator internals -------------------------------
+
+class TestKernelEquality:
+    def test_row_occurrence_counts_left_to_right(self):
+        X = np.array([[1, 1, 0, 1], [2, 0, 2, 2]], dtype=np.int64)
+        expect = np.array([[0, 1, 0, 2], [0, 0, 1, 2]])
+        assert np.array_equal(row_occurrence(X, 3), expect)
+
+    def test_row_bincount_plain_and_masked(self):
+        X = np.array([[0, 1, 1], [2, 2, 0]], dtype=np.int64)
+        assert np.array_equal(row_bincount(X, 3),
+                              [[1, 2, 0], [1, 0, 2]])
+        mask = np.array([[True, False, True], [True, True, False]])
+        assert np.array_equal(row_bincount(X, 3, mask=mask),
+                              [[1, 1, 0], [0, 0, 2]])
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_ox_kernel_matches_scalar(self, seed):
+        rng = np.random.default_rng(seed)
+        A = repetition_population(16, 5, 3, seed=seed)
+        B = repetition_population(16, 5, 3, seed=seed + 100)
+        n = A.shape[1]
+        lo_hi = np.sort(np.stack(
+            [rng.choice(n, size=2, replace=False) for _ in range(16)]), axis=1)
+        lo, hi = lo_hi[:, 0], lo_hi[:, 1] + 1
+        batch = ox_kernel(A, B, lo, hi)
+        for k in range(16):
+            scalar = OrderCrossover._ox_child(A[k], B[k], int(lo[k]),
+                                              int(hi[k]))
+            assert np.array_equal(batch[k], scalar)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_pmx_kernel_matches_scalar(self, seed):
+        rng = np.random.default_rng(seed)
+        A = perm_population(16, 9, seed=seed)
+        B = perm_population(16, 9, seed=seed + 100)
+        lo_hi = np.sort(np.stack(
+            [rng.choice(9, size=2, replace=False) for _ in range(16)]), axis=1)
+        lo, hi = lo_hi[:, 0], lo_hi[:, 1] + 1
+        batch = pmx_kernel(A, B, lo, hi)
+        for k in range(16):
+            scalar = PMXCrossover._pmx_child(A[k], B[k], int(lo[k]),
+                                             int(hi[k]))
+            assert np.array_equal(batch[k], scalar)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_jox_kernel_matches_scalar(self, seed):
+        rng = np.random.default_rng(seed)
+        A = repetition_population(16, 6, 4, seed=seed)
+        B = repetition_population(16, 6, 4, seed=seed + 100)
+        keep = rng.random((16, 6)) < 0.5
+        batch = jox_kernel(A, B, keep)
+        for k in range(16):
+            scalar = JobBasedCrossover._jox_child(A[k], B[k], keep[k])
+            assert np.array_equal(batch[k], scalar)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_batch_repair_matches_scalar(self, seed):
+        # corrupt children by a positionwise mix, then repair toward the
+        # parents' shared multiset with the other parent as donor
+        A = repetition_population(12, 4, 3, seed=seed)
+        B = repetition_population(12, 4, 3, seed=seed + 100)
+        rng = np.random.default_rng(seed)
+        mask = rng.random(A.shape) < 0.5
+        child = np.where(mask, B, A)
+        counts = row_bincount(A, 4)
+        batch = batch_repair_to_multiset(child, counts, B)
+        for k in range(12):
+            scalar = repair_to_multiset(child[k], counts[k], donor=B[k])
+            assert np.array_equal(batch[k], scalar)
+
+    def test_npoint_kernel_matches_manual_mask(self):
+        A = np.zeros((3, 8), dtype=np.int64)
+        B = np.ones((3, 8), dtype=np.int64)
+        cuts = np.array([[2, 5], [1, 7], [3, 4]])
+        ca, cb = npoint_kernel(A, B, cuts)
+        # parity starts at A, flips at every cut
+        assert np.array_equal(ca[0], [0, 0, 1, 1, 1, 0, 0, 0])
+        assert np.array_equal(cb[0], [1, 1, 0, 0, 0, 1, 1, 1])
+        assert np.array_equal(ca[1], [0, 1, 1, 1, 1, 1, 1, 0])
+        assert np.array_equal(ca[2], [0, 0, 0, 1, 0, 0, 0, 0])
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_shift_kernel_matches_delete_insert(self, seed):
+        rng = np.random.default_rng(seed)
+        X = perm_population(10, 7, seed=seed)
+        src = rng.integers(0, 7, size=10)
+        dst = rng.integers(0, 6, size=10)
+        batch = shift_kernel(X, src, dst)
+        for k in range(10):
+            v = X[k, src[k]]
+            scalar = np.insert(np.delete(X[k], src[k]), dst[k], v)
+            assert np.array_equal(batch[k], scalar)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_inversion_kernel_matches_slice_reverse(self, seed):
+        rng = np.random.default_rng(seed)
+        X = perm_population(10, 7, seed=seed)
+        lo_hi = np.sort(np.stack(
+            [rng.choice(7, size=2, replace=False) for _ in range(10)]), axis=1)
+        lo, hi = lo_hi[:, 0], lo_hi[:, 1]
+        batch = inversion_kernel(X, lo, hi)
+        for k in range(10):
+            scalar = X[k].copy()
+            scalar[lo[k]:hi[k] + 1] = scalar[lo[k]:hi[k] + 1][::-1]
+            assert np.array_equal(batch[k], scalar)
+
+
+# -- layer 2: closure per batch operator -----------------------------------------
+
+PERM_CROSSOVERS = [OrderCrossover(), PMXCrossover(),
+                   NPointCrossover(points=2), UniformCrossover()]
+REP_CROSSOVERS = [OrderCrossover(), JobBasedCrossover(),
+                  NPointCrossover(points=3), UniformCrossover()]
+INT_MUTATIONS = [SwapMutation(), SwapMutation(pairs=3), ShiftMutation(),
+                 InversionMutation()]
+
+
+class TestClosure:
+    @pytest.mark.parametrize("op", PERM_CROSSOVERS,
+                             ids=lambda o: type(o).__name__)
+    @pytest.mark.parametrize("seed", range(3))
+    def test_permutation_crossovers_stay_permutations(self, op, seed):
+        A = perm_population(24, 11, seed=seed)
+        B = perm_population(24, 11, seed=seed + 50)
+        ca, cb = batch_crossover_for(op)(A, B, np.random.default_rng(seed))
+        for child in (ca, cb):
+            assert same_multiset_rows(child, A)
+
+    @pytest.mark.parametrize("op", REP_CROSSOVERS,
+                             ids=lambda o: type(o).__name__)
+    @pytest.mark.parametrize("seed", range(3))
+    def test_repetition_crossovers_preserve_multisets(self, op, seed):
+        A = repetition_population(24, 5, 4, seed=seed)
+        B = repetition_population(24, 5, 4, seed=seed + 50)
+        ca, cb = batch_crossover_for(op)(A, B, np.random.default_rng(seed))
+        for child in (ca, cb):
+            assert same_multiset_rows(child, A)
+
+    @pytest.mark.parametrize("op", INT_MUTATIONS,
+                             ids=["swap", "swap3", "shift", "inversion"])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_integer_mutations_preserve_multisets(self, op, seed):
+        X = repetition_population(24, 5, 4, seed=seed)
+        out = batch_mutation_for(op)(X, np.random.default_rng(seed))
+        assert same_multiset_rows(out, X)
+        assert out is not X  # never in place
+
+    def test_real_crossovers_stay_in_bounds(self):
+        rng = np.random.default_rng(3)
+        A, B = rng.random((20, 9)), rng.random((20, 9))
+        for op in (ParameterizedUniformCrossover(bias=0.7),
+                   ArithmeticCrossover(), ArithmeticCrossover(0.25)):
+            ca, cb = batch_crossover_for(op)(A, B, rng)
+            for child in (ca, cb):
+                assert child.shape == A.shape
+                assert (child >= 0).all() and (child <= 1).all()
+
+    def test_param_uniform_children_complement(self):
+        rng = np.random.default_rng(4)
+        A, B = rng.random((10, 6)), rng.random((10, 6))
+        ca, cb = batch_crossover_for(
+            ParameterizedUniformCrossover(bias=0.6))(A, B, rng)
+        took_a = ca == A
+        assert np.array_equal(cb, np.where(took_a, B, A))
+
+    def test_gaussian_mutation_keeps_keys_valid(self):
+        rng = np.random.default_rng(5)
+        X = rng.random((30, 12))
+        out = batch_mutation_for(GaussianKeyMutation(rate=0.8))(X, rng)
+        assert (out >= 0).all() and (out < 1).all()
+        assert (out != X).any()
+
+    def test_unsupported_operator_raises_actionable_error(self):
+        from repro.operators import CycleCrossover
+        with pytest.raises(ValueError, match="no batch crossover.*supports"):
+            batch_crossover_for(CycleCrossover())
+
+
+# -- layer 3a: selection stream equality -----------------------------------------
+
+SELECTIONS = [RouletteWheelSelection(), StochasticUniversalSampling(),
+              TournamentSelection(size=3), ElitistRouletteSelection(0.2),
+              RandomSelection(), RankSelection()]
+
+
+class TestSelectionStreamEquality:
+    @pytest.mark.parametrize("sel", SELECTIONS,
+                             ids=lambda s: type(s).__name__)
+    @pytest.mark.parametrize("k", [0, 5, 20])
+    def test_batch_indices_match_scalar_choices(self, sel, k, ft06_problem):
+        if k == 0 and isinstance(sel, StochasticUniversalSampling):
+            pytest.skip("SUS divides by k")
+        rng = np.random.default_rng(7)
+        pop = Population(
+            repro.Individual(ft06_problem.random_genome(rng))
+            for _ in range(12))
+        for i, ind in enumerate(pop):
+            ind.objective = float(50 + (i % 4))   # ties included
+            ind.fitness = float(10 - (i % 4))
+        fits = np.array([ind.fitness for ind in pop])
+        objs = pop.objectives()
+        scalar = sel(pop, k, np.random.default_rng(99))
+        idx = batch_selection_for(sel)(fits, objs, k,
+                                       np.random.default_rng(99))
+        assert len(scalar) == len(idx) == k
+        members = list(pop)
+        for ind, i in zip(scalar, idx):
+            assert ind is members[int(i)]
+
+
+# -- layer 3b: rate-extreme exact equivalence ------------------------------------
+
+def run_pair(problem, seed=11, gens=5, **cfg_kwargs):
+    """Run object and array engines with identical configs and seed."""
+    results = {}
+    for substrate in ("object", "array"):
+        ga = SimpleGA(problem,
+                      GAConfig(substrate=substrate, **cfg_kwargs),
+                      MaxGenerations(gens), seed=seed)
+        ga.run()
+        results[substrate] = ga
+    return results["object"], results["array"]
+
+
+def assert_populations_equal(obj_ga, arr_ga):
+    matrix, objectives = obj_ga.population.to_arrays(obj_ga.problem)
+    assert np.array_equal(arr_ga.arrays.matrix, matrix)
+    assert np.array_equal(arr_ga.arrays.objectives, objectives)
+    assert obj_ga.state.evaluations == arr_ga.state.evaluations
+
+
+class TestRateExtremeEquivalence:
+    @pytest.mark.parametrize("sel", SELECTIONS,
+                             ids=lambda s: type(s).__name__)
+    def test_rate_zero_is_exact_for_every_selection(self, sel, ft06_problem):
+        obj_ga, arr_ga = run_pair(
+            ft06_problem, population_size=14, crossover_rate=0.0,
+            mutation_rate=0.0, selection=sel)
+        assert_populations_equal(obj_ga, arr_ga)
+
+    def test_rate_zero_with_immigration_and_gap(self, ft06_problem):
+        obj_ga, arr_ga = run_pair(
+            ft06_problem, population_size=15, crossover_rate=0.0,
+            mutation_rate=0.0, immigration_rate=0.25, generation_gap=0.6,
+            n_elites=3)
+        assert_populations_equal(obj_ga, arr_ga)
+
+    def test_crossover_rate_one_exact_with_drawless_operator(self):
+        # ArithmeticCrossover with a fixed weight consumes no RNG, so the
+        # stream stays aligned even though every pair crosses
+        problem = Problem(RandomKeysFlowShopEncoding(flow_shop(8, 4, seed=2)))
+        obj_ga, arr_ga = run_pair(
+            problem, population_size=12, crossover_rate=1.0,
+            mutation_rate=0.0, crossover=ArithmeticCrossover(0.3))
+        assert_populations_equal(obj_ga, arr_ga)
+
+    def test_mutation_rate_one_exact_with_drawless_operator(self,
+                                                            ft06_problem):
+        class ReverseMutation:
+            def __call__(self, genome, rng):
+                return np.asarray(genome)[::-1].copy()
+
+        @register_batch_mutation(ReverseMutation)
+        def _batch_reverse(op, X, rng):
+            return X[:, ::-1].copy()
+
+        obj_ga, arr_ga = run_pair(
+            ft06_problem, population_size=12, crossover_rate=0.0,
+            mutation_rate=1.0, mutation=ReverseMutation())
+        assert_populations_equal(obj_ga, arr_ga)
+
+
+# -- layer 3c: quality parity + engine integration -------------------------------
+
+class TestQualityParity:
+    def test_ta_style_flowshop_parity(self):
+        """Array search quality tracks the object substrate on ta-fs-20x5."""
+        bests = {"object": [], "array": []}
+        for substrate in bests:
+            for seed in (1, 2, 3):
+                report = repro.solve(repro.SolverSpec(
+                    instance="ta-fs-20x5-shaped", substrate=substrate,
+                    ga={"population_size": 40},
+                    termination={"max_generations": 40}, seed=seed))
+                bests[substrate].append(report.best_objective)
+        mean_obj = np.mean(bests["object"])
+        mean_arr = np.mean(bests["array"])
+        assert mean_arr <= 1.1 * mean_obj
+        assert mean_obj <= 1.1 * mean_arr
+
+    def test_array_improves_over_random(self, ft06_problem):
+        ga = SimpleGA(ft06_problem,
+                      GAConfig(population_size=30, substrate="array"),
+                      MaxGenerations(25), seed=1)
+        initial = ga.initialize().best().objective
+        assert ga.run().best_objective <= initial
+
+
+class TestEnginesAndApi:
+    def test_solve_simple_master_slave_island(self):
+        for engine, params in (("simple", {}),
+                               ("master-slave", {"backend": "serial"}),
+                               ("island", {"islands": 3}),
+                               ("two-level", {"islands": 2,
+                                              "migration_interval": 2,
+                                              "broadcast_interval": 4})):
+            report = repro.solve(repro.SolverSpec(
+                instance="ft06", engine=engine, engine_params=params,
+                substrate="array", ga={"population_size": 18},
+                termination={"max_generations": 5}, seed=4))
+            assert report.extra["substrate"] == "array"
+            assert report.best_objective > 0
+            # resolved spec reproduces the run, substrate included
+            assert report.spec.substrate == "array"
+            again = repro.solve(repro.SolverSpec.from_dict(
+                report.spec.to_dict()))
+            assert again.best_objective == report.best_objective
+
+    def test_island_tensor_mode_and_migration(self, ft06_problem):
+        ga = IslandGA(ft06_problem, n_islands=3,
+                      config=GAConfig(population_size=10, substrate="array"),
+                      termination=MaxGenerations(15), seed=5)
+        result = ga.run()
+        assert result.extra["tensor_mode"] is True
+        assert ga._tensor.shape == (3, 10, 36)
+        for i, isl in enumerate(ga.islands):
+            assert isl.arrays.matrix.base is ga._tensor
+        # migration moved something: islands share their best eventually
+        assert result.best_objective <= 70
+
+    def test_cellular_rejects_array_substrate_directly(self, ft06_problem):
+        from repro.parallel.fine_grained import CellularGA
+        with pytest.raises(ValueError, match="object substrate"):
+            CellularGA(ft06_problem, rows=3, cols=3,
+                       config=GAConfig(substrate="array"))
+
+    def test_cli_list_derives_array_engines_from_registry(self, capsys):
+        from repro.cli import main
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "array: matrix-kernel generations" in out
+        assert "island" in out and "two-level" in out
+
+    def test_view_member_cache_tracks_in_place_mutation(self, ft06_problem):
+        from repro.parallel.migration import integrate_immigrant_rows
+        from repro import MigrationPolicy
+        ga = SimpleGA(ft06_problem,
+                      GAConfig(population_size=6, substrate="array"),
+                      MaxGenerations(1), seed=0)
+        ga.initialize()
+        view = ga.population
+        before = [ind.genome.copy() for ind in view]   # materialise cache
+        rows = np.stack([ft06_problem.random_genome(np.random.default_rng(1))
+                         for _ in range(2)])
+        integrate_immigrant_rows(ga.arrays, rows, np.array([1.0, 2.0]),
+                                 MigrationPolicy(rate=2),
+                                 np.random.default_rng(2))
+        # live view: members rebuild after the in-place write, matching
+        # best()/stats() instead of serving the stale cache
+        after = [ind.genome for ind in view]
+        assert any(not np.array_equal(a, b) for a, b in zip(before, after))
+        assert view.best().objective == 1.0
+
+    def test_island_rejects_mixed_substrates(self, ft06_problem):
+        with pytest.raises(ValueError, match="share one substrate"):
+            IslandGA(ft06_problem, n_islands=2,
+                     config=[GAConfig(substrate="array"), GAConfig()])
+
+    def test_island_array_rejects_merge_on_stagnation(self, ft06_problem):
+        with pytest.raises(ValueError, match="object"):
+            IslandGA(ft06_problem, n_islands=2,
+                     config=GAConfig(substrate="array"),
+                     merge_on_stagnation=5)
+
+    def test_object_engines_gated_by_spec_validation(self):
+        with pytest.raises(repro.SpecError, match="object substrate only"):
+            repro.SolverSpec(instance="ft06", engine="cellular",
+                             substrate="array").validate()
+        with pytest.raises(repro.SpecError, match="unknown substrate"):
+            repro.SolverSpec(instance="ft06", substrate="tensor").validate()
+
+    def test_composite_genomes_gated(self):
+        with pytest.raises(repro.SpecError, match="composite"):
+            repro.solve(repro.SolverSpec(
+                instance="fjsp-8x5-shaped", substrate="array",
+                termination={"max_generations": 2}))
+
+    def test_spec_json_round_trip_carries_substrate(self):
+        spec = repro.SolverSpec(instance="ft06", substrate="array")
+        again = repro.SolverSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.substrate == "array"
+
+    def test_available_substrates(self):
+        assert available_substrates() == ("object", "array")
+
+    def test_cli_solve_substrate_flag(self, capsys):
+        from repro.cli import main
+        code = main(["solve", "ft06", "--substrate", "array",
+                     "--generations", "3", "--population", "12"])
+        assert code == 0
+        assert "best=" in capsys.readouterr().out
+
+    def test_cli_solve_island_substrate_flag(self, capsys):
+        from repro.cli import main
+        code = main(["solve", "ft06", "--engine", "island", "--substrate",
+                     "array", "--generations", "3", "--population", "16"])
+        assert code == 0
+        assert "engine=island" in capsys.readouterr().out
+
+
+# -- support structures ----------------------------------------------------------
+
+class TestSupportStructures:
+    def test_stable_topk_matches_stable_argsort(self):
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            values = rng.integers(0, 6, size=rng.integers(1, 40)).astype(float)
+            k = int(rng.integers(0, values.size + 2))
+            expect = np.argsort(values, kind="stable")[:k]
+            assert np.array_equal(stable_topk(values, k), expect)
+
+    def test_elitist_merge_arrays_matches_object_merge(self, ft06_problem):
+        rng = np.random.default_rng(3)
+        ga = SimpleGA(ft06_problem, GAConfig(population_size=12),
+                      MaxGenerations(1), seed=3)
+        pop = ga.initialize()
+        offspring = ga.make_offspring(pop, 8)
+        ga._evaluate(offspring)
+        for n_keep in (0, 2, 4, 12):
+            merged = pop.elitist_merge(offspring, n_keep)
+            expect_m, expect_o = merged.to_arrays(ft06_problem)
+            state = ArrayState(*pop.to_arrays(ft06_problem))
+            off_m = np.stack([ind.genome for ind in offspring])
+            off_o = np.array([ind.objective for ind in offspring])
+            got_m, got_o = elitist_merge_arrays(state, off_m, off_o,
+                                                n_keep, 12)
+            assert np.array_equal(got_m, expect_m)
+            assert np.array_equal(got_o, expect_o)
+
+    def test_array_population_view_is_population_compatible(self,
+                                                            ft06_problem):
+        ga = SimpleGA(ft06_problem,
+                      GAConfig(population_size=9, substrate="array"),
+                      MaxGenerations(2), seed=8)
+        ga.run()
+        view = ga.population
+        assert isinstance(view, ArrayPopulationView)
+        assert len(view) == 9
+        materialized = Population(ind.copy() for ind in view)
+        assert materialized.stats().as_dict() == \
+            pytest.approx(view.stats().as_dict())
+        assert view.best().objective == materialized.best().objective
+        assert view.worst().objective == materialized.worst().objective
+        with pytest.raises(TypeError, match="read-only"):
+            view[0] = materialized[0]
+        with pytest.raises(TypeError, match="read-only"):
+            view.append(materialized[0])
+
+    def test_population_array_adapters_round_trip(self, ft06_problem):
+        rng = np.random.default_rng(1)
+        pop = Population(
+            repro.Individual(ft06_problem.random_genome(rng), objective=float(i))
+            for i in range(6))
+        matrix, objectives = pop.to_arrays(ft06_problem)
+        again = Population.from_arrays(ft06_problem, matrix, objectives)
+        for a, b in zip(pop, again):
+            assert np.array_equal(a.genome, b.genome)
+            assert a.objective == b.objective
+
+    def test_random_matrix_draws_match_random_genome(self, ft06_problem):
+        a = ft06_problem.random_matrix(5, np.random.default_rng(6))
+        rng = np.random.default_rng(6)
+        expect = np.stack([ft06_problem.random_genome(rng)
+                           for _ in range(5)])
+        assert np.array_equal(a, expect)
