@@ -151,7 +151,7 @@ def _run_island(problem: Problem, config: GAConfig,
     description="Fine-grained cellular GA on a toroidal grid, Table IV",
     params={"rows": None, "cols": None, "neighborhood": "L5",
             "replacement": "if_better", "update": "synchronous"},
-    check_params=_check_neighborhood)
+    check_params=_check_neighborhood, array_substrate=True)
 def _run_cellular(problem: Problem, config: GAConfig,
                   termination: Termination, seed: int, *,
                   rows: int | None = None, cols: int | None = None,
@@ -169,7 +169,7 @@ def _run_cellular(problem: Problem, config: GAConfig,
                 "(Lin et al. [21])",
     params={"islands": 4, "rows": None, "cols": None, "neighborhood": "L5",
             "migration_interval": 10, "migration_rate": 1},
-    check_params=_check_neighborhood)
+    check_params=_check_neighborhood, array_substrate=True)
 def _run_hybrid(problem: Problem, config: GAConfig,
                 termination: Termination, seed: int, *,
                 islands: int = 4, rows: int | None = None,

@@ -113,10 +113,10 @@ class SolverSpec:
     substrate:
         generation substrate: ``"object"`` (default -- per-``Individual``
         operator calls, bit-identical to pre-substrate behaviour) or
-        ``"array"`` (the population lives as a chromosome matrix and
-        every stage runs as a matrix kernel; see
-        :mod:`repro.core.substrate`).  Supported by the ``simple``,
-        ``master-slave``, ``island`` and ``two-level`` engines.
+        ``"array"`` (the population lives as a chromosome matrix -- a
+        grid tensor for the cellular engines -- and every stage runs as
+        a matrix kernel; see :mod:`repro.core.substrate`).  Supported by
+        all six engines for single-array genome kinds.
     """
 
     instance: str

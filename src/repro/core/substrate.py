@@ -38,7 +38,7 @@ from .population import Population
 
 __all__ = [
     "SUBSTRATES", "available_substrates",
-    "ArrayState", "ArrayPopulationView",
+    "ArrayState", "GridState", "ArrayPopulationView",
     "check_array_support", "stable_topk",
     "make_offspring_matrix", "elitist_merge_arrays",
     "random_matrix",
@@ -59,12 +59,17 @@ def available_substrates() -> tuple[str, ...]:
 _ARRAY_KINDS = ("permutation", "repetition", "real")
 
 
-def check_array_support(problem: Any, config: Any) -> None:
+def check_array_support(problem: Any, config: Any,
+                        selection: bool = True) -> None:
     """Raise ``ValueError`` when ``problem``/``config`` cannot run array-native.
 
     Checks the genome kind (single fixed-length array) and that every
     resolved operator has a registered batch twin.  ``config`` must be a
     resolved :class:`~repro.core.ga.GAConfig` (operators filled in).
+    ``selection=False`` skips the selection twin -- the cellular engines
+    never call ``config.selection`` (mate choice is the neighbourhood
+    tournament), so a custom selection without a batch twin must not
+    block their grid path.
     """
     if problem.kind not in _ARRAY_KINDS:
         raise ValueError(
@@ -72,7 +77,8 @@ def check_array_support(problem: Any, config: Any) -> None:
             f"the {type(problem.encoding).__name__} encoding is "
             f"{problem.kind!r}; use substrate='object' for composite/"
             f"ragged genomes")
-    batch_selection_for(config.selection)
+    if selection:
+        batch_selection_for(config.selection)
     batch_crossover_for(config.crossover)
     batch_mutation_for(config.mutation)
 
@@ -157,6 +163,55 @@ class ArrayState:
 
     def copy(self) -> "ArrayState":
         return ArrayState(self.matrix.copy(), self.objectives.copy())
+
+
+class GridState(ArrayState):
+    """An :class:`ArrayState` with a 2-D spatial layout on top.
+
+    The cellular (fine-grained) engine's population is a toroidal grid:
+    one individual per cell.  :class:`GridState` stores it as the same
+    flat ``(rows*cols, n_genes)`` chromosome matrix every other array
+    engine uses -- cells flattened row-major, so cell ``(r, c)`` is row
+    ``r*cols + c`` -- and exposes :attr:`tensor` / :attr:`objective_grid`
+    reshaped *views* of the very same buffers.  Everything written for
+    :class:`ArrayState` (population views, migration row gather/scatter,
+    island tensor binding) therefore works on grids unchanged, while the
+    cellular step indexes neighbourhoods through precomputed flat offset
+    tables (:func:`repro.parallel.fine_grained.grid_neighbor_table`).
+    """
+
+    __slots__ = ("rows", "cols")
+
+    def __init__(self, tensor: np.ndarray, objectives: np.ndarray):
+        tensor = np.ascontiguousarray(tensor)
+        objectives = np.ascontiguousarray(objectives, dtype=float)
+        if tensor.ndim != 3 or objectives.shape != tensor.shape[:2]:
+            raise ValueError("need a (rows, cols, n_genes) tensor and a "
+                             "matching (rows, cols) objective grid")
+        self.rows, self.cols = int(tensor.shape[0]), int(tensor.shape[1])
+        super().__init__(tensor.reshape(self.rows * self.cols, -1),
+                         objectives.reshape(-1))
+
+    @classmethod
+    def from_matrix(cls, matrix: np.ndarray, objectives: np.ndarray,
+                    rows: int, cols: int) -> "GridState":
+        """Grid over an already-flat (row-major) population matrix."""
+        matrix = np.asarray(matrix)
+        return cls(matrix.reshape(rows, cols, matrix.shape[-1]),
+                   np.asarray(objectives, dtype=float).reshape(rows, cols))
+
+    @property
+    def tensor(self) -> np.ndarray:
+        """``(rows, cols, n_genes)`` chromosome tensor (a live view)."""
+        return self.matrix.reshape(self.rows, self.cols, -1)
+
+    @property
+    def objective_grid(self) -> np.ndarray:
+        """``(rows, cols)`` objective grid (a live view)."""
+        return self.objectives.reshape(self.rows, self.cols)
+
+    def copy(self) -> "GridState":
+        return GridState(self.tensor.copy(), self.objective_grid.copy())
 
 
 class ArrayPopulationView(Population):

@@ -9,7 +9,8 @@ from .topology import (BidirectionalRingTopology, FullyConnectedTopology,
 from .migration import MigrationPolicy, integrate_immigrants, select_emigrants
 from .master_slave import MasterSlaveGA
 from .island import IslandGA, IslandGAResult, default_island_population
-from .fine_grained import NEIGHBORHOODS, CellularGA, neighborhood_offsets
+from .fine_grained import (NEIGHBORHOODS, CellularGA, grid_neighbor_table,
+                           neighborhood_offsets)
 from .hybrid import (IslandOfCellularGA, TwoLevelIslandGA,
                      island_with_torus_topology)
 from .simcluster import (DeviceModel, GATrace, beowulf, cpu_core, gpu_device,
@@ -30,6 +31,7 @@ __all__ = [
     "MasterSlaveGA", "IslandGA", "IslandGAResult",
     "default_island_population",
     "CellularGA", "NEIGHBORHOODS", "neighborhood_offsets",
+    "grid_neighbor_table",
     "IslandOfCellularGA", "island_with_torus_topology", "TwoLevelIslandGA",
     "DeviceModel", "GATrace", "cpu_core", "multicore", "lan_star", "beowulf",
     "transputer", "gpu_device", "gpu_resident",

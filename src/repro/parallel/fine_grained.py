@@ -26,26 +26,42 @@ order (a tested property).
 Neighbourhood shapes follow the cellular-GA literature (Alba & Dorronsoro
 [23]): ``L5`` (von Neumann), ``L9`` (axial radius 2), ``C9`` (Moore),
 ``C13`` (Moore + axial radius 2).
+
+Two substrates (``GAConfig.substrate``): the ``object`` path keeps a
+``list[list[Individual]]`` grid and breeds cell by cell; the ``array``
+path keeps the grid as a :class:`~repro.core.substrate.GridState` --
+a ``(rows, cols, n_genes)`` chromosome tensor plus a ``(rows, cols)``
+objective grid -- and runs one whole synchronous generation as batched
+kernels: neighbourhood selection is a gather through the precomputed
+toroidal offset table of :func:`grid_neighbor_table`, crossover/mutation
+reuse the :mod:`repro.operators.batch` kernels on the gated row subsets,
+and evaluation goes through the problem's vectorised batch decoder.
+This is the cell-per-thread layout of Luo & El Baz's GPU papers
+(arXiv:1903.10722, 1903.10741) expressed as NumPy tensors.  Per-cell RNG
+draws (mate pair + the two rate gates) keep the exact object-path call
+order, so grid generations are bit-equal to object generations at the
+rate extremes under a shared seed -- the PR-4 conformance contract.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import Sequence
 
 import numpy as np
 
-from ..core.fitness import HeuristicOffsetFitness, apply_fitness
 from ..core.ga import GAConfig, GAResult
 from ..core.individual import Individual
 from ..core.observers import HistoryRecorder, Observer
 from ..core.population import Population
 from ..core.rng import make_rng
+from ..core.substrate import (ArrayPopulationView, GridState,
+                              check_array_support, random_matrix)
 from ..core.termination import MaxGenerations, Termination, TerminationState
 from ..encodings.base import Problem
+from ..operators.batch import batch_crossover_for, batch_mutation_for
 
-__all__ = ["NEIGHBORHOODS", "CellularGA", "neighborhood_offsets"]
+__all__ = ["NEIGHBORHOODS", "CellularGA", "neighborhood_offsets",
+           "grid_neighbor_table"]
 
 NEIGHBORHOODS: dict[str, list[tuple[int, int]]] = {
     # offsets exclude the centre cell (the current individual)
@@ -68,6 +84,24 @@ def neighborhood_offsets(name: str) -> list[tuple[int, int]]:
     return NEIGHBORHOODS[name]
 
 
+def grid_neighbor_table(rows: int, cols: int,
+                        offsets: Sequence[tuple[int, int]]) -> np.ndarray:
+    """Flat toroidal neighbour indices per cell: ``(rows*cols, n_offsets)``.
+
+    Row ``r*cols + c`` lists, in offset order, the row-major flat index
+    of every neighbour of cell ``(r, c)`` -- the same coordinates
+    :meth:`CellularGA.neighbors` produces one cell at a time.  The grid
+    substrate turns neighbourhood selection into one gather through this
+    table; it is position-only, so one table serves the whole run.
+    """
+    r = np.arange(rows, dtype=np.int64)[:, None, None]
+    c = np.arange(cols, dtype=np.int64)[None, :, None]
+    dr = np.asarray([o[0] for o in offsets], dtype=np.int64)
+    dc = np.asarray([o[1] for o in offsets], dtype=np.int64)
+    flat = ((r + dr) % rows) * cols + (c + dc) % cols
+    return flat.reshape(rows * cols, len(offsets))
+
+
 class CellularGA:
     """Synchronous cellular GA on a toroidal grid.
 
@@ -81,7 +115,11 @@ class CellularGA:
         shape name from :data:`NEIGHBORHOODS`.
     config:
         reuses GAConfig for operator choices and rates (population_size is
-        ignored -- the grid defines it).
+        ignored -- the grid defines it).  ``config.substrate`` selects the
+        generation substrate: ``"object"`` (per-cell breeding, the
+        reference) or ``"array"`` (the grid lives as a
+        :class:`~repro.core.substrate.GridState` tensor and every stage
+        of the synchronous update runs as one batched kernel pass).
     replacement:
         ``"if_better"`` (offspring replaces the cell only when strictly
         better -- elitist local replacement, the common cGA choice) or
@@ -91,7 +129,10 @@ class CellularGA:
         the old grid, then replaced at once -- the GPU/Transputer
         semantics) or ``"asynchronous"`` (fixed line sweep: cells update
         in place row-major, so information diffuses within a generation --
-        the uniprocessor emulation Kohlmorgen et al. [19] discuss).
+        the uniprocessor emulation Kohlmorgen et al. [19] discuss).  The
+        array substrate implements the synchronous model only: the line
+        sweep is sequential by definition (each cell must see its left
+        neighbour's update), so it stays on the object substrate.
     """
 
     def __init__(self, problem: Problem, rows: int = 8, cols: int = 8,
@@ -108,18 +149,20 @@ class CellularGA:
             raise ValueError("replacement must be 'if_better' or 'always'")
         if update not in ("synchronous", "asynchronous"):
             raise ValueError("update must be 'synchronous' or 'asynchronous'")
-        if config is not None and config.substrate != "object":
-            # per-cell neighbourhood selection has no matrix form; fail
-            # loudly rather than silently running the object path
-            raise ValueError("the cellular GA runs on the object substrate "
-                             "only; got substrate="
-                             f"{config.substrate!r}")
         self.problem = problem
         self.rows, self.cols = rows, cols
         self.offsets = neighborhood_offsets(neighborhood)
         self.neighborhood = neighborhood
         base = config or GAConfig()
         self.config = base.resolved(problem)
+        self.substrate = self.config.substrate
+        if self.substrate == "array":
+            if update == "asynchronous":
+                raise ValueError(
+                    "the asynchronous line sweep updates cells in place "
+                    "(inherently sequential); substrate='array' supports "
+                    "update='synchronous' only")
+            check_array_support(problem, self.config, selection=False)
         self.termination = termination or MaxGenerations(100)
         self.rng = make_rng(seed)
         self.replacement = replacement
@@ -128,11 +171,22 @@ class CellularGA:
         self.observers: list[Observer] = [self.history, *observers]
         self.state = TerminationState()
         self.grid: list[list[Individual]] | None = None
+        self.grid_state: GridState | None = None
+        self._view: ArrayPopulationView | None = None
+        self._neighbor_table: np.ndarray | None = None
+        self._batch_evaluate = problem.batch_evaluator()
 
     # -- helpers -----------------------------------------------------------------
     @property
+    def initialized(self) -> bool:
+        """Whether a population exists on either substrate."""
+        return self.grid is not None or self.grid_state is not None
+
+    @property
     def population(self) -> Population:
         """Flat view of the grid (row-major)."""
+        if self.grid_state is not None:
+            return self._view
         if self.grid is None:
             raise ValueError("not initialised")
         return Population(ind for row in self.grid for ind in row)
@@ -151,8 +205,28 @@ class CellularGA:
             ind.objective = float(obj)
         self.state.evaluations += len(todo)
 
+    def _evaluate_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        """Objectives of a chromosome matrix (grid-substrate evaluation)."""
+        if self._batch_evaluate is not None:
+            objectives = self._batch_evaluate(matrix)
+        else:
+            objectives = self.problem.evaluate_many(
+                [self.problem.unstack_row(row) for row in matrix])
+        self.state.evaluations += matrix.shape[0]
+        return np.asarray(objectives, dtype=float)
+
     def initialize(self) -> None:
         """Random grid, fully evaluated."""
+        if self.substrate == "array":
+            n = self.rows * self.cols
+            matrix = random_matrix(self.problem, n, self.rng)
+            self.grid_state = GridState.from_matrix(
+                matrix, self._evaluate_matrix(matrix), self.rows, self.cols)
+            self._view = ArrayPopulationView(self.problem, self.grid_state)
+            self._neighbor_table = grid_neighbor_table(
+                self.rows, self.cols, self.offsets)
+            self._notify()
+            return
         self.grid = [[Individual(self.problem.random_genome(self.rng))
                       for _ in range(self.cols)] for _ in range(self.rows)]
         self._evaluate([ind for row in self.grid for ind in row])
@@ -191,12 +265,67 @@ class CellularGA:
                 or child.objective < self.grid[r][c].objective):
             self.grid[r][c] = child
 
+    def _step_grid(self) -> None:
+        """One synchronous generation as tensor kernels (lines 4-7 batched).
+
+        Stage order, rate arithmetic and per-cell RNG calls (mate pair,
+        crossover gate, mutation gate -- in exactly the object path's
+        row-major order) are identical to :meth:`_breed_cell`; only the
+        per-cell *work* is batched: neighbourhood selection is one gather
+        through the offset table, crossover/mutation run on the gated row
+        subsets via the :mod:`repro.operators.batch` kernels, evaluation
+        decodes all candidates as one matrix, and replacement is one
+        masked assignment against the *old* objective grid -- synchronous
+        lock-step (visit-order independence) by construction.
+        """
+        cfg = self.config
+        state = self.grid_state
+        matrix, objectives = state.matrix, state.objectives
+        table = self._neighbor_table
+        n, n_nbr = table.shape
+        rng = self.rng
+        integers, random = rng.integers, rng.random
+        cross_rate, mut_rate = cfg.crossover_rate, cfg.mutation_rate
+        # the object path's interleaved per-cell draw order (mate pair,
+        # crossover gate, mutation gate) forces a cell-by-cell pass here;
+        # everything downstream of the draws is batched
+        mate_rows, cross_draws, mut_draws = [], [], []
+        for _ in range(n):
+            mate_rows.append(integers(0, n_nbr, size=2))
+            cross_draws.append(random())
+            mut_draws.append(random())
+        mates = np.asarray(mate_rows, dtype=np.int64)
+        cross_gate = np.asarray(cross_draws) < cross_rate
+        mut_gate = np.asarray(mut_draws) < mut_rate
+        cand = np.take_along_axis(table, mates, axis=1)
+        a, b = cand[:, 0], cand[:, 1]
+        mate_idx = np.where(objectives[a] <= objectives[b], a, b)
+        children = matrix.copy()
+        if cross_gate.any():
+            cross = batch_crossover_for(cfg.crossover)
+            child_a, _child_b = cross(matrix[cross_gate],
+                                      matrix[mate_idx[cross_gate]], rng)
+            children[cross_gate] = child_a
+        if mut_gate.any():
+            mutate = batch_mutation_for(cfg.mutation)
+            children[mut_gate] = mutate(children[mut_gate], rng)
+        child_objectives = self._evaluate_matrix(children)
+        if self.replacement == "always":
+            accept = np.ones(n, dtype=bool)
+        else:
+            accept = child_objectives < objectives
+        matrix[accept] = children[accept]
+        objectives[accept] = child_objectives[accept]
+        state.touch()
+
     def step(self) -> None:
         """One generation (lines 4-7 of Table IV)."""
-        if self.grid is None:
+        if not self.initialized:
             self.initialize()
         self.state.generation += 1
-        if self.update == "synchronous":
+        if self.substrate == "array":
+            self._step_grid()
+        elif self.update == "synchronous":
             # compute every cell's offspring against the *old* grid
             candidates: list[list[Individual]] = [
                 [None] * self.cols for _ in range(self.rows)]  # type: ignore
@@ -219,7 +348,7 @@ class CellularGA:
 
     def run(self) -> GAResult:
         """Run Table IV until termination."""
-        if self.grid is None:
+        if not self.initialized:
             self.initialize()
         while not self.termination.done(self.state):
             self.step()
@@ -234,5 +363,6 @@ class CellularGA:
             termination_reason=self.termination.reason(),
             extra={"rows": self.rows, "cols": self.cols,
                    "neighborhood": self.neighborhood,
-                   "update": self.update},
+                   "update": self.update,
+                   "substrate": self.substrate},
         )

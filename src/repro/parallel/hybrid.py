@@ -44,8 +44,17 @@ class IslandOfCellularGA:
     """Ring of islands, each island a toroidal cellular GA (Lin [21], model 1).
 
     Ring migration every ``migration.interval`` cellular generations; the
-    emigrant is each island's best cell, integrated by replacing the
-    target island's worst cell (policy configurable).
+    emigrant is each island's best cell (``migration.emigrant`` /
+    ``migration.rate`` configurable), always integrated by replacing the
+    target island's worst cells -- on both substrates.
+
+    With ``config.substrate="array"`` every island evolves on the grid
+    tensor of :class:`~repro.parallel.fine_grained.CellularGA` and the
+    island grids are bound as slices of one
+    ``(n_islands, rows*cols, n_genes)`` tensor, so the whole hybrid --
+    cellular generations *and* ring migration -- runs as array kernels
+    (migration is row gather/scatter on the shared tensor, exactly like
+    the coarse-grained island engine).
     """
 
     def __init__(self, problem: Problem, n_islands: int = 4,
@@ -59,6 +68,9 @@ class IslandOfCellularGA:
         self.topology = RingTopology(n_islands)
         self.migration = migration or MigrationPolicy(interval=10)
         self.termination = termination or MaxGenerations(100)
+        self.substrate = (config or GAConfig()).substrate
+        self._tensor: np.ndarray | None = None
+        self._tensor_objectives: np.ndarray | None = None
         rngs = spawn_rngs(seed, n_islands + 1)
         self._migration_rng = rngs[-1]
         self.islands = [
@@ -70,17 +82,44 @@ class IslandOfCellularGA:
         self.state = TerminationState()
         self.global_history = HistoryRecorder()
 
+    def _bind_tensor(self) -> None:
+        """Stack the island grids into one (n_islands, cells, n_genes) tensor.
+
+        Mirrors :meth:`repro.parallel.island.IslandGA._bind_tensor`: each
+        island's :class:`~repro.core.substrate.GridState` is rebound to a
+        slice view, per-generation updates copy in place, and migration
+        becomes row assignment on the shared tensor.
+        """
+        self._tensor = np.stack([isl.grid_state.matrix
+                                 for isl in self.islands])
+        self._tensor_objectives = np.stack([isl.grid_state.objectives
+                                            for isl in self.islands])
+        for i, isl in enumerate(self.islands):
+            isl.grid_state.matrix = self._tensor[i]
+            isl.grid_state.objectives = self._tensor_objectives[i]
+
     def _sync(self) -> None:
         self.state.evaluations = sum(isl.state.evaluations
                                      for isl in self.islands)
-        merged = Population([ind for isl in self.islands
-                             for ind in isl.population])
+        if self.substrate == "array":
+            from ..core.substrate import ArrayPopulationView, ArrayState
+            # run() binds the tensor before the first sync, so the merged
+            # population is already contiguous in it -- view it, no copies
+            merged = ArrayPopulationView(self.problem, ArrayState(
+                self._tensor.reshape(-1, self._tensor.shape[-1]),
+                self._tensor_objectives.reshape(-1)))
+        else:
+            merged = Population([ind for isl in self.islands
+                                 for ind in isl.population])
         self.state.record_best(float(merged.best().objective))
         self.global_history.observe(self.state.generation, merged,
                                     self.state.evaluations,
                                     self.state.elapsed())
 
     def _migrate(self, epoch: int) -> None:
+        if self.substrate == "array":
+            self._migrate_arrays(epoch)
+            return
         boxes: dict[int, list[Individual]] = {i: [] for i in range(self.n_islands)}
         for i in range(self.n_islands):
             for tgt in self.topology.neighbors_out(i, epoch):
@@ -98,9 +137,37 @@ class IslandOfCellularGA:
             for (r, c), ind in zip(cells, immigrants):
                 isl.grid[r][c] = ind.copy()
 
+    def _migrate_arrays(self, epoch: int) -> None:
+        """Array-substrate ring exchange: emigrant rows gathered per edge,
+        scattered over the worst cells of each target grid.
+
+        The object path always displaces the worst cells regardless of
+        ``MigrationPolicy.replacement``; pin the same semantics here so
+        the two substrates agree on search behaviour.
+        """
+        from dataclasses import replace
+        from .migration import integrate_immigrant_rows, select_emigrant_rows
+        integrate_policy = replace(self.migration, replacement="worst")
+        shipments: dict[int, list] = {i: [] for i in range(self.n_islands)}
+        for i in range(self.n_islands):
+            for tgt in self.topology.neighbors_out(i, epoch):
+                shipments[tgt].append(select_emigrant_rows(
+                    self.islands[i].grid_state, self.migration,
+                    self._migration_rng))
+        for tgt, ship in shipments.items():
+            if not ship:
+                continue
+            rows = np.concatenate([r for r, _ in ship])
+            objs = np.concatenate([o for _, o in ship])
+            integrate_immigrant_rows(self.islands[tgt].grid_state, rows,
+                                     objs, integrate_policy,
+                                     self._migration_rng)
+
     def run(self) -> IslandGAResult:
         for isl in self.islands:
             isl.initialize()
+        if self.substrate == "array":
+            self._bind_tensor()
         self._sync()
         epoch = 0
         while not self.termination.done(self.state):
@@ -122,7 +189,9 @@ class IslandOfCellularGA:
             elapsed=self.state.elapsed(),
             termination_reason=self.termination.reason(),
             n_islands_final=self.n_islands,
-            extra={"model": "island_of_cellular"},
+            extra={"model": "island_of_cellular",
+                   "substrate": self.substrate,
+                   "tensor_mode": self._tensor is not None},
         )
 
 

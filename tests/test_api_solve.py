@@ -1,4 +1,5 @@
-"""Tests for repro.solve(): engine smoke, bit-identity, reports."""
+"""Tests for repro.solve(): the engine x substrate conformance sweep,
+bit-identity, reports."""
 
 import json
 
@@ -8,6 +9,7 @@ import pytest
 import repro
 from repro import (GAConfig, IslandGA, MasterSlaveGA, MaxGenerations,
                    Problem, SimpleGA, SolverSpec, solve)
+from repro.api import available_engines, available_substrates, engine_entry
 from repro.api.engines import grid_shape_for
 from repro.api.registry import SpecError
 from repro.encodings import OperationBasedEncoding
@@ -22,24 +24,82 @@ def _spec(engine, **kwargs):
     return SolverSpec(instance="ft06", engine=engine, **kwargs)
 
 
-class TestSolveSmoke:
-    @pytest.mark.parametrize("engine", ["simple", "master-slave", "island",
-                                        "cellular", "hybrid", "two-level"])
-    def test_all_six_engines_solve_by_name(self, engine):
-        params = {"backend": "serial"} if engine == "master-slave" else {}
-        report = solve(_spec(engine, engine_params=params))
+#: Small per-engine parameters keeping the sweep fast; every registered
+#: engine must have an entry here (the sweep asserts it), so a new engine
+#: cannot land without joining the conformance matrix.
+SWEEP_PARAMS = {
+    "simple": {},
+    "master-slave": {"backend": "serial"},
+    "island": {"islands": 3},
+    "cellular": {"rows": 4, "cols": 4},
+    "hybrid": {"islands": 2, "rows": 3, "cols": 3, "migration_interval": 2},
+    "two-level": {"islands": 2, "migration_interval": 2,
+                  "broadcast_interval": 4},
+}
+
+
+class TestEngineSubstrateSweep:
+    """The whole engine x substrate matrix through one parameterised test.
+
+    Replaces the ad-hoc per-engine smoke tests: every registered engine
+    must solve end-to-end on *both* substrates, produce an auditable
+    schedule, and hand back a resolved spec that round-trips through
+    JSON and reproduces the run exactly.
+    """
+
+    @pytest.mark.parametrize("substrate", available_substrates())
+    @pytest.mark.parametrize("engine", available_engines())
+    def test_engine_substrate_conformance(self, engine, substrate):
+        assert engine in SWEEP_PARAMS, (
+            f"new engine {engine!r}: add it to the conformance sweep")
+        report = solve(_spec(engine, engine_params=SWEEP_PARAMS[engine],
+                             substrate=substrate))
         assert report.engine == engine
         assert report.best_objective > 0
         assert report.evaluations > 0
         assert report.generations > 0
         assert report.termination_reason
         assert set(report.timings) == {"resolve", "run", "total"}
+        assert report.extra.get("substrate", "object") == substrate
         # the best schedule decodes and passes the feasibility oracle
         schedule = report.schedule()
         schedule.audit(report.problem.instance)
         assert schedule.makespan == report.best_objective or \
             report.spec.objective != "makespan"
+        # resolved spec round-trips through JSON and reproduces the run
+        resolved = report.spec
+        assert resolved.substrate == substrate
+        again_spec = SolverSpec.from_json(resolved.to_json())
+        assert again_spec == resolved
+        assert solve(again_spec).best_objective == report.best_objective
 
+    def test_registry_tags_match_engine_acceptance(self):
+        """`array_substrate` tags must agree with what engines accept.
+
+        Regression for the PR that removed the cellular engine's
+        object-substrate-only ValueError: an engine tagged for the array
+        substrate must actually run on it, and an untagged engine must be
+        refused by spec validation -- the tag and the behaviour can never
+        drift apart.
+        """
+        for engine in available_engines():
+            spec = _spec(engine, engine_params=SWEEP_PARAMS.get(engine, {}),
+                         substrate="array",
+                         termination={"max_generations": 2})
+            if engine_entry(engine).tags.get("array_substrate"):
+                # validation must pass; the actual array run is already
+                # exercised by test_engine_substrate_conformance above
+                spec.validate()
+            else:
+                with pytest.raises(SpecError, match="object substrate"):
+                    spec.validate()
+
+    def test_all_shipped_engines_are_array_tagged(self):
+        assert [e for e in available_engines()
+                if not engine_entry(e).tags.get("array_substrate")] == []
+
+
+class TestSolveSmoke:
     def test_solve_accepts_plain_dict(self):
         report = solve({"instance": "ft06",
                         "termination": {"max_generations": 2},

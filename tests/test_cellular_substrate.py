@@ -1,0 +1,319 @@
+"""Conformance suite for the grid-tensor cellular substrate.
+
+Mirrors the layers of ``tests/test_substrate.py`` for the fine-grained
+engine: neighbourhood-gather correctness (the offset index tables that
+replace per-cell coordinate arithmetic), closure of the grid kernels for
+the permutation/repetition crossovers, exact object-vs-grid equality at
+the rate extremes under a shared seed (the per-cell RNG draw order is
+preserved by construction), and search-quality parity on a ta-style flow
+shop.  The hybrid island-of-cellular engine is exercised on the same
+grid tensors, including the shared ``(n_islands, cells, n_genes)``
+binding.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro import GAConfig, MaxGenerations, Population, Problem, SolverSpec
+from repro.core.substrate import ArrayPopulationView, ArrayState, GridState
+from repro.encodings import (FlowShopPermutationEncoding,
+                             OperationBasedEncoding,
+                             RandomKeysFlowShopEncoding)
+from repro.instances import flow_shop, get_instance, job_shop
+from repro.operators import (ArithmeticCrossover, JobBasedCrossover,
+                             OrderCrossover, PMXCrossover,
+                             register_batch_mutation)
+from repro.parallel.fine_grained import (NEIGHBORHOODS, CellularGA,
+                                         grid_neighbor_table)
+from repro.parallel.hybrid import IslandOfCellularGA
+
+
+# -- neighbourhood gather tables -------------------------------------------------
+
+class TestNeighborTable:
+    @settings(max_examples=60, deadline=None)
+    @given(rows=st.integers(1, 7), cols=st.integers(1, 7),
+           name=st.sampled_from(sorted(NEIGHBORHOODS)))
+    def test_table_matches_toroidal_arithmetic(self, rows, cols, name):
+        offsets = NEIGHBORHOODS[name]
+        table = grid_neighbor_table(rows, cols, offsets)
+        assert table.shape == (rows * cols, len(offsets))
+        for r in range(rows):
+            for c in range(cols):
+                expect = [((r + dr) % rows) * cols + (c + dc) % cols
+                          for dr, dc in offsets]
+                assert table[r * cols + c].tolist() == expect
+
+    @settings(max_examples=25, deadline=None)
+    @given(rows=st.integers(2, 6), cols=st.integers(2, 6),
+           name=st.sampled_from(sorted(NEIGHBORHOODS)))
+    def test_table_agrees_with_engine_neighbors(self, rows, cols, name):
+        problem = Problem(FlowShopPermutationEncoding(
+            flow_shop(5, 3, seed=1)))
+        ga = CellularGA(problem, rows=rows, cols=cols, neighborhood=name)
+        table = grid_neighbor_table(rows, cols, ga.offsets)
+        for r in range(rows):
+            for c in range(cols):
+                flat = [rr * cols + cc for rr, cc in ga.neighbors(r, c)]
+                assert table[r * cols + c].tolist() == flat
+
+    def test_table_values_are_valid_flat_indices(self):
+        table = grid_neighbor_table(4, 5, NEIGHBORHOODS["C13"])
+        assert table.min() >= 0 and table.max() < 20
+
+
+# -- GridState -------------------------------------------------------------------
+
+class TestGridState:
+    def test_tensor_and_grid_are_live_views(self):
+        tensor = np.arange(24, dtype=np.int64).reshape(2, 3, 4)
+        objs = np.arange(6, dtype=float).reshape(2, 3)
+        state = GridState(tensor, objs)
+        assert isinstance(state, ArrayState)
+        assert state.matrix.shape == (6, 4)
+        assert state.objective_grid.shape == (2, 3)
+        state.matrix[5] = -1
+        assert np.array_equal(state.tensor[1, 2], [-1, -1, -1, -1])
+        state.objectives[0] = 99.0
+        assert state.objective_grid[0, 0] == 99.0
+
+    def test_from_matrix_round_trip(self):
+        matrix = np.arange(12).reshape(6, 2)
+        objs = np.arange(6, dtype=float)
+        state = GridState.from_matrix(matrix, objs, 2, 3)
+        assert state.rows == 2 and state.cols == 3
+        assert np.array_equal(state.matrix, matrix)
+        # cell (r, c) is flat row r*cols + c, row-major
+        assert np.array_equal(state.tensor[1, 2], matrix[5])
+
+    def test_copy_is_independent(self):
+        state = GridState(np.zeros((2, 2, 3)), np.zeros((2, 2)))
+        dup = state.copy()
+        assert isinstance(dup, GridState)
+        dup.matrix[0] = 7
+        assert state.matrix[0].sum() == 0
+
+    def test_bad_shapes_raise(self):
+        with pytest.raises(ValueError, match="rows, cols"):
+            GridState(np.zeros((4, 3)), np.zeros(4))
+        with pytest.raises(ValueError, match="rows, cols"):
+            GridState(np.zeros((2, 3, 4)), np.zeros((3, 2)))
+
+    def test_population_view_over_grid(self, ft06_problem):
+        ga = CellularGA(ft06_problem, rows=3, cols=3,
+                        config=GAConfig(substrate="array"),
+                        termination=MaxGenerations(2), seed=4)
+        ga.run()
+        view = ga.population
+        assert isinstance(view, ArrayPopulationView)
+        assert len(view) == 9
+        snapshot = Population(ind.copy() for ind in view)
+        assert view.best().objective == snapshot.best().objective
+        assert view.stats().as_dict() == \
+            pytest.approx(snapshot.stats().as_dict())
+
+
+# -- closure of the grid kernels -------------------------------------------------
+
+class TestGridClosure:
+    @pytest.mark.parametrize("crossover", [PMXCrossover(), OrderCrossover()],
+                             ids=["pmx", "ox"])
+    @pytest.mark.parametrize("neighborhood", sorted(NEIGHBORHOODS))
+    def test_permutation_grid_steps_stay_permutations(self, crossover,
+                                                      neighborhood):
+        problem = Problem(FlowShopPermutationEncoding(
+            flow_shop(9, 4, seed=3)))
+        ga = CellularGA(problem, rows=4, cols=4, neighborhood=neighborhood,
+                        config=GAConfig(substrate="array", crossover_rate=0.9,
+                                        mutation_rate=0.4,
+                                        crossover=crossover),
+                        termination=MaxGenerations(4), seed=6)
+        ga.run()
+        base = np.arange(9)
+        for row in ga.grid_state.matrix:
+            assert np.array_equal(np.sort(row), base)
+
+    @pytest.mark.parametrize("crossover",
+                             [OrderCrossover(), JobBasedCrossover()],
+                             ids=["ox", "jox"])
+    def test_repetition_grid_steps_preserve_multisets(self, crossover):
+        instance = job_shop(4, 3, seed=8)
+        problem = Problem(OperationBasedEncoding(instance))
+        ga = CellularGA(problem, rows=3, cols=4,
+                        config=GAConfig(substrate="array", crossover_rate=0.9,
+                                        mutation_rate=0.5,
+                                        crossover=crossover),
+                        termination=MaxGenerations(4), seed=2)
+        ga.run()
+        base = np.sort(np.repeat(np.arange(4), 3))
+        for row in ga.grid_state.matrix:
+            assert np.array_equal(np.sort(row), base)
+
+
+# -- rate-extreme object-vs-grid bit-equality ------------------------------------
+
+def run_cell_pair(problem, seed=11, gens=4, rows=3, cols=4,
+                  neighborhood="L5", replacement="if_better", **cfg_kwargs):
+    """Run object and grid cellular engines with identical configs + seed."""
+    out = {}
+    for substrate in ("object", "array"):
+        ga = CellularGA(problem, rows=rows, cols=cols,
+                        neighborhood=neighborhood, replacement=replacement,
+                        config=GAConfig(substrate=substrate, **cfg_kwargs),
+                        termination=MaxGenerations(gens), seed=seed)
+        ga.run()
+        out[substrate] = ga
+    return out["object"], out["array"]
+
+
+def object_grid_arrays(ga):
+    """Row-major (matrix, objectives) of an object-substrate grid."""
+    flat = [ind for row in ga.grid for ind in row]
+    return (np.stack([np.asarray(ind.genome) for ind in flat]),
+            np.array([ind.objective for ind in flat]))
+
+
+def assert_grids_equal(obj_ga, arr_ga):
+    matrix, objectives = object_grid_arrays(obj_ga)
+    assert np.array_equal(arr_ga.grid_state.matrix, matrix)
+    assert np.array_equal(arr_ga.grid_state.objectives, objectives)
+    assert obj_ga.state.evaluations == arr_ga.state.evaluations
+
+
+class TestRateExtremeEquivalence:
+    @pytest.mark.parametrize("neighborhood", sorted(NEIGHBORHOODS))
+    def test_rate_zero_is_exact(self, ft06_problem, neighborhood):
+        obj_ga, arr_ga = run_cell_pair(
+            ft06_problem, neighborhood=neighborhood,
+            crossover_rate=0.0, mutation_rate=0.0)
+        assert_grids_equal(obj_ga, arr_ga)
+
+    @pytest.mark.parametrize("neighborhood", sorted(NEIGHBORHOODS))
+    def test_crossover_rate_one_exact_with_drawless_operator(
+            self, neighborhood):
+        # fixed-weight arithmetic crossover draws nothing, so the per-cell
+        # RNG stream (mate pair + two gates) stays aligned while every
+        # cell actually crosses -- this pins the neighbourhood gather and
+        # the local-tournament mate choice bit-for-bit
+        problem = Problem(RandomKeysFlowShopEncoding(flow_shop(8, 4, seed=2)))
+        obj_ga, arr_ga = run_cell_pair(
+            problem, gens=5, rows=4, cols=4, neighborhood=neighborhood,
+            crossover_rate=1.0, mutation_rate=0.0,
+            crossover=ArithmeticCrossover(0.3))
+        assert_grids_equal(obj_ga, arr_ga)
+
+    def test_mutation_rate_one_exact_with_drawless_operator(self,
+                                                            ft06_problem):
+        class CellReverseMutation:
+            def __call__(self, genome, rng):
+                return np.asarray(genome)[::-1].copy()
+
+        @register_batch_mutation(CellReverseMutation)
+        def _batch_cell_reverse(op, X, rng):
+            return X[:, ::-1].copy()
+
+        obj_ga, arr_ga = run_cell_pair(
+            ft06_problem, crossover_rate=0.0, mutation_rate=1.0,
+            mutation=CellReverseMutation())
+        assert_grids_equal(obj_ga, arr_ga)
+
+    def test_replacement_always_exact(self):
+        problem = Problem(RandomKeysFlowShopEncoding(flow_shop(6, 3, seed=5)))
+        obj_ga, arr_ga = run_cell_pair(
+            problem, replacement="always", crossover_rate=1.0,
+            mutation_rate=0.0, crossover=ArithmeticCrossover(0.5))
+        assert_grids_equal(obj_ga, arr_ga)
+
+    def test_initial_grids_bit_equal(self, ft06_problem):
+        # row-major random_matrix draws == the object path's nested
+        # comprehension, so generation 0 matches before any evolution
+        for substrate in ("object", "array"):
+            ga = CellularGA(ft06_problem, rows=3, cols=3,
+                            config=GAConfig(substrate=substrate), seed=13)
+            ga.initialize()
+            if substrate == "object":
+                matrix, objs = object_grid_arrays(ga)
+            else:
+                assert np.array_equal(ga.grid_state.matrix, matrix)
+                assert np.array_equal(ga.grid_state.objectives, objs)
+
+
+# -- quality parity + engines ----------------------------------------------------
+
+class TestQualityAndEngines:
+    def test_ta_style_flowshop_parity(self):
+        """Grid search quality tracks the object substrate on ta-fs-20x5."""
+        bests = {"object": [], "array": []}
+        for substrate in bests:
+            for seed in (1, 2, 3):
+                report = repro.solve(SolverSpec(
+                    instance="ta-fs-20x5-shaped", engine="cellular",
+                    substrate=substrate, ga={"population_size": 36},
+                    termination={"max_generations": 30}, seed=seed))
+                bests[substrate].append(report.best_objective)
+        mean_obj = np.mean(bests["object"])
+        mean_arr = np.mean(bests["array"])
+        assert mean_arr <= 1.1 * mean_obj
+        assert mean_obj <= 1.1 * mean_arr
+
+    def test_grid_improves_over_random(self, ft06_problem):
+        ga = CellularGA(ft06_problem, rows=5, cols=5,
+                        config=GAConfig(substrate="array"),
+                        termination=MaxGenerations(20), seed=1)
+        ga.initialize()
+        initial = ga.population.best().objective
+        assert ga.run().best_objective <= initial
+
+    def test_hybrid_tensor_binding_and_migration(self, ft06_problem):
+        ga = IslandOfCellularGA(ft06_problem, n_islands=3, rows=3, cols=3,
+                                config=GAConfig(substrate="array"),
+                                termination=MaxGenerations(12), seed=5)
+        result = ga.run()
+        assert result.extra["substrate"] == "array"
+        assert result.extra["tensor_mode"] is True
+        assert ga._tensor.shape == (3, 9, 36)
+        for isl in ga.islands:
+            assert isl.grid_state.matrix.base is ga._tensor
+        assert result.best_objective <= 70
+
+    def test_hybrid_solve_reproducible(self):
+        spec = SolverSpec(instance="ft06", engine="hybrid",
+                          substrate="array", ga={"population_size": 18},
+                          engine_params={"islands": 2,
+                                         "migration_interval": 2},
+                          termination={"max_generations": 6}, seed=3)
+        a, b = repro.solve(spec), repro.solve(spec)
+        assert a.best_objective == b.best_objective
+        assert a.evaluations == b.evaluations
+
+    def test_custom_selection_without_batch_twin_is_fine(self, ft06_problem):
+        # the grid path never calls config.selection (mate choice is the
+        # neighbourhood tournament), so a selection operator without a
+        # batch twin must not block the cellular array substrate
+        class NoTwinSelection:
+            def __call__(self, population, k, rng):
+                return [population[int(i)]
+                        for i in rng.integers(0, len(population), size=k)]
+
+        ga = CellularGA(ft06_problem, rows=3, cols=3,
+                        config=GAConfig(substrate="array",
+                                        selection=NoTwinSelection()),
+                        termination=MaxGenerations(2), seed=1)
+        assert ga.run().best_objective > 0
+
+    def test_composite_genomes_still_gated(self):
+        fjsp = repro.SolverSpec(instance="fjsp-8x5-shaped",
+                                engine="cellular", substrate="array",
+                                termination={"max_generations": 2})
+        with pytest.raises(repro.SpecError, match="composite"):
+            repro.solve(fjsp)
+
+    def test_cli_cellular_array_substrate(self, capsys):
+        from repro.cli import main
+        code = main(["solve", "ft06", "--engine", "cellular", "--substrate",
+                     "array", "--generations", "3", "--population", "16"])
+        assert code == 0
+        assert "engine=cellular" in capsys.readouterr().out

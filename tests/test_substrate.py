@@ -363,24 +363,8 @@ class TestQualityParity:
 
 
 class TestEnginesAndApi:
-    def test_solve_simple_master_slave_island(self):
-        for engine, params in (("simple", {}),
-                               ("master-slave", {"backend": "serial"}),
-                               ("island", {"islands": 3}),
-                               ("two-level", {"islands": 2,
-                                              "migration_interval": 2,
-                                              "broadcast_interval": 4})):
-            report = repro.solve(repro.SolverSpec(
-                instance="ft06", engine=engine, engine_params=params,
-                substrate="array", ga={"population_size": 18},
-                termination={"max_generations": 5}, seed=4))
-            assert report.extra["substrate"] == "array"
-            assert report.best_objective > 0
-            # resolved spec reproduces the run, substrate included
-            assert report.spec.substrate == "array"
-            again = repro.solve(repro.SolverSpec.from_dict(
-                report.spec.to_dict()))
-            assert again.best_objective == report.best_objective
+    # NOTE: per-engine x substrate end-to-end smoke lives in the
+    # conformance sweep (tests/test_api_solve.py::TestEngineSubstrateSweep)
 
     def test_island_tensor_mode_and_migration(self, ft06_problem):
         ga = IslandGA(ft06_problem, n_islands=3,
@@ -394,11 +378,12 @@ class TestEnginesAndApi:
         # migration moved something: islands share their best eventually
         assert result.best_objective <= 70
 
-    def test_cellular_rejects_array_substrate_directly(self, ft06_problem):
+    def test_cellular_array_rejects_asynchronous_update(self, ft06_problem):
         from repro.parallel.fine_grained import CellularGA
-        with pytest.raises(ValueError, match="object substrate"):
+        with pytest.raises(ValueError, match="asynchronous"):
             CellularGA(ft06_problem, rows=3, cols=3,
-                       config=GAConfig(substrate="array"))
+                       config=GAConfig(substrate="array"),
+                       update="asynchronous")
 
     def test_cli_list_derives_array_engines_from_registry(self, capsys):
         from repro.cli import main
@@ -438,10 +423,20 @@ class TestEnginesAndApi:
                      config=GAConfig(substrate="array"),
                      merge_on_stagnation=5)
 
-    def test_object_engines_gated_by_spec_validation(self):
-        with pytest.raises(repro.SpecError, match="object substrate only"):
-            repro.SolverSpec(instance="ft06", engine="cellular",
-                             substrate="array").validate()
+    def test_untagged_engines_gated_by_spec_validation(self):
+        # all six shipped engines now accept the array substrate; the
+        # object-only gate still protects third-party engines registered
+        # without the array_substrate tag
+        from repro.api.registry import ENGINES, RegistryEntry
+        ENGINES._entries["object-only-test"] = RegistryEntry(
+            name="object-only-test", factory=lambda *a, **k: None)
+        try:
+            with pytest.raises(repro.SpecError,
+                               match="object substrate only"):
+                repro.SolverSpec(instance="ft06", engine="object-only-test",
+                                 substrate="array").validate()
+        finally:
+            del ENGINES._entries["object-only-test"]
         with pytest.raises(repro.SpecError, match="unknown substrate"):
             repro.SolverSpec(instance="ft06", substrate="tensor").validate()
 
