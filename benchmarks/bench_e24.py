@@ -1,0 +1,13 @@
+"""Benchmark E24: GA engines reach oracle-proven optima.
+
+See `src/repro/experiments/conformance.py` (E24): the exact branch and
+bound re-certifies the `KNOWN_OPTIMA` table, then every GA engine x
+substrate combination must reach those proven optima on the certified
+tiny instances (bounded gap on ta-fs-20x5).
+"""
+
+from _common import run_and_assert
+
+
+def test_e24(benchmark):
+    run_and_assert(benchmark, "E24", scale="small")

@@ -1,0 +1,117 @@
+"""Benchmark: GA optimality gap against the exact oracle.
+
+The surveyed GAs report "best found" makespans; the exact backend turns
+those into *measured optimality gaps*.  This benchmark (1) times the
+branch-and-bound oracle re-proving every certified optimum (the pure
+Python certificates must stay cheap enough for CI), then (2) runs the
+baseline GA at a fixed budget on each certified instance plus the
+ta-fs-20x5-shaped lower-bound case, and gates the achieved gap at
+``BENCH_MAX_GAP`` (default 10%).  Emits ``BENCH_gap.json`` next to this
+file with the full oracle-vs-GA table, so the gap trajectory is recorded
+run over run like the perf numbers.
+
+Run with pytest (prints the table)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_gap.py -s -q
+
+or standalone::
+
+    PYTHONPATH=src python benchmarks/bench_gap.py
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro import SolverSpec, solve
+from repro.exact import certify, relative_gap
+from repro.instances import KNOWN_OPTIMA, get_instance, known_lower_bound
+
+MAX_GAP = float(os.environ.get("BENCH_MAX_GAP", "0.10"))
+MAX_ORACLE_S = float(os.environ.get("BENCH_MAX_ORACLE_S", "5.0"))
+POP = 48
+GENERATIONS = 200
+SEED = 7
+#: lower-bound-only case: no proven optimum, gap vs the combinatorial bound
+LB_CASES = ("ta-fs-20x5-shaped",)
+OUT_PATH = Path(__file__).resolve().parent / "BENCH_gap.json"
+
+
+def _ga_best(name, lower_bound):
+    encoding = "openshop-pairs" if name.startswith("tiny-os") else None
+    t0 = time.perf_counter()
+    report = solve(SolverSpec(
+        instance=name, encoding=encoding,
+        ga={"population_size": POP},
+        # proven_gap 0.0 = run until the proven optimum (or the budget):
+        # the *achieved* gap is measured, the gate is applied after
+        termination={"proven_gap": 0.0,
+                     "max_generations": GENERATIONS},
+        seed=SEED))
+    return report, time.perf_counter() - t0
+
+
+def test_oracle_vs_ga_gap():
+    rows = []
+
+    for name in sorted(KNOWN_OPTIMA):
+        t0 = time.perf_counter()
+        solution = certify(get_instance(name))
+        oracle_s = time.perf_counter() - t0
+        assert solution.proved and solution.makespan == KNOWN_OPTIMA[name]
+        assert oracle_s < MAX_ORACLE_S, (
+            f"oracle proof for {name} took {oracle_s:.2f}s "
+            f"(> {MAX_ORACLE_S:g}s budget)")
+        report, ga_s = _ga_best(name, solution.makespan)
+        rows.append({
+            "instance": name,
+            "reference": solution.makespan,
+            "reference_kind": "proven optimum",
+            "oracle_nodes": solution.nodes,
+            "oracle_s": oracle_s,
+            "ga_best": report.best_objective,
+            "ga_s": ga_s,
+            "gap": relative_gap(report.best_objective, solution.makespan),
+        })
+
+    for name in LB_CASES:
+        lb = known_lower_bound(name)
+        report, ga_s = _ga_best(name, lb)
+        rows.append({
+            "instance": name,
+            "reference": lb,
+            "reference_kind": "combinatorial lower bound",
+            "oracle_nodes": 0,
+            "oracle_s": 0.0,
+            "ga_best": report.best_objective,
+            "ga_s": ga_s,
+            "gap": relative_gap(report.best_objective, lb),
+        })
+
+    print(f"\n{'instance':>18} {'reference':>10} {'GA best':>8} "
+          f"{'gap':>7} {'oracle s':>9} {'GA s':>6}")
+    for r in rows:
+        print(f"{r['instance']:>18} {r['reference']:>10.1f} "
+              f"{r['ga_best']:>8.1f} {r['gap']:>6.1%} "
+              f"{r['oracle_s']:>9.3f} {r['ga_s']:>6.2f}")
+
+    worst = max(r["gap"] for r in rows)
+    print(f"worst gap: {worst:.2%} (gate: <= {MAX_GAP:.0%})")
+
+    OUT_PATH.write_text(json.dumps({
+        "population": POP,
+        "generations": GENERATIONS,
+        "seed": SEED,
+        "gate_gap": MAX_GAP,
+        "worst_gap": worst,
+        "rows": rows,
+    }, indent=2) + "\n")
+    print(f"wrote {OUT_PATH.name}")
+
+    assert worst <= MAX_GAP, (
+        f"GA gap {worst:.2%} exceeds the {MAX_GAP:.0%} gate")
+
+
+if __name__ == "__main__":
+    test_oracle_vs_ga_gap()

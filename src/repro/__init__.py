@@ -44,8 +44,8 @@ importable for programmatic use::
 """
 
 from .core import (GAConfig, GAResult, Individual, MaxEvaluations,
-                   MaxGenerations, Population, SimpleGA, Stagnation,
-                   TargetObjective, TimeLimit)
+                   MaxGenerations, Population, ProvenGap, SimpleGA,
+                   Stagnation, TargetObjective, TimeLimit)
 from .encodings import Problem
 from .parallel import (CellularGA, IslandGA, MasterSlaveGA, MigrationPolicy)
 from .api import (ScenarioSweep, SolveReport, SolverService, SolverSpec,
@@ -57,7 +57,7 @@ __version__ = "1.0.0"
 __all__ = [
     "SimpleGA", "GAConfig", "GAResult", "Individual", "Population",
     "MaxGenerations", "MaxEvaluations", "TimeLimit", "TargetObjective",
-    "Stagnation",
+    "ProvenGap", "Stagnation",
     "Problem",
     "MasterSlaveGA", "IslandGA", "CellularGA", "MigrationPolicy",
     "SolverSpec", "SolveReport", "solve", "SpecError",

@@ -187,6 +187,37 @@ def _run_hybrid(problem: Problem, config: GAConfig,
 
 
 @register_engine(
+    "exact", aliases=("bnb", "branch-and-bound"),
+    description="Exact branch-and-bound oracle: proves optimal makespans "
+                "for small instances (pure Python, always available)",
+    params={"node_limit": 2_000_000, "time_limit": None},
+    array_substrate=True)
+def _run_exact(problem: Problem, config: GAConfig,
+               termination: Termination, seed: int, *,
+               node_limit: int | None = 2_000_000,
+               time_limit: float | None = None):
+    from ..exact.engine import run_exact_engine
+    return run_exact_engine(problem, config, termination, seed,
+                            backend="bnb",
+                            node_limit=(None if node_limit is None
+                                        else int(node_limit)),
+                            time_limit=time_limit)
+
+
+@register_engine(
+    "cpsat", aliases=("cp-sat", "ortools"),
+    description="OR-Tools CP-SAT exact backend (optional dependency; "
+                "adds flexible job shops)",
+    params={"time_limit": 60.0}, array_substrate=True)
+def _run_cpsat(problem: Problem, config: GAConfig,
+               termination: Termination, seed: int, *,
+               time_limit: float | None = 60.0):
+    from ..exact.engine import run_exact_engine
+    return run_exact_engine(problem, config, termination, seed,
+                            backend="cpsat", time_limit=time_limit)
+
+
+@register_engine(
     "two-level", aliases=("two_level", "two-level-island"),
     description="Two-level island hybrid: frequent ring + rare broadcast "
                 "migration (Harmanani et al. [33])",

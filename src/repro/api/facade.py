@@ -41,15 +41,18 @@ from .spec import SolverSpec, _termination_builders
 __all__ = ["SolveReport", "solve", "resolve_termination", "resolve_spec"]
 
 
-def resolve_termination(termination: Mapping[str, Any]) -> Termination:
+def resolve_termination(termination: Mapping[str, Any],
+                        instance=None) -> Termination:
     """Build the (possibly compound) termination criterion of a spec.
 
     Multiple criteria combine as a disjunction: the run stops when any
     fires, mirroring ``TargetObjective(...) | MaxGenerations(...)``.
     The vocabulary is :func:`repro.api.spec._termination_builders` --
     the same mapping ``SolverSpec.validate`` checks against.
+    ``instance`` feeds instance-derived criteria (``proven_gap``
+    resolves its lower bound from it).
     """
-    builders = _termination_builders()
+    builders = _termination_builders(instance)
     criteria = []
     for key, value in termination.items():
         if key not in builders:
@@ -191,7 +194,7 @@ def solve(spec: SolverSpec | Mapping[str, Any],
             check_array_support(problem, config.resolved(problem))
         except ValueError as exc:
             raise SpecError(f"substrate: {exc}") from exc
-    termination = resolve_termination(resolved.termination)
+    termination = resolve_termination(resolved.termination, instance)
     entry = engine_entry(resolved.engine)
     t_resolved = time.perf_counter()
 

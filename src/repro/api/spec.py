@@ -37,21 +37,44 @@ __all__ = ["SolverSpec", "SpecError", "GA_KEYS", "TERMINATION_KEYS",
 GA_KEYS = ("population_size", "crossover_rate", "mutation_rate", "n_elites",
            "immigration_rate", "generation_gap")
 
-def _termination_builders() -> dict:
+def _termination_builders(instance=None) -> dict:
     """Criterion name -> constructor; the single termination vocabulary.
 
     Both :data:`TERMINATION_KEYS` (what ``validate`` accepts) and
     :func:`repro.api.facade.resolve_termination` (what ``solve`` builds)
     derive from this mapping, so the two can never drift apart.
+
+    ``instance`` supplies the resolved instance object to criteria that
+    need instance data: ``proven_gap`` takes the gap *fraction* as its
+    spec value (spec values stay plain numbers) and resolves the lower
+    bound from the instance -- a proven optimum from
+    :data:`repro.instances.KNOWN_OPTIMA` when one exists, else the
+    combinatorial bound.
     """
     from ..core.termination import (MaxEvaluations, MaxGenerations,
-                                    Stagnation, TargetObjective, TimeLimit)
+                                    ProvenGap, Stagnation, TargetObjective,
+                                    TimeLimit)
+
+    def _proven_gap(v):
+        if instance is None:
+            raise SpecError(
+                "termination: proven_gap needs a resolved instance; "
+                "build ProvenGap(lower_bound, gap) directly when calling "
+                "engines outside repro.solve()")
+        from ..instances.library import known_lower_bound
+        try:
+            bound = known_lower_bound(instance)
+        except KeyError as exc:
+            raise SpecError(f"termination: proven_gap: {exc}") from exc
+        return ProvenGap(bound, gap=float(v))
+
     return {
         "max_generations": lambda v: MaxGenerations(int(v)),
         "max_evaluations": lambda v: MaxEvaluations(int(v)),
         "time_limit": lambda v: TimeLimit(float(v)),
         "target": lambda v: TargetObjective(float(v)),
         "stagnation": lambda v: Stagnation(int(v)),
+        "proven_gap": _proven_gap,
     }
 
 

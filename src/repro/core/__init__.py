@@ -5,8 +5,8 @@ from .population import Population, PopulationStats, hamming_distance
 from .fitness import (HeuristicOffsetFitness, NegationFitness, RankFitness,
                       ReciprocalFitness, apply_fitness, apply_fitness_array)
 from .termination import (AllOf, AnyOf, MaxEvaluations, MaxGenerations,
-                          Stagnation, TargetObjective, Termination,
-                          TerminationState, TimeLimit)
+                          ProvenGap, Stagnation, TargetObjective,
+                          Termination, TerminationState, TimeLimit)
 from .observers import (CallbackObserver, GenerationRecord, HistoryRecorder,
                         Observer)
 from .rng import RngStream, derive_rng, make_rng, spawn_rngs, spawn_seeds
@@ -21,7 +21,8 @@ __all__ = [
     "HeuristicOffsetFitness", "ReciprocalFitness", "RankFitness",
     "NegationFitness", "apply_fitness", "apply_fitness_array",
     "Termination", "TerminationState", "MaxGenerations", "MaxEvaluations",
-    "TimeLimit", "TargetObjective", "Stagnation", "AnyOf", "AllOf",
+    "TimeLimit", "TargetObjective", "ProvenGap", "Stagnation", "AnyOf",
+    "AllOf",
     "Observer", "HistoryRecorder", "CallbackObserver", "GenerationRecord",
     "make_rng", "spawn_rngs", "spawn_seeds", "derive_rng", "RngStream",
     "GAConfig", "GAResult", "SimpleGA",

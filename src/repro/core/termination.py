@@ -23,6 +23,7 @@ __all__ = [
     "MaxEvaluations",
     "TimeLimit",
     "TargetObjective",
+    "ProvenGap",
     "Stagnation",
     "AnyOf",
     "AllOf",
@@ -120,17 +121,72 @@ class TimeLimit(Termination):
 
 
 class TargetObjective(Termination):
-    """Stop when best objective <= ``target`` (e.g. a known optimum)."""
+    """Stop when best objective <= ``target`` (e.g. a known optimum).
+
+    The comparison is inclusive: a run that *exactly* reaches a proven
+    optimum used as the target must terminate, not loop until another
+    criterion fires.
+    """
 
     def __init__(self, target: float):
         self.target = target
+        self._achieved: Optional[float] = None
 
     def done(self, state: TerminationState) -> bool:
-        return (state.best_objective is not None
-                and state.best_objective <= self.target)
+        if (state.best_objective is not None
+                and state.best_objective <= self.target):
+            self._achieved = state.best_objective
+            return True
+        return False
 
     def reason(self) -> str:
-        return f"target objective ({self.target}) attained"
+        if self._achieved is None:
+            return f"target objective ({self.target}) attained"
+        return (f"target objective ({self.target}) attained "
+                f"(best {self._achieved})")
+
+
+class ProvenGap(Termination):
+    """Stop once the best objective is within ``gap`` of a proven bound.
+
+    ``done`` fires when ``best <= lower_bound * (1 + gap)`` -- the
+    optimality-gap criterion exact solvers terminate on, made available
+    to the GA engines: with a certified lower bound (see
+    :func:`repro.instances.known_lower_bound`) reaching the gap is a
+    *quality certificate*, not a heuristic stopping rule.  ``gap=0``
+    demands the proven optimum itself.
+    """
+
+    def __init__(self, lower_bound: float, gap: float = 0.0):
+        if not (lower_bound > 0) or lower_bound != lower_bound \
+                or lower_bound == float("inf"):
+            raise ValueError("lower bound must be positive and finite")
+        if gap < 0:
+            raise ValueError("gap must be non-negative")
+        self.lower_bound = float(lower_bound)
+        self.gap = float(gap)
+        self._achieved: Optional[float] = None
+
+    @property
+    def threshold(self) -> float:
+        """Objective value at which the criterion fires."""
+        return self.lower_bound * (1.0 + self.gap)
+
+    def done(self, state: TerminationState) -> bool:
+        if (state.best_objective is not None
+                and state.best_objective <= self.threshold):
+            self._achieved = state.best_objective
+            return True
+        return False
+
+    def reason(self) -> str:
+        if self._achieved is None:
+            return (f"proven gap ({self.gap:.2%} of lower bound "
+                    f"{self.lower_bound}) not yet reached")
+        achieved = (self._achieved - self.lower_bound) / self.lower_bound
+        return (f"proven gap reached: best {self._achieved} is "
+                f"{achieved:.2%} above lower bound {self.lower_bound} "
+                f"(<= {self.gap:.2%})")
 
 
 class Stagnation(Termination):

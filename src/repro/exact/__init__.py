@@ -1,0 +1,46 @@
+"""Exact-solver oracle backends (branch and bound + optional CP-SAT).
+
+The survey's comparisons are anchored on best-known/optimal makespans;
+this subpackage supplies the ground truth the conformance suite asserts
+against:
+
+* :mod:`repro.exact.branch_and_bound` -- always-available pure-Python
+  depth-first branch and bound for job shops, permutation flow shops and
+  open shops (proves ft06 = 55 in milliseconds);
+* :mod:`repro.exact.cpsat` -- OR-Tools CP-SAT models (adds flexible job
+  shops) behind a graceful optional-dependency gate;
+* :mod:`repro.exact.engine` -- the ``engine="exact"`` / ``"cpsat"``
+  adapters for :func:`repro.solve`, returning solutions as genomes of
+  the problem's encoding so certificates survive the normal decode /
+  audit path;
+* :mod:`repro.exact.oracle` -- ``certify`` / ``relative_gap`` helpers
+  the conformance experiment and gap benchmark share.
+"""
+
+from .branch_and_bound import (ExactSolution, ExactUnsupported,
+                               bnb_supported, solve_exact,
+                               solve_flowshop_bnb, solve_jobshop_bnb,
+                               solve_openshop_bnb)
+from .cpsat import (ExactBackendUnavailable, cpsat_supported,
+                    ortools_available, solve_cpsat)
+from .engine import ExactRunResult, genome_for_solution, run_exact_engine
+from .oracle import certify, relative_gap
+
+__all__ = [
+    "ExactSolution",
+    "ExactUnsupported",
+    "ExactBackendUnavailable",
+    "bnb_supported",
+    "cpsat_supported",
+    "ortools_available",
+    "solve_exact",
+    "solve_jobshop_bnb",
+    "solve_flowshop_bnb",
+    "solve_openshop_bnb",
+    "solve_cpsat",
+    "certify",
+    "relative_gap",
+    "genome_for_solution",
+    "run_exact_engine",
+    "ExactRunResult",
+]

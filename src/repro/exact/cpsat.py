@@ -1,0 +1,227 @@
+"""Optional OR-Tools CP-SAT models (job shop / flow shop / FJSP).
+
+CP-SAT is the strongest freely available exact backend the surveyed
+comparisons lean on, but ``ortools`` is a heavyweight optional
+dependency: everything here degrades gracefully.  ``ortools_available()``
+reports the import status, and :func:`solve_cpsat` raises
+:class:`ExactBackendUnavailable` with an actionable message instead of an
+``ImportError`` when the package is absent -- callers (the ``cpsat``
+engine adapter, the conformance experiment, the tests) turn that into a
+clean skip.
+
+Durations are modelled as integers (CP-SAT requirement); instances with
+non-integral processing times are refused rather than silently rounded.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..scheduling.instance import (FlexibleJobShopInstance, FlowShopInstance,
+                                   JobShopInstance, OpenShopInstance,
+                                   ShopInstance)
+from .branch_and_bound import ExactSolution, ExactUnsupported
+
+__all__ = ["ExactBackendUnavailable", "ortools_available", "solve_cpsat",
+           "cpsat_supported"]
+
+
+class ExactBackendUnavailable(RuntimeError):
+    """The optional ``ortools`` dependency is not installed."""
+
+
+def ortools_available() -> bool:
+    """True when the optional ``ortools`` package imports."""
+    try:
+        import ortools.sat.python.cp_model  # noqa: F401
+    except ImportError:
+        return False
+    return True  # pragma: no cover - exercised only with ortools installed
+
+
+def _require_ortools():
+    try:
+        from ortools.sat.python import cp_model
+    except ImportError as exc:
+        raise ExactBackendUnavailable(
+            "the 'cpsat' backend needs the optional ortools package "
+            "(pip install ortools); the pure-Python 'exact' backend "
+            "is always available") from exc
+    return cp_model  # pragma: no cover - exercised only with ortools
+
+
+def _int_durations(arr: np.ndarray, what: str) -> np.ndarray:
+    out = np.asarray(arr)
+    rounded = np.rint(out)
+    if not np.allclose(out, rounded, atol=1e-9):
+        raise ExactUnsupported(
+            f"cpsat models integer durations; {what} has non-integral "
+            f"processing times")
+    return rounded.astype(np.int64)
+
+
+def cpsat_supported(instance: ShopInstance) -> bool:
+    """Whether :func:`solve_cpsat` has a model for ``instance``'s class."""
+    if isinstance(instance, JobShopInstance):
+        return not instance.blocking
+    if isinstance(instance, FlexibleJobShopInstance):
+        return instance.setup is None and instance.time_lag is None
+    return isinstance(instance, (FlowShopInstance, OpenShopInstance))
+
+
+def solve_cpsat(instance: ShopInstance, *,
+                time_limit: float | None = 60.0) -> ExactSolution:
+    """Solve ``instance`` to proven optimality with CP-SAT.
+
+    Supports job shops (non-blocking), permutation-free flow shops
+    (modelled as job shops with the identity routing -- CP-SAT certifies
+    the unrestricted flow shop optimum, which lower-bounds the
+    permutation optimum the GA encodings search), open shops, and
+    flexible job shops without sequence-dependent setups or lags.
+
+    Raises :class:`ExactBackendUnavailable` when ``ortools`` is missing
+    and :class:`ExactUnsupported` for uncovered instance classes.
+    """
+    if not cpsat_supported(instance):
+        raise ExactUnsupported(
+            f"no CP-SAT model for {type(instance).__name__} with these "
+            f"features (blocking / setups / time lags are not modelled)")
+    cp_model = _require_ortools()
+    return _solve_cpsat(cp_model, instance,
+                        time_limit)  # pragma: no cover - needs ortools
+
+
+def _iter_operations(instance):  # pragma: no cover - needs ortools
+    """Yield ``(job, stage, [(machine, duration), ...])`` triples."""
+    if isinstance(instance, JobShopInstance):
+        proc = _int_durations(instance.processing, instance.name)
+        for j in range(instance.n_jobs):
+            for s in range(instance.n_stages):
+                yield j, s, [(int(instance.routing[j, s]),
+                              int(proc[j, s]))]
+    elif isinstance(instance, FlowShopInstance):
+        proc = _int_durations(instance.processing, instance.name)
+        for j in range(instance.n_jobs):
+            for k in range(instance.n_machines):
+                yield j, k, [(k, int(proc[j, k]))]
+    elif isinstance(instance, OpenShopInstance):
+        proc = _int_durations(instance.processing, instance.name)
+        for j in range(instance.n_jobs):
+            for k in range(instance.n_machines):
+                yield j, k, [(k, int(proc[j, k]))]
+    else:  # FlexibleJobShopInstance
+        for j in range(instance.n_jobs):
+            for s in range(instance.stages_of(j)):
+                alts = []
+                for mach in instance.eligible_machines(j, s):
+                    dur = instance.duration(j, s, mach)
+                    if abs(dur - round(dur)) > 1e-9:
+                        raise ExactUnsupported(
+                            "cpsat models integer durations")
+                    alts.append((int(mach), int(round(dur))))
+                yield j, s, alts
+
+
+def _solve_cpsat(cp_model, instance,
+                 time_limit):  # pragma: no cover - needs ortools
+    t0 = time.perf_counter()
+    ops = list(_iter_operations(instance))
+    ordered_stages = isinstance(instance, (JobShopInstance,
+                                           FlowShopInstance,
+                                           FlexibleJobShopInstance))
+    horizon = int(sum(max(d for _, d in alts) for _, _, alts in ops)
+                  + max(float(r) for r in instance.release))
+    model = cp_model.CpModel()
+    starts, ends, chosen = {}, {}, {}
+    per_machine: dict[int, list] = {}
+    for j, s, alts in ops:
+        release = int(round(float(instance.release[j])))
+        start = model.NewIntVar(release, horizon, f"s_{j}_{s}")
+        end = model.NewIntVar(release, horizon, f"e_{j}_{s}")
+        starts[j, s], ends[j, s] = start, end
+        if len(alts) == 1:
+            mach, dur = alts[0]
+            model.Add(end == start + dur)
+            interval = model.NewIntervalVar(start, dur, end,
+                                            f"i_{j}_{s}")
+            per_machine.setdefault(mach, []).append(interval)
+        else:
+            literals = []
+            for mach, dur in alts:
+                lit = model.NewBoolVar(f"c_{j}_{s}_{mach}")
+                interval = model.NewOptionalIntervalVar(
+                    start, dur, end, lit, f"i_{j}_{s}_{mach}")
+                per_machine.setdefault(mach, []).append(interval)
+                chosen[j, s, mach] = lit
+                literals.append(lit)
+            model.AddExactlyOne(literals)
+    # precedence: routed shops order stages; open shops only forbid a
+    # job's operations from overlapping
+    if ordered_stages:
+        for j, s, _ in ops:
+            if (j, s + 1) in starts:
+                model.Add(starts[j, s + 1] >= ends[j, s])
+    else:
+        for j in range(instance.n_jobs):
+            model.AddNoOverlap(
+                [model.NewIntervalVar(
+                    starts[j, k], ends[j, k] - starts[j, k],
+                    ends[j, k], f"ji_{j}_{k}")
+                 for k in range(instance.n_machines)])
+    for intervals in per_machine.values():
+        model.AddNoOverlap(intervals)
+    makespan = model.NewIntVar(0, horizon, "makespan")
+    model.AddMaxEquality(makespan, list(ends.values()))
+    model.Minimize(makespan)
+
+    solver = cp_model.CpSolver()
+    if time_limit is not None:
+        solver.parameters.max_time_in_seconds = float(time_limit)
+    status = solver.Solve(model)
+    if status not in (cp_model.OPTIMAL, cp_model.FEASIBLE):
+        raise ExactUnsupported(
+            f"cpsat returned no solution (status {status})")
+    proved = status == cp_model.OPTIMAL
+    sequence = _extract_sequence(instance, solver, starts, chosen)
+    return ExactSolution(
+        makespan=float(solver.Value(makespan)), sequence=sequence,
+        proved=proved,
+        lower_bound=float(solver.BestObjectiveBound()),
+        nodes=int(solver.NumBranches()),
+        elapsed=time.perf_counter() - t0, backend="cpsat")
+
+
+def _extract_sequence(instance, solver, starts,
+                      chosen):  # pragma: no cover - needs ortools
+    """Encoding-ready solution from the CP-SAT assignment.
+
+    Greedy re-decoding of an order sorted by start time can only
+    left-shift operations, so the reconstructed genome's makespan never
+    exceeds (and at a proven optimum equals) the CP-SAT makespan.
+    """
+    order = sorted(starts, key=lambda js: (solver.Value(starts[js]), js))
+    if isinstance(instance, JobShopInstance):
+        return np.asarray([j for j, _ in order], dtype=np.int64)
+    if isinstance(instance, FlowShopInstance):
+        perm = sorted(range(instance.n_jobs),
+                      key=lambda j: (solver.Value(starts[j, 0]), j))
+        return np.asarray(perm, dtype=np.int64)
+    if isinstance(instance, OpenShopInstance):
+        return np.asarray([j * instance.n_machines + k for j, k in order],
+                          dtype=np.int64)
+    # flexible job shop: (assignment, sequence) two-part genome
+    assignment = []
+    for j in range(instance.n_jobs):
+        for s in range(instance.stages_of(j)):
+            alts = instance.eligible_machines(j, s)
+            if len(alts) == 1:
+                assignment.append(0)
+                continue
+            picked = next(m for m in alts
+                          if solver.Value(chosen[j, s, m]))
+            assignment.append(alts.index(picked))
+    sequence = [j for j, _ in order]
+    return (np.asarray(assignment, dtype=np.int64),
+            np.asarray(sequence, dtype=np.int64))

@@ -1,0 +1,48 @@
+"""Certification helpers built on the exact backends.
+
+The conformance layer and the gap benchmark both need the same small
+vocabulary: *certify* an instance (prove its optimum, preferring the
+always-available branch-and-bound and falling back to CP-SAT for the
+classes it cannot handle), and measure a *relative gap* against the
+certified reference.
+"""
+
+from __future__ import annotations
+
+from ..scheduling.instance import ShopInstance
+from .branch_and_bound import (ExactSolution, ExactUnsupported,
+                               bnb_supported, solve_exact)
+from .cpsat import ExactBackendUnavailable, cpsat_supported, solve_cpsat
+
+__all__ = ["certify", "relative_gap"]
+
+
+def certify(instance: ShopInstance, *,
+            backend: str = "auto",
+            node_limit: int | None = 2_000_000,
+            time_limit: float | None = None) -> ExactSolution:
+    """Prove (or bound) the optimal makespan of ``instance``.
+
+    ``backend`` is ``"bnb"``, ``"cpsat"``, or ``"auto"`` (branch and
+    bound when its class is supported, else CP-SAT).  Raises
+    :class:`ExactUnsupported` when no backend covers the instance and
+    :class:`ExactBackendUnavailable` when only CP-SAT would and
+    ``ortools`` is missing.
+    """
+    if backend not in ("auto", "bnb", "cpsat"):
+        raise ValueError(f"unknown exact backend {backend!r}")
+    if backend == "cpsat" or (backend == "auto"
+                              and not bnb_supported(instance)):
+        if backend == "auto" and not cpsat_supported(instance):
+            raise ExactUnsupported(
+                f"no exact backend for {type(instance).__name__}")
+        return solve_cpsat(instance, time_limit=time_limit)
+    return solve_exact(instance, node_limit=node_limit,
+                       time_limit=time_limit)
+
+
+def relative_gap(value: float, reference: float) -> float:
+    """Relative gap of ``value`` above ``reference`` (a proven LB/optimum)."""
+    if reference <= 0:
+        return 0.0 if value <= 0 else float("inf")
+    return max(0.0, (float(value) - float(reference)) / float(reference))

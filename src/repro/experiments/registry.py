@@ -10,7 +10,8 @@ from __future__ import annotations
 from typing import Callable
 
 from .conformance import (e21_pseudocode_conformance,
-                          e23_decoder_conformance)
+                          e23_decoder_conformance,
+                          e24_optimality_conformance)
 from .flexible import (e17_defersha_lot_streaming, e18_defersha_fjsp_sdst,
                        e19_belkadi_parameters, e20_rashidi_weighted_islands)
 from .harness import ExperimentResult
@@ -51,12 +52,13 @@ EXPERIMENTS: dict[str, Callable[[str], ExperimentResult]] = {
     "E21": e21_pseudocode_conformance,
     "E22": e22_perfmodel_design_space,
     "E23": e23_decoder_conformance,
+    "E24": e24_optimality_conformance,
 }
 
 
 def run_experiment(experiment_id: str, scale: str = "small"
                    ) -> ExperimentResult:
-    """Run one experiment by id ('E01' ... 'E23')."""
+    """Run one experiment by id ('E01' ... 'E24')."""
     key = experiment_id.upper()
     if key not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {experiment_id!r}; "

@@ -11,9 +11,9 @@ from .energy import (EnergyAwareObjective, EnergyMakespanVector, PowerModel,
 from .multiobjective import (ParetoArchive, WeightedIslandMOGA, coverage,
                              dominates, hypervolume_2d, non_dominated_sort,
                              weight_vectors)
-from .local_search import (critical_path_descent, insertion_hill_climb,
-                           make_local_search, redirect_procedure,
-                           swap_hill_climb)
+from .local_search import (critical_path_descent, exact_polish,
+                           insertion_hill_climb, make_local_search,
+                           redirect_procedure, swap_hill_climb)
 from .dynamic import (Event, EventStream, JobArrival, MachineBreakdown,
                       PredictiveReactiveScheduler, ReschedulePoint)
 
@@ -29,7 +29,7 @@ __all__ = [
     "dominates", "non_dominated_sort", "ParetoArchive", "hypervolume_2d",
     "coverage", "weight_vectors", "WeightedIslandMOGA",
     "swap_hill_climb", "insertion_hill_climb", "redirect_procedure",
-    "critical_path_descent", "make_local_search",
+    "critical_path_descent", "exact_polish", "make_local_search",
     "Event", "JobArrival", "MachineBreakdown", "EventStream",
     "PredictiveReactiveScheduler", "ReschedulePoint",
 ]

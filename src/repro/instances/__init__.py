@@ -3,11 +3,13 @@
 from .taillard_lcg import TaillardLCG
 from .generators import (flexible_flow_shop, flexible_job_shop, flow_shop,
                          job_shop, open_shop, with_due_dates_twk, with_weights)
-from .library import FT06, FT06_OPTIMUM, available_instances, get_instance
+from .library import (FT06, FT06_OPTIMUM, KNOWN_OPTIMA, available_instances,
+                      get_instance, known_lower_bound, known_optimum)
 
 __all__ = [
     "TaillardLCG",
     "flow_shop", "job_shop", "open_shop", "flexible_flow_shop",
     "flexible_job_shop", "with_due_dates_twk", "with_weights",
-    "FT06", "FT06_OPTIMUM", "available_instances", "get_instance",
+    "FT06", "FT06_OPTIMUM", "KNOWN_OPTIMA", "available_instances",
+    "get_instance", "known_optimum", "known_lower_bound",
 ]

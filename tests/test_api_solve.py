@@ -13,6 +13,7 @@ from repro.api import available_engines, available_substrates, engine_entry
 from repro.api.engines import grid_shape_for
 from repro.api.registry import SpecError
 from repro.encodings import OperationBasedEncoding
+from repro.exact import ortools_available
 from repro.instances import get_instance
 from repro.parallel import default_island_population
 
@@ -35,6 +36,8 @@ SWEEP_PARAMS = {
     "hybrid": {"islands": 2, "rows": 3, "cols": 3, "migration_interval": 2},
     "two-level": {"islands": 2, "migration_interval": 2,
                   "broadcast_interval": 4},
+    "exact": {},
+    "cpsat": {},
 }
 
 
@@ -52,6 +55,8 @@ class TestEngineSubstrateSweep:
     def test_engine_substrate_conformance(self, engine, substrate):
         assert engine in SWEEP_PARAMS, (
             f"new engine {engine!r}: add it to the conformance sweep")
+        if engine == "cpsat" and not ortools_available():
+            pytest.skip("optional ortools dependency not installed")
         report = solve(_spec(engine, engine_params=SWEEP_PARAMS[engine],
                              substrate=substrate))
         assert report.engine == engine

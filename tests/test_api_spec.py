@@ -13,9 +13,11 @@ from repro.instances import available_instances
 
 
 class TestRegistries:
-    def test_all_six_engines_registered(self):
-        assert available_engines() == ["cellular", "hybrid", "island",
-                                       "master-slave", "simple", "two-level"]
+    def test_all_registered_engines(self):
+        # six GA engines + the two exact oracle backends
+        assert available_engines() == ["cellular", "cpsat", "exact",
+                                       "hybrid", "island", "master-slave",
+                                       "simple", "two-level"]
 
     def test_engine_aliases_resolve(self):
         assert engine_entry("fine-grained").name == "cellular"

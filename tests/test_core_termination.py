@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.termination import (AllOf, AnyOf, MaxEvaluations,
-                                    MaxGenerations, Stagnation,
+                                    MaxGenerations, ProvenGap, Stagnation,
                                     TargetObjective, TerminationState,
                                     TimeLimit)
 
@@ -73,6 +73,69 @@ class TestTargetObjective:
         state.record_best(55.0)
         assert crit.done(state)
 
+    def test_target_equal_to_optimum_terminates(self):
+        """Regression: exactly hitting a proven optimum must stop the run.
+
+        A strict ``<`` here would loop forever on a target set to the
+        optimum (the common usage: ``target=KNOWN_OPTIMA[name]``).
+        """
+        crit = TargetObjective(55.0)
+        state = make_state()
+        state.record_best(55.0)  # equality, not improvement past it
+        assert crit.done(state)
+
+    def test_reason_reports_achieved_best(self):
+        crit = TargetObjective(55.0)
+        state = make_state()
+        assert "55.0" in crit.reason()  # not yet fired: names the target
+        state.record_best(54.0)
+        assert crit.done(state)
+        reason = crit.reason()
+        assert "55.0" in reason and "54.0" in reason
+
+
+class TestProvenGap:
+    def test_fires_within_gap(self):
+        crit = ProvenGap(100.0, gap=0.05)
+        state = make_state()
+        assert not crit.done(state)  # no best yet
+        state.record_best(106.0)
+        assert not crit.done(state)
+        state.record_best(105.0)  # exactly lb * (1 + gap)
+        assert crit.done(state)
+
+    def test_zero_gap_demands_the_optimum(self):
+        crit = ProvenGap(55.0)
+        state = make_state()
+        state.record_best(56.0)
+        assert not crit.done(state)
+        state.record_best(55.0)
+        assert crit.done(state)
+
+    def test_threshold(self):
+        assert ProvenGap(200.0, gap=0.1).threshold == pytest.approx(220.0)
+
+    def test_reason_before_and_after(self):
+        crit = ProvenGap(100.0, gap=0.05)
+        assert "not yet reached" in crit.reason()
+        state = make_state()
+        state.record_best(103.0)
+        assert crit.done(state)
+        reason = crit.reason()
+        assert "103.0" in reason and "100.0" in reason
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            ProvenGap(0.0)
+        with pytest.raises(ValueError):
+            ProvenGap(-5.0)
+        with pytest.raises(ValueError):
+            ProvenGap(float("inf"))
+        with pytest.raises(ValueError):
+            ProvenGap(float("nan"))
+        with pytest.raises(ValueError):
+            ProvenGap(100.0, gap=-0.1)
+
 
 class TestStagnation:
     def test_fires_after_window(self):
@@ -123,3 +186,27 @@ class TestComposition:
             AnyOf()
         with pytest.raises(ValueError):
             AllOf()
+
+    def test_any_of_with_proven_gap_reports_the_firing_criterion(self):
+        crit = AnyOf(ProvenGap(100.0, gap=0.02), MaxGenerations(50))
+        state = make_state()
+        state.record_best(101.0)
+        assert crit.done(state)
+        assert "proven gap reached" in crit.reason()
+        # the generation cap path reports its own reason instead
+        crit2 = AnyOf(ProvenGap(100.0, gap=0.02), MaxGenerations(50))
+        state2 = make_state()
+        state2.record_best(150.0)
+        state2.generation = 50
+        assert crit2.done(state2)
+        assert "max generations" in crit2.reason()
+
+    def test_all_of_with_proven_gap(self):
+        crit = ProvenGap(100.0, gap=0.05) & MaxGenerations(10)
+        state = make_state()
+        state.record_best(104.0)
+        assert not crit.done(state)  # gap reached, budget not spent
+        state.generation = 10
+        assert crit.done(state)
+        reason = crit.reason()
+        assert "proven gap reached" in reason and "and" in reason

@@ -1,0 +1,179 @@
+"""Property tests for the local-search hooks.
+
+Every hook shares three contracts this file pins down across random
+seeds: (1) the returned genome never evaluates worse than the input,
+(2) the result stays inside the encoding's genome space (a permutation
+stays a permutation, a repetition chromosome keeps its multiset, a
+tuple genome only ever climbs on its sequence part), and (3) the
+caller's genome object is never mutated in place.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Problem
+from repro.encodings import (FlexibleJobShopEncoding, OperationBasedEncoding)
+from repro.extensions import (critical_path_descent, exact_polish,
+                              insertion_hill_climb, make_local_search,
+                              redirect_procedure, swap_hill_climb)
+from repro.instances import get_instance
+
+HOOKS = {
+    "swap": swap_hill_climb,
+    "insertion": insertion_hill_climb,
+    "redirect": redirect_procedure,
+    "critical_path": critical_path_descent,
+    "exact": exact_polish,
+}
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+fast = settings(max_examples=12, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+@pytest.fixture(scope="module")
+def jssp_problem():
+    return Problem(OperationBasedEncoding(get_instance("ft06")))
+
+
+@pytest.fixture(scope="module")
+def fjsp_problem():
+    return Problem(FlexibleJobShopEncoding(get_instance("fjsp-8x5-shaped")))
+
+
+@pytest.mark.parametrize("hook", sorted(HOOKS))
+class TestFlatGenomeInvariants:
+    @fast
+    @given(seed=seeds)
+    def test_non_worsening_and_closed(self, hook, jssp_problem, seed):
+        rng = np.random.default_rng(seed)
+        genome = jssp_problem.random_genome(rng)
+        before = genome.copy()
+        base = jssp_problem.evaluate(genome)
+        out = HOOKS[hook](genome, jssp_problem, rng)
+        # (1) monotone non-worsening
+        assert jssp_problem.evaluate(out) <= base
+        # (2) genome closure: same operation multiset
+        assert np.array_equal(np.sort(out), np.sort(before))
+        # (3) the input genome is left untouched
+        assert np.array_equal(genome, before)
+
+
+@pytest.mark.parametrize("hook", sorted(HOOKS))
+class TestTupleGenomeInvariants:
+    @fast
+    @given(seed=seeds)
+    def test_sequence_part_only(self, hook, fjsp_problem, seed):
+        """Tuple genomes climb on part 1; the assignment part is frozen."""
+        rng = np.random.default_rng(seed)
+        genome = fjsp_problem.random_genome(rng)
+        assert isinstance(genome, tuple) and len(genome) == 2
+        assign_before = np.asarray(genome[0]).copy()
+        seq_before = np.asarray(genome[1]).copy()
+        base = fjsp_problem.evaluate(genome)
+        out = HOOKS[hook](genome, fjsp_problem, rng)
+        assert fjsp_problem.evaluate(out) <= base
+        assert isinstance(out, tuple)
+        np.testing.assert_array_equal(np.asarray(out[0]), assign_before)
+        assert np.array_equal(np.sort(np.asarray(out[1])),
+                              np.sort(seq_before))
+        # input tuple untouched
+        np.testing.assert_array_equal(np.asarray(genome[0]), assign_before)
+        np.testing.assert_array_equal(np.asarray(genome[1]), seq_before)
+
+
+class TestHillClimbsActuallyDescend:
+    def test_swap_hill_climb_improves_a_bad_genome(self, jssp_problem):
+        rng = np.random.default_rng(3)
+        genome = jssp_problem.random_genome(rng)
+        base = jssp_problem.evaluate(genome)
+        out = swap_hill_climb(genome, jssp_problem, rng, attempts=200)
+        assert jssp_problem.evaluate(out) < base
+
+    def test_critical_path_descent_beats_blind_swaps(self, jssp_problem):
+        """The N1 neighbourhood is the informed one: at an equal budget
+        it should not lose to uniform random swaps (on average)."""
+        cp_total = blind_total = 0.0
+        for seed in range(8):
+            rng = np.random.default_rng(seed)
+            genome = jssp_problem.random_genome(rng)
+            cp_total += jssp_problem.evaluate(critical_path_descent(
+                genome, jssp_problem, np.random.default_rng(seed + 100),
+                attempts=15))
+            blind_total += jssp_problem.evaluate(swap_hill_climb(
+                genome, jssp_problem, np.random.default_rng(seed + 100),
+                attempts=15))
+        assert cp_total <= blind_total
+
+    def test_redirect_returns_input_when_kick_does_not_help(self,
+                                                            jssp_problem):
+        # polish a genome to a local optimum first, then redirect with a
+        # tiny budget: the kicked descendant rarely beats it, and the
+        # contract says the *input* genome comes back then
+        rng = np.random.default_rng(0)
+        genome = swap_hill_climb(jssp_problem.random_genome(rng),
+                                 jssp_problem, rng, attempts=300)
+        base = jssp_problem.evaluate(genome)
+        out = redirect_procedure(genome, jssp_problem,
+                                 np.random.default_rng(1),
+                                 kicks=2, attempts=2)
+        assert jssp_problem.evaluate(out) <= base
+
+
+class TestExactPolish:
+    def test_polish_lands_on_certified_optimum(self):
+        problem = Problem(OperationBasedEncoding(
+            get_instance("tiny-js-4x4")))
+        rng = np.random.default_rng(7)
+        out = exact_polish(problem.random_genome(rng), problem, rng)
+        assert problem.evaluate(out) == 260.0
+
+    def test_polish_is_identity_on_an_optimal_elite(self):
+        from repro.exact import genome_for_solution, solve_exact
+        from repro.encodings import FlowShopPermutationEncoding
+        instance = get_instance("tiny-fs-6x3")
+        problem = Problem(FlowShopPermutationEncoding(instance))
+        optimal = genome_for_solution(problem, solve_exact(instance))
+        out = exact_polish(optimal, problem, np.random.default_rng(1))
+        np.testing.assert_array_equal(out, optimal)
+
+    def test_polish_falls_back_beyond_max_ops(self, jssp_problem):
+        rng = np.random.default_rng(2)
+        genome = jssp_problem.random_genome(rng)
+        base = jssp_problem.evaluate(genome)
+        # ft06 has 36 ops; force the fallback with max_ops=10
+        out = exact_polish(genome, jssp_problem, rng, max_ops=10,
+                           attempts=50)
+        assert jssp_problem.evaluate(out) <= base
+        assert np.array_equal(np.sort(out), np.sort(genome))
+
+    def test_polish_falls_back_for_non_makespan_objectives(self):
+        from repro.scheduling.objectives import TotalFlowTime
+        problem = Problem(OperationBasedEncoding(get_instance("ft06")),
+                          objective=TotalFlowTime())
+        rng = np.random.default_rng(4)
+        genome = problem.random_genome(rng)
+        out = exact_polish(genome, problem, rng, attempts=50)
+        assert problem.evaluate(out) <= problem.evaluate(genome)
+
+
+class TestFactory:
+    def test_factory_covers_every_hook(self):
+        for kind in ("swap", "insertion", "redirect", "critical_path",
+                     "exact"):
+            assert callable(make_local_search(kind))
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown local search"):
+            make_local_search("tabu")
+
+    def test_factory_threads_attempts(self):
+        problem = Problem(OperationBasedEncoding(get_instance("ft06")))
+        rng = np.random.default_rng(9)
+        genome = problem.random_genome(rng)
+        hook = make_local_search("swap", attempts=0)
+        out = hook(genome, problem, np.random.default_rng(9))
+        # zero attempts: the climb is a no-op
+        np.testing.assert_array_equal(out, genome)

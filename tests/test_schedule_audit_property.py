@@ -1,0 +1,103 @@
+"""Hypothesis property test: ``Schedule.audit`` vs the exact oracle.
+
+The feasibility oracle must be exactly as strict as the scheduling
+model: every oracle-optimal schedule passes, and *any* single
+corruption -- an operation pulled onto its machine predecessor, a
+job's stage windows exchanged, a duration quietly shortened -- is
+rejected with :class:`FeasibilityError`.  Optimal schedules are the
+adversarial place to probe: they are maximally tight, so a lax audit
+that merely "looks at the makespan" would still wave the mutants
+through.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import SolverSpec, solve
+from repro.instances import KNOWN_OPTIMA
+from repro.scheduling.schedule import FeasibilityError, Schedule
+
+CERTIFIED = tuple(sorted(KNOWN_OPTIMA))
+
+_cache = {}
+
+
+def oracle_schedule(name):
+    """(schedule, instance) decoded from the exact engine's certificate."""
+    if name not in _cache:
+        encoding = "openshop-pairs" if name.startswith("tiny-os") else None
+        report = solve(SolverSpec(instance=name, engine="exact",
+                                  encoding=encoding,
+                                  termination={"max_generations": 1}))
+        _cache[name] = (report.schedule(), report.problem.instance)
+    return _cache[name]
+
+
+def rebuilt(schedule, operations):
+    return Schedule(operations, schedule.n_jobs, schedule.n_machines)
+
+
+@pytest.mark.parametrize("name", CERTIFIED)
+def test_oracle_optimal_schedules_pass_audit(name):
+    schedule, instance = oracle_schedule(name)
+    schedule.audit(instance)
+    assert schedule.makespan == KNOWN_OPTIMA[name]
+    # audit is also pure: a rebuilt copy of the same operations passes too
+    rebuilt(schedule, schedule.operations).audit(instance)
+
+
+@settings(max_examples=40, deadline=None)
+@given(name=st.sampled_from(CERTIFIED), data=st.data())
+def test_machine_overlap_mutation_is_rejected(name, data):
+    """Pull an operation back onto its machine predecessor."""
+    schedule, instance = oracle_schedule(name)
+    busy = [seq for seq in schedule.machine_sequences() if len(seq) >= 2]
+    seq = data.draw(st.sampled_from(busy))
+    idx = data.draw(st.integers(0, len(seq) - 2))
+    a, b = seq[idx], seq[idx + 1]
+    shifted = dataclasses.replace(b, start=a.start,
+                                  end=a.start + b.duration)
+    ops = [shifted if op is b else op for op in schedule.operations]
+    with pytest.raises(FeasibilityError):
+        rebuilt(schedule, ops).audit(instance)
+
+
+@settings(max_examples=40, deadline=None)
+@given(name=st.sampled_from(CERTIFIED), data=st.data())
+def test_broken_precedence_mutation_is_rejected(name, data):
+    """Exchange the time windows of two consecutive operations of a job."""
+    schedule, instance = oracle_schedule(name)
+    jobs = [seq for seq in schedule.job_sequences() if len(seq) >= 2]
+    seq = data.draw(st.sampled_from(jobs))
+    by_start = sorted(seq, key=lambda op: op.start)
+    idx = data.draw(st.integers(0, len(by_start) - 2))
+    a, b = by_start[idx], by_start[idx + 1]
+    swapped = {
+        id(a): dataclasses.replace(a, start=b.start, end=b.end),
+        id(b): dataclasses.replace(b, start=a.start, end=a.end),
+    }
+    ops = [swapped.get(id(op), op) for op in schedule.operations]
+    with pytest.raises(FeasibilityError):
+        rebuilt(schedule, ops).audit(instance)
+
+
+@settings(max_examples=40, deadline=None)
+@given(name=st.sampled_from(CERTIFIED), data=st.data())
+def test_shortened_duration_mutation_is_rejected(name, data):
+    """Quietly halving one processing time must not pass the audit.
+
+    This is the mutation a makespan-only check would miss: the schedule
+    stays conflict-free (everything only gets looser), but it no longer
+    executes the instance it claims to.
+    """
+    schedule, instance = oracle_schedule(name)
+    idx = data.draw(st.integers(0, len(schedule.operations) - 1))
+    victim = schedule.operations[idx]
+    shortened = dataclasses.replace(
+        victim, end=victim.start + victim.duration / 2)
+    ops = [shortened if op is victim else op for op in schedule.operations]
+    with pytest.raises(FeasibilityError):
+        rebuilt(schedule, ops).audit(instance)
