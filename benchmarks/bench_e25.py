@@ -1,0 +1,13 @@
+"""Benchmark E25: vectorised scenario extensions match their scalar twins.
+
+See `src/repro/experiments/conformance.py` (E25): bit-identity of the
+fuzzy / stochastic / energy batch kernels against the original object
+paths, plus the rolling-horizon dynamic scenario where warm-started
+reactive re-solves beat cold restarts.
+"""
+
+from _common import run_and_assert
+
+
+def test_e25(benchmark):
+    run_and_assert(benchmark, "E25", scale="small")

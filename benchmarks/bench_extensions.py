@@ -1,0 +1,182 @@
+"""Benchmark: scalar vs batch scoring of the scenario extensions.
+
+The fuzzy / stochastic / energy extensions originally scored chromosomes
+one at a time through Python objects (TFN arithmetic per gene, K decoded
+instances per genome, Schedule walks per candidate).  This benchmark
+times both paths on the same seeded populations:
+
+* fuzzy      -- TFN-object recurrence + 10-breakpoint agreement index per
+  job, versus one ``(pop, jobs, 3)`` tensor sweep;
+* stochastic -- K scalar decodes per genome (common random numbers),
+  versus one scenario-stacked ``(K, pop, jobs)`` kernel call;
+* energy     -- per-genome ``Schedule`` build + energy/peak audit, versus
+  completion-tensor kernels (exact breakpoint peak included).
+
+Asserts bit-identical scores on every path and a >= 5x speedup for the
+stochastic CRN acceptance case (population 200, 16 scenarios), and emits
+``BENCH_extensions.json`` next to this file.  ``BENCH_MIN_SPEEDUP``
+relaxes the gate on noisy shared runners.
+
+Run with pytest (prints the table)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_extensions.py -s -q
+
+or standalone::
+
+    PYTHONPATH=src python benchmarks/bench_extensions.py
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.extensions.energy import (PowerModel, energy_consumption,
+                                     flowshop_energy_population,
+                                     flowshop_peak_power_population,
+                                     peak_power)
+from repro.extensions.fuzzy import (FuzzyFlowShopEncoding,
+                                    FuzzyFlowShopInstance, agreement_index,
+                                    fuzzy_agreement_population)
+from repro.extensions.stochastic import (StochasticJobShopEncoding,
+                                         StochasticJobShopInstance)
+from repro.instances import flow_shop, job_shop
+from repro.scheduling.flowshop import flowshop_schedule
+
+POP = 200
+N_SCENARIOS = 16
+MIN_SPEEDUP = float(os.environ.get("BENCH_MIN_SPEEDUP", "5.0"))
+OUT_PATH = Path(__file__).resolve().parent / "BENCH_extensions.json"
+
+
+def best_of(fn, reps=3):
+    """Best-of-N wall time; the minimum is the least noisy estimator."""
+    best = float("inf")
+    out = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def _fuzzy_case(n, m, pop=POP, seed=7):
+    instance = FuzzyFlowShopInstance.from_crisp(flow_shop(n, m, seed=seed),
+                                                spread=0.3, seed=seed + 1)
+    enc = FuzzyFlowShopEncoding(instance)
+    rng = np.random.default_rng(seed)
+    keys = np.vstack([enc.random_genome(rng) for _ in range(pop)])
+    perms = enc.permutation_matrix(keys)
+
+    def scalar():
+        scores = []
+        for perm in perms:
+            completion = instance.completion_times(perm)
+            ais = np.array([agreement_index(completion[j], instance.due[j])
+                            for j in range(instance.n_jobs)])
+            scores.append(1.0 - (0.5 * ais.min() + 0.5 * ais.mean()))
+        return np.array(scores)
+
+    def batch():
+        return fuzzy_agreement_population(instance, perms)
+
+    t_scalar, out_scalar = best_of(scalar)
+    t_batch, out_batch = best_of(batch)
+    assert np.array_equal(out_scalar, out_batch), "fuzzy batch diverged"
+    return t_scalar, t_batch
+
+
+def _stochastic_case(n, m, pop=POP, n_scenarios=N_SCENARIOS, seed=7):
+    instance = StochasticJobShopInstance(job_shop(n, m, seed=seed),
+                                         spread=0.3,
+                                         n_scenarios=n_scenarios,
+                                         seed=seed + 1)
+    enc = StochasticJobShopEncoding(instance)
+    rng = np.random.default_rng(seed)
+    matrix = np.vstack([enc.random_genome(rng) for _ in range(pop)])
+
+    def scalar():
+        return np.array([instance.expected_makespan(g) for g in matrix])
+
+    def batch():
+        return instance.batch_expected_makespan(matrix)
+
+    t_scalar, out_scalar = best_of(scalar)
+    t_batch, out_batch = best_of(batch)
+    assert np.array_equal(out_scalar, out_batch), "stochastic batch diverged"
+    return t_scalar, t_batch
+
+
+def _energy_case(n, m, pop=POP, seed=7):
+    instance = flow_shop(n, m, seed=seed)
+    power = PowerModel.uniform(m, processing=9.0, idle=2.5)
+    rng = np.random.default_rng(seed)
+    perms = np.vstack([rng.permutation(n) for _ in range(pop)])
+
+    def scalar():
+        energy, peak = [], []
+        for perm in perms:
+            sched = flowshop_schedule(instance, perm)
+            energy.append(energy_consumption(sched, power))
+            peak.append(peak_power(sched, power))
+        return np.array(energy), np.array(peak)
+
+    def batch():
+        return (flowshop_energy_population(instance, perms, power),
+                flowshop_peak_power_population(instance, perms, power))
+
+    t_scalar, out_scalar = best_of(scalar)
+    t_batch, out_batch = best_of(batch)
+    assert np.array_equal(out_scalar[0], out_batch[0]), "energy diverged"
+    assert np.array_equal(out_scalar[1], out_batch[1]), "peak diverged"
+    return t_scalar, t_batch
+
+
+CASES = [
+    ("fuzzy", "10x5", lambda: _fuzzy_case(10, 5)),
+    ("fuzzy", "20x5", lambda: _fuzzy_case(20, 5)),
+    ("stochastic", "6x6xK16", lambda: _stochastic_case(6, 6)),
+    ("stochastic", "10x8xK16", lambda: _stochastic_case(10, 8)),
+    ("energy", "10x5", lambda: _energy_case(10, 5)),
+    ("energy", "20x10", lambda: _energy_case(20, 10)),
+]
+ACCEPTANCE = ("stochastic", "10x8xK16")
+
+
+def test_extension_batch_speedups():
+    rows = []
+    acceptance = None
+    for family, label, case in CASES:
+        ts, tb = case()
+        speedup = ts / tb
+        rows.append({"extension": family, "instance": label,
+                     "scalar_s": ts, "batch_s": tb, "speedup": speedup})
+        if (family, label) == ACCEPTANCE:
+            acceptance = speedup
+    print()
+    print(f"scenario extensions: scalar vs batch (population {POP}, "
+          f"best of 3)")
+    print(f"{'extension':>12} {'case':>10} {'scalar':>10} {'batch':>10} "
+          f"{'speedup':>9}")
+    for row in rows:
+        print(f"{row['extension']:>12} {row['instance']:>10} "
+              f"{row['scalar_s'] * 1e3:>8.2f}ms "
+              f"{row['batch_s'] * 1e3:>8.2f}ms {row['speedup']:>8.1f}x")
+    OUT_PATH.write_text(json.dumps({
+        "population": POP, "n_scenarios": N_SCENARIOS,
+        "gate_speedup": MIN_SPEEDUP,
+        "acceptance_case": list(ACCEPTANCE),
+        "acceptance_speedup": acceptance,
+        "rows": rows}, indent=2) + "\n")
+    print(f"wrote {OUT_PATH}")
+    assert acceptance is not None
+    assert acceptance >= MIN_SPEEDUP, (
+        f"stochastic CRN batch path only {acceptance:.1f}x faster at "
+        f"population {POP} x {N_SCENARIOS} scenarios "
+        f"(need >= {MIN_SPEEDUP}x)")
+
+
+if __name__ == "__main__":
+    test_extension_batch_speedups()

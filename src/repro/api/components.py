@@ -23,6 +23,10 @@ from ..encodings import (DispatchRuleEncoding, FlexibleJobShopEncoding,
                          OpenShopPermutationEncoding, OperationBasedEncoding,
                          Problem, RandomKeysFlowShopEncoding,
                          RandomKeysJobShopEncoding)
+from ..extensions.energy import EnergyAwareObjective, EnergyMakespanVector
+from ..extensions.fuzzy import FuzzyFlowShopEncoding, FuzzyFlowShopInstance
+from ..extensions.stochastic import (StochasticJobShopEncoding,
+                                     StochasticJobShopInstance)
 from ..instances import get_instance, with_due_dates_twk, with_weights
 from ..scheduling.objectives import (Makespan, MaximumTardiness,
                                      TotalFlowTime, TotalWeightedCompletion,
@@ -144,6 +148,36 @@ def _lot_streaming(instance, sublots: int = 2):
     return LotStreamingEncoding(instance, sublots=sublots)
 
 
+@register_encoding(
+    "fuzzy-flowshop", aliases=("fuzzy_flowshop", "fuzzy"),
+    description="Fuzzy flow shop random keys scored by agreement index",
+    params={"spread": 0.2, "due_tau": 1.5, "fuzzy_seed": 1},
+    instance_classes=("FlowShopInstance",),
+    sample_instance="ta-fs-20x5-shaped")
+def _fuzzy_flowshop(instance, spread: float = 0.2, due_tau: float = 1.5,
+                    fuzzy_seed: int = 1):
+    fuzzy = FuzzyFlowShopInstance.from_crisp(
+        instance, spread=float(spread), due_tau=float(due_tau),
+        seed=int(fuzzy_seed))
+    return FuzzyFlowShopEncoding(fuzzy)
+
+
+@register_encoding(
+    "stochastic-jobshop", aliases=("stochastic_jobshop", "stochastic"),
+    description="Stochastic job shop, CRN expected makespan over K scenarios",
+    params={"spread": 0.25, "distribution": "uniform", "n_scenarios": 16,
+            "scenario_seed": 0},
+    instance_classes=("JobShopInstance",),
+    sample_instance="ft06")
+def _stochastic_jobshop(instance, spread: float = 0.25,
+                        distribution: str = "uniform", n_scenarios: int = 16,
+                        scenario_seed: int = 0):
+    stochastic = StochasticJobShopInstance(
+        instance, spread=float(spread), distribution=str(distribution),
+        n_scenarios=int(n_scenarios), seed=int(scenario_seed))
+    return StochasticJobShopEncoding(stochastic)
+
+
 # -- objectives (Section II) -----------------------------------------------------
 
 @register_objective("makespan", aliases=("cmax",),
@@ -187,6 +221,38 @@ def _maximum_tardiness():
                     params={})
 def _total_flow_time():
     return TotalFlowTime()
+
+
+@register_objective(
+    "energy-capped-makespan", aliases=("energy_capped_makespan",),
+    description="C_max + penalty x peak-power overshoot (energy-aware)",
+    params={"peak_cap": None, "penalty": 10.0, "processing_watts": 10.0,
+            "idle_watts": 2.0})
+def _energy_capped_makespan(peak_cap=None, penalty: float = 10.0,
+                            processing_watts: float = 10.0,
+                            idle_watts: float = 2.0):
+    import numpy as np
+    cap = np.inf if peak_cap is None else float(peak_cap)
+    return EnergyAwareObjective(peak_cap=cap, penalty=float(penalty),
+                                processing_watts=float(processing_watts),
+                                idle_watts=float(idle_watts))
+
+
+@register_objective(
+    "energy-makespan", aliases=("energy_makespan",),
+    description="w_e x energy + w_c x C_max weighted scalarisation",
+    params={"weights": (0.5, 0.5), "processing_watts": 10.0,
+            "idle_watts": 2.0})
+def _energy_makespan(weights=(0.5, 0.5), processing_watts: float = 10.0,
+                     idle_watts: float = 2.0):
+    try:
+        w_energy, w_makespan = (float(w) for w in weights)
+    except (TypeError, ValueError) as exc:
+        raise SpecError("objective_params: 'weights' takes an "
+                        "[energy, makespan] pair") from exc
+    return EnergyMakespanVector(weights=(w_energy, w_makespan),
+                                processing_watts=float(processing_watts),
+                                idle_watts=float(idle_watts))
 
 
 @register_objective(

@@ -7,6 +7,7 @@
     repro run-all [--scale smoke]       # regenerate the whole evaluation
     repro solve ft06 [--engine island]  # solve an instance, print Gantt
     repro solve --spec job.json         # declarative JSON job submission
+    repro dynamic ta-fs-20x5-shaped     # rolling-horizon warm vs cold
     repro sweep ft06 la01-shaped --engines simple island --seeds 1 2 3
 
 ``solve`` and ``sweep`` are thin shells over the declarative API
@@ -142,6 +143,59 @@ def _cmd_solve(args) -> int:
     return 0
 
 
+def _cmd_dynamic(args) -> int:
+    """Rolling-horizon predictive-reactive scenario (warm vs cold)."""
+    from .core.ga import GAConfig
+    from .extensions.dynamic import (PredictiveReactiveScheduler,
+                                     demo_event_stream)
+    from .instances import get_instance
+    try:
+        instance = get_instance(args.instance)
+    except KeyError as exc:
+        raise SpecError(f"dynamic: unknown instance {args.instance!r}") \
+            from exc
+    if type(instance).__name__ != "FlowShopInstance":
+        raise SpecError(f"dynamic: {args.instance!r} is a "
+                        f"{type(instance).__name__}; the rolling-horizon "
+                        f"scenario needs a FlowShopInstance")
+    config = GAConfig(population_size=args.population,
+                      substrate=args.substrate or "object")
+    runs: dict[str, dict] = {}
+    for label, warm in (("warm", True), ("cold", False)):
+        if args.mode != "both" and args.mode != label:
+            continue
+        scheduler = PredictiveReactiveScheduler(
+            instance, config=config, generations=args.generations,
+            seed=args.seed, warm_start=warm)
+        events = demo_event_stream(instance, n_events=args.events,
+                                   seed=args.seed)
+        sequence, cmax = scheduler.run(events)
+        runs[label] = {
+            "realised_makespan": cmax,
+            "sequence": [int(j) for j in sequence],
+            "reschedules": [
+                {"time": r.time, "event": type(r.trigger).__name__,
+                 "jobs": r.jobs_remaining, "frozen": r.frozen,
+                 "predicted_makespan": r.predicted_makespan}
+                for r in scheduler.reschedules],
+        }
+        print(f"{label}: realised makespan {cmax:g} "
+              f"({len(scheduler.reschedules)} reschedules, frozen per event: "
+              f"{[r.frozen for r in scheduler.reschedules]})")
+    if len(runs) == 2:
+        gain = runs["cold"]["realised_makespan"] \
+            - runs["warm"]["realised_makespan"]
+        print(f"warm-start gain: {gain:+g}")
+    if args.json:
+        payload = {"instance": args.instance, "events": args.events,
+                   "seed": args.seed, "population": args.population,
+                   "generations": args.generations, "runs": runs}
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"report written to {args.json}")
+    return 0
+
+
 def _cmd_sweep(args) -> int:
     if args.spec:
         sweep = ScenarioSweep.from_dict(_load_json(args.spec))
@@ -254,6 +308,29 @@ def main(argv: list[str] | None = None) -> int:
     p_solve.add_argument("--json", metavar="FILE",
                          help="also write the SolveReport as JSON")
     p_solve.set_defaults(fn=_cmd_solve)
+
+    p_dyn = sub.add_parser(
+        "dynamic",
+        help="rolling-horizon predictive-reactive flow shop scenario")
+    p_dyn.add_argument("instance", help="flow shop instance name")
+    p_dyn.add_argument("--events", type=int, default=3,
+                       help="number of arrival/breakdown events (default: 3)")
+    p_dyn.add_argument("--mode", default="both",
+                       choices=("both", "warm", "cold"),
+                       help="warm-started re-solves, cold restarts, or both "
+                            "(default: both, prints the warm-start gain)")
+    p_dyn.add_argument("--substrate", default=None,
+                       choices=available_substrates(),
+                       help="generation substrate for the re-solve GAs")
+    p_dyn.add_argument("--population", type=int, default=30,
+                       help="GA population per (re)schedule (default: 30)")
+    p_dyn.add_argument("--generations", type=int, default=15,
+                       help="GA generations per (re)schedule (default: 15)")
+    p_dyn.add_argument("--seed", type=int, default=0,
+                       help="event-stream and GA seed (default: 0)")
+    p_dyn.add_argument("--json", metavar="FILE",
+                       help="write the scenario report as JSON")
+    p_dyn.set_defaults(fn=_cmd_dynamic)
 
     p_sweep = sub.add_parser(
         "sweep", help="run a batch of scenarios concurrently")

@@ -194,7 +194,12 @@ class Problem:
           matrix -> per-job completion matrix) and the objective reduces
           from completion matrices (``batch_objective`` finds a batch
           form) -- this covers every Section-II criterion and weighted
-          combinations of them.
+          combinations of them, or
+        * the objective itself provides a ``batch_evaluator(encoding)``
+          factory (schedule-level criteria such as peak power / energy
+          that need operation starts and ends, not just per-job
+          completions) -- it returns a matrix evaluator for encodings it
+          recognises and ``None`` otherwise.
 
         GA engines and executors prefer this path and fall back to
         per-genome evaluation otherwise.
@@ -210,6 +215,11 @@ class Problem:
         if completion is not None and objective_batch is not None:
             return CompletionObjectiveEvaluator(completion, objective_batch,
                                                 self.encoding.instance)
+        make = getattr(self.objective, "batch_evaluator", None)
+        if make is not None:
+            custom = make(self.encoding)
+            if custom is not None:
+                return custom
         return None
 
     def stack_genomes(self, genomes: Any) -> np.ndarray | None:
@@ -259,11 +269,23 @@ class Problem:
         return np.array([self.evaluate(g) for g in genomes], dtype=float)
 
     def objective_vector(self, genome: Any) -> tuple[float, ...]:
-        """Multi-objective vector when the objective supports it."""
+        """Multi-objective vector when the objective supports it.
+
+        Mirrors :meth:`evaluate`: under the default makespan objective an
+        encoding's ``fast_makespan`` is authoritative (encodings whose
+        "makespan" is a derived criterion -- fuzzy agreement, expected
+        makespan over scenarios -- score through it, and the decoded
+        crisp/mean schedule would disagree), so reports stay consistent
+        with what the GA optimised.
+        """
         vec = getattr(self.objective, "vector", None)
-        schedule = self.encoding.decode(genome)
         if vec is None:
+            fast = getattr(self.encoding, "fast_makespan", None)
+            if fast is not None and isinstance(self.objective, Makespan):
+                return (float(fast(genome)),)
+            schedule = self.encoding.decode(genome)
             return (float(self.objective(schedule, self.encoding.instance)),)
+        schedule = self.encoding.decode(genome)
         return vec(schedule, self.encoding.instance)
 
     def objective_vectors(self, genomes: list[Any]) -> np.ndarray:

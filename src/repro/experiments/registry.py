@@ -11,7 +11,8 @@ from typing import Callable
 
 from .conformance import (e21_pseudocode_conformance,
                           e23_decoder_conformance,
-                          e24_optimality_conformance)
+                          e24_optimality_conformance,
+                          e25_extension_conformance)
 from .flexible import (e17_defersha_lot_streaming, e18_defersha_fjsp_sdst,
                        e19_belkadi_parameters, e20_rashidi_weighted_islands)
 from .harness import ExperimentResult
@@ -53,12 +54,13 @@ EXPERIMENTS: dict[str, Callable[[str], ExperimentResult]] = {
     "E22": e22_perfmodel_design_space,
     "E23": e23_decoder_conformance,
     "E24": e24_optimality_conformance,
+    "E25": e25_extension_conformance,
 }
 
 
 def run_experiment(experiment_id: str, scale: str = "small"
                    ) -> ExperimentResult:
-    """Run one experiment by id ('E01' ... 'E24')."""
+    """Run one experiment by id ('E01' ... 'E25')."""
     key = experiment_id.upper()
     if key not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {experiment_id!r}; "

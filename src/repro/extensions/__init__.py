@@ -1,13 +1,17 @@
 """Modern integrated factors (Section II) + surveyed special algorithms."""
 
 from .fuzzy import (TFN, FuzzyFlowShopEncoding, FuzzyFlowShopInstance,
-                    agreement_index, fuzzy_flowshop_makespan)
+                    agreement_index, batch_agreement_index,
+                    fuzzy_agreement_population, fuzzy_completion_population,
+                    fuzzy_flowshop_makespan)
 from .stochastic import StochasticJobShopEncoding, StochasticJobShopInstance
 from .quantum import (QBitIndividual, QuantumGA, not_gate_mutation,
                       penetration_migration, quantum_crossover)
 from .energy import (EnergyAwareObjective, EnergyMakespanVector, PowerModel,
                      SpeedScaling, apply_speed_scaling, energy_consumption,
-                     peak_power, power_profile)
+                     flowshop_energy_population,
+                     flowshop_peak_power_population, peak_power,
+                     power_profile)
 from .multiobjective import (ParetoArchive, WeightedIslandMOGA, coverage,
                              dominates, hypervolume_2d, non_dominated_sort,
                              weight_vectors)
@@ -19,11 +23,13 @@ from .dynamic import (Event, EventStream, JobArrival, MachineBreakdown,
 
 __all__ = [
     "TFN", "FuzzyFlowShopInstance", "FuzzyFlowShopEncoding",
-    "fuzzy_flowshop_makespan", "agreement_index",
+    "fuzzy_flowshop_makespan", "agreement_index", "batch_agreement_index",
+    "fuzzy_completion_population", "fuzzy_agreement_population",
     "StochasticJobShopInstance", "StochasticJobShopEncoding",
     "QBitIndividual", "QuantumGA", "quantum_crossover", "not_gate_mutation",
     "penetration_migration",
     "PowerModel", "energy_consumption", "power_profile", "peak_power",
+    "flowshop_energy_population", "flowshop_peak_power_population",
     "EnergyAwareObjective", "EnergyMakespanVector", "SpeedScaling",
     "apply_speed_scaling",
     "dominates", "non_dominated_sort", "ParetoArchive", "hypervolume_2d",

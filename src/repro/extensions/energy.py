@@ -14,19 +14,29 @@ Model: each machine draws ``processing_power`` W while busy and
 ``idle_power`` W while idle inside its busy window; optional per-machine
 speed scaling multiplies duration by ``1/v`` and power by ``v**alpha``
 (the classic cube-law knob, default alpha=2).
+
+Peak power is computed *exactly*: the total draw is piecewise constant
+with steps only at operation starts and ends, so its maximum over the
+schedule is the maximum over that breakpoint set -- no sampling grid, no
+resolution knob (:func:`power_profile` keeps the fixed grid purely for
+plotting).  Both objectives also ship batch evaluators that score whole
+flow-shop populations from the ``(pop, n, m)`` completion tensor without
+materialising :class:`~repro.scheduling.schedule.Schedule` objects; the
+batch and scalar paths perform the same float64 operations in the same
+order, so they are bit-identical.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
 
 import numpy as np
 
-from ..scheduling.instance import ShopInstance
+from ..scheduling.instance import FlowShopInstance, ShopInstance
 from ..scheduling.schedule import Schedule
 
 __all__ = ["PowerModel", "energy_consumption", "power_profile", "peak_power",
+           "flowshop_energy_population", "flowshop_peak_power_population",
            "EnergyAwareObjective", "EnergyMakespanVector",
            "SpeedScaling", "apply_speed_scaling"]
 
@@ -66,27 +76,30 @@ def energy_consumption(schedule: Schedule, power: PowerModel) -> float:
     """Total energy: busy time * processing power + idle gaps * idle power.
 
     Idle power is charged only between a machine's first start and last
-    end (machines are off outside their busy window).
+    end (machines are off outside their busy window).  Per-machine busy
+    time is a contiguous-vector ``np.sum`` so the batch twin
+    (:func:`flowshop_energy_population`) reduces in the same order and
+    stays bit-identical.
     """
     total = 0.0
     for m, seq in enumerate(schedule.machine_sequences()):
         if not seq:
             continue
-        busy = sum(op.duration for op in seq)
+        busy = float(np.array([op.duration for op in seq]).sum())
         horizon = seq[-1].end - seq[0].start
         idle = max(0.0, horizon - busy)
         total += busy * power.processing_power[m] + idle * power.idle_power[m]
     return total
 
 
-def power_profile(schedule: Schedule, power: PowerModel,
-                  resolution: int = 512) -> tuple[np.ndarray, np.ndarray]:
-    """Instantaneous total power draw sampled on a time grid."""
-    horizon = schedule.makespan
-    if horizon <= 0:
-        return np.zeros(1), np.zeros(1)
-    ts = np.linspace(0.0, horizon, resolution, endpoint=False)
-    draw = np.zeros(resolution)
+def _draw_at(schedule: Schedule, power: PowerModel,
+             ts: np.ndarray) -> np.ndarray:
+    """Total instantaneous draw at each time in ``ts``.
+
+    Half-open ``[start, end)`` semantics per operation; idle draw inside a
+    machine's ``[first start, last end)`` window, zero outside.
+    """
+    draw = np.zeros(ts.shape)
     for m, seq in enumerate(schedule.machine_sequences()):
         if not seq:
             continue
@@ -97,48 +110,213 @@ def power_profile(schedule: Schedule, power: PowerModel,
             machine_draw = np.where(busy, power.processing_power[m],
                                     machine_draw)
         draw += machine_draw
-    return ts, draw
+    return draw
 
 
-def peak_power(schedule: Schedule, power: PowerModel,
-               resolution: int = 512) -> float:
-    """Maximum instantaneous draw over the schedule."""
-    _, draw = power_profile(schedule, power, resolution)
-    return float(draw.max()) if draw.size else 0.0
+def power_profile(schedule: Schedule, power: PowerModel,
+                  resolution: int = 512) -> tuple[np.ndarray, np.ndarray]:
+    """Instantaneous total power draw sampled on a time grid.
+
+    For plotting only: the fixed grid can step over features narrower
+    than ``makespan / resolution``.  Quantitative consumers (objectives,
+    tests) use :func:`peak_power`, which is exact.
+    """
+    horizon = schedule.makespan
+    if horizon <= 0:
+        return np.zeros(1), np.zeros(1)
+    ts = np.linspace(0.0, horizon, resolution, endpoint=False)
+    return ts, _draw_at(schedule, power, ts)
 
 
-class EnergyAwareObjective:
+def peak_power(schedule: Schedule, power: PowerModel) -> float:
+    """Maximum instantaneous draw over the schedule -- exact.
+
+    The total draw is piecewise constant, changing only at operation
+    starts and ends, so evaluating it at every breakpoint covers every
+    constant piece (each piece's left endpoint is some start or end).
+    Resolution-independent by construction: a narrow high-draw operation
+    that a sampling grid would step over is always caught.
+    """
+    ts = np.array([t for op in schedule.operations
+                   for t in (op.start, op.end)])
+    if ts.size == 0:
+        return 0.0
+    return float(_draw_at(schedule, power, ts).max())
+
+
+def flowshop_energy_population(instance: FlowShopInstance,
+                               permutations: np.ndarray,
+                               power: PowerModel) -> np.ndarray:
+    """Total energy of ``P`` flow-shop permutations, no Schedule objects.
+
+    Consumes the ``(P, n, m)`` completion tensor; per machine, busy time
+    and the first-start/last-end window reproduce
+    :func:`energy_consumption`'s arithmetic (same reduction order), so
+    the result is bit-identical to scoring decoded schedules per row.
+    """
+    from ..scheduling.flowshop import flowshop_completion_tensor
+    perms = np.asarray(permutations, dtype=np.int64)
+    comp = flowshop_completion_tensor(instance, perms)     # (P, n, m)
+    p = instance.processing[perms]                         # (P, n, m)
+    starts = comp - p
+    durations = comp - starts       # end - (end - p): matches op.duration
+    pop = perms.shape[0]
+    total = np.zeros(pop)
+    for k in range(instance.n_machines):
+        busy = np.ascontiguousarray(durations[:, :, k]).sum(axis=1)
+        horizon = comp[:, -1, k] - starts[:, 0, k]
+        idle = np.maximum(0.0, horizon - busy)
+        total += busy * power.processing_power[k] + idle * power.idle_power[k]
+    return total
+
+
+def flowshop_peak_power_population(instance: FlowShopInstance,
+                                   permutations: np.ndarray,
+                                   power: PowerModel) -> np.ndarray:
+    """Exact peak power of ``P`` flow-shop permutations, vectorised.
+
+    Every individual's draw is evaluated at its own ``2 * n * m``
+    operation start/end breakpoints with the same half-open window
+    semantics as :func:`_draw_at`, machine contributions accumulated in
+    machine order -- bit-identical to :func:`peak_power` on the decoded
+    schedule per row.
+    """
+    from ..scheduling.flowshop import flowshop_completion_tensor
+    perms = np.asarray(permutations, dtype=np.int64)
+    comp = flowshop_completion_tensor(instance, perms)     # (P, n, m)
+    p = instance.processing[perms]
+    starts = comp - p
+    pop, n = perms.shape
+    m = instance.n_machines
+    if n == 0 or m == 0:
+        return np.zeros(pop)
+    ts = np.concatenate([starts.reshape(pop, n * m),
+                         comp.reshape(pop, n * m)], axis=1)  # (P, T)
+    draw = np.zeros(ts.shape)
+    for k in range(m):
+        window = ((ts >= starts[:, 0, k][:, None])
+                  & (ts < comp[:, -1, k][:, None]))
+        machine_draw = np.where(window, power.idle_power[k], 0.0)
+        for i in range(n):
+            busy = ((ts >= starts[:, i, k][:, None])
+                    & (ts < comp[:, i, k][:, None]))
+            machine_draw = np.where(busy, power.processing_power[k],
+                                    machine_draw)
+        draw += machine_draw
+    return draw.max(axis=1)
+
+
+class _LazyPowerMixin:
+    """Resolve a :class:`PowerModel` lazily from the scored instance.
+
+    Registry-built objectives cannot know the machine count at
+    construction time (objectives are resolved before instances in the
+    spec pipeline), so they carry uniform per-machine watt scalars and
+    materialise the vector model on first use, cached per machine count.
+    """
+
+    power: PowerModel | None
+    processing_watts: float
+    idle_watts: float
+
+    def power_for(self, instance: ShopInstance) -> PowerModel:
+        if self.power is not None:
+            return self.power
+        cached = getattr(self, "_power_cache", None)
+        if cached is None or cached.processing_power.size != \
+                instance.n_machines:
+            cached = PowerModel.uniform(instance.n_machines,
+                                        self.processing_watts,
+                                        self.idle_watts)
+            self._power_cache = cached
+        return cached
+
+
+class EnergyAwareObjective(_LazyPowerMixin):
     """Xu et al. [8]-style criterion: makespan + peak-power-cap penalty.
 
     ``objective = Cmax + penalty * max(0, peak - cap)``; with a generous
     cap this reduces to plain makespan, with a tight cap the GA is pushed
     toward schedules that stagger power-hungry operations.
+
+    ``power`` may be ``None``: the model is then built lazily as
+    ``PowerModel.uniform(n_machines, processing_watts, idle_watts)`` when
+    the first schedule arrives (the registry path, where the instance is
+    unknown at construction time).
     """
 
-    def __init__(self, power: PowerModel, peak_cap: float,
-                 penalty: float = 10.0):
+    # peak power needs operation-level data, not just per-job completions,
+    # so the completion-matrix batch reduction does not apply
+    supports_batch = False
+
+    def __init__(self, power: PowerModel | None = None,
+                 peak_cap: float = np.inf, penalty: float = 10.0,
+                 processing_watts: float = 10.0, idle_watts: float = 2.0):
         self.power = power
-        self.peak_cap = peak_cap
-        self.penalty = penalty
+        self.peak_cap = float(peak_cap)
+        self.penalty = float(penalty)
+        self.processing_watts = float(processing_watts)
+        self.idle_watts = float(idle_watts)
         self.name = f"energy-capped-makespan(cap={peak_cap:g})"
 
     def __call__(self, schedule: Schedule, instance: ShopInstance) -> float:
-        overshoot = max(0.0, peak_power(schedule, self.power) - self.peak_cap)
+        power = self.power_for(instance)
+        overshoot = max(0.0, peak_power(schedule, power) - self.peak_cap)
         return schedule.makespan + self.penalty * overshoot
 
+    def batch_evaluator(self, encoding):
+        """Schedule-free population evaluator for flow-shop permutations.
 
-class EnergyMakespanVector:
+        The :meth:`Problem.batch_evaluator` discovery hook: returns a
+        picklable matrix evaluator when ``encoding`` is the flow-shop
+        permutation encoding (chromosome rows *are* permutations), else
+        ``None`` (callers fall back to per-genome decoding).
+        """
+        from ..encodings.permutation import FlowShopPermutationEncoding
+        if isinstance(encoding, FlowShopPermutationEncoding):
+            return _FlowShopEnergyCappedEvaluator(encoding.instance, self)
+        return None
+
+
+class _FlowShopEnergyCappedEvaluator:
+    """Batch twin of :class:`EnergyAwareObjective` (plain class: picklable)."""
+
+    def __init__(self, instance: FlowShopInstance,
+                 objective: EnergyAwareObjective):
+        self.instance = instance
+        self.objective = objective
+
+    def __call__(self, chromosomes: np.ndarray) -> np.ndarray:
+        perms = np.asarray(chromosomes, dtype=np.int64)
+        if perms.shape[0] == 0:
+            return np.zeros(0)
+        power = self.objective.power_for(self.instance)
+        from ..scheduling.flowshop import flowshop_makespan_population
+        cmax = flowshop_makespan_population(self.instance, perms)
+        peak = flowshop_peak_power_population(self.instance, perms, power)
+        overshoot = np.maximum(0.0, peak - self.objective.peak_cap)
+        return cmax + self.objective.penalty * overshoot
+
+
+class EnergyMakespanVector(_LazyPowerMixin):
     """Tang et al. [9] bi-objective: (total energy, makespan).
 
     Scalarised with ``weights`` for single-objective engines; exposes
     ``vector`` for Pareto archiving (the multi-objective island model).
+    ``power=None`` resolves lazily like :class:`EnergyAwareObjective`.
     """
 
-    def __init__(self, power: PowerModel,
-                 weights: tuple[float, float] = (0.5, 0.5)):
+    supports_batch = False
+    n_criteria = 2
+
+    def __init__(self, power: PowerModel | None = None,
+                 weights: tuple[float, float] = (0.5, 0.5),
+                 processing_watts: float = 10.0, idle_watts: float = 2.0):
         self.power = power
-        self.weights = weights
-        self.name = f"energy+makespan{weights}"
+        self.weights = (float(weights[0]), float(weights[1]))
+        self.processing_watts = float(processing_watts)
+        self.idle_watts = float(idle_watts)
+        self.name = f"energy+makespan{self.weights}"
 
     def __call__(self, schedule: Schedule, instance: ShopInstance) -> float:
         e, c = self.vector(schedule, instance)
@@ -146,7 +324,35 @@ class EnergyMakespanVector:
 
     def vector(self, schedule: Schedule, instance: ShopInstance
                ) -> tuple[float, float]:
-        return (energy_consumption(schedule, self.power), schedule.makespan)
+        power = self.power_for(instance)
+        return (energy_consumption(schedule, power), schedule.makespan)
+
+    def batch_evaluator(self, encoding):
+        """Discovery hook twin of :meth:`EnergyAwareObjective.batch_evaluator`."""
+        from ..encodings.permutation import FlowShopPermutationEncoding
+        if isinstance(encoding, FlowShopPermutationEncoding):
+            return _FlowShopEnergyMakespanEvaluator(encoding.instance, self)
+        return None
+
+
+class _FlowShopEnergyMakespanEvaluator:
+    """Batch twin of :class:`EnergyMakespanVector` (plain class: picklable)."""
+
+    def __init__(self, instance: FlowShopInstance,
+                 objective: EnergyMakespanVector):
+        self.instance = instance
+        self.objective = objective
+
+    def __call__(self, chromosomes: np.ndarray) -> np.ndarray:
+        perms = np.asarray(chromosomes, dtype=np.int64)
+        if perms.shape[0] == 0:
+            return np.zeros(0)
+        power = self.objective.power_for(self.instance)
+        from ..scheduling.flowshop import flowshop_makespan_population
+        energy = flowshop_energy_population(self.instance, perms, power)
+        cmax = flowshop_makespan_population(self.instance, perms)
+        w_e, w_c = self.objective.weights
+        return w_e * energy + w_c * cmax
 
 
 @dataclass

@@ -7,15 +7,22 @@ objective is the expected makespan.  The standard computational treatment
 Monte-Carlo sampling: every chromosome is scored against the *same* K
 sampled scenarios, which removes sampling noise from chromosome
 comparisons and keeps the GA deterministic given the scenario seed.
+
+Scoring has two bit-identical paths: the scalar per-scenario loop
+(:meth:`StochasticJobShopInstance.expected_makespan`, the readable
+reference) and the batch tensor path
+(:meth:`StochasticJobShopInstance.batch_expected_makespan`), which decodes
+all ``K * pop`` (scenario, chromosome) pairs in one flattened scan via
+:func:`~repro.scheduling.batch.batch_completion_operation_sequence_scenarios`
+and accumulates the scenario mean in the same order as the scalar loop.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
-
 import numpy as np
 
 from ..encodings.base import GenomeKind
+from ..scheduling.batch import batch_completion_operation_sequence_scenarios
 from ..scheduling.instance import JobShopInstance
 from ..scheduling.jobshop import (decode_operation_sequence,
                                   operation_sequence_makespan)
@@ -68,6 +75,11 @@ class StochasticJobShopInstance:
                                    0.05)
             scenarios.append(mean * noise)
         self.scenarios: list[np.ndarray] = scenarios
+        # (K, n_jobs, n_stages) stack feeding the batch CRN kernel
+        self.processing_stack = np.stack(scenarios)
+        # scenario instances are immutable; built lazily, cached forever
+        # (the scalar path used to reconstruct all K per evaluation)
+        self._scenario_cache: dict[int, JobShopInstance] = {}
 
     @property
     def n_jobs(self) -> int:
@@ -78,20 +90,44 @@ class StochasticJobShopInstance:
         return self.base.n_machines
 
     def scenario_instance(self, k: int) -> JobShopInstance:
-        """Deterministic instance of scenario ``k``."""
-        return JobShopInstance(name=f"{self.name}-sc{k}",
-                               routing=self.base.routing,
-                               processing=self.scenarios[k],
-                               release=self.base.release,
-                               due=self.base.due,
-                               weights=self.base.weights)
+        """Deterministic instance of scenario ``k`` (cached)."""
+        if k not in self._scenario_cache:
+            self._scenario_cache[k] = JobShopInstance(
+                name=f"{self.name}-sc{k}",
+                routing=self.base.routing,
+                processing=self.scenarios[k],
+                release=self.base.release,
+                due=self.base.due,
+                weights=self.base.weights)
+        return self._scenario_cache[k]
 
     def expected_makespan(self, sequence: np.ndarray) -> float:
-        """CRN estimate of E[Cmax] for an operation sequence."""
+        """CRN estimate of E[Cmax] for an operation sequence (scalar path)."""
         total = 0.0
         for k in range(self.n_scenarios):
             total += operation_sequence_makespan(self.scenario_instance(k),
                                                  sequence)
+        return total / self.n_scenarios
+
+    def batch_expected_makespan(self, sequences: np.ndarray) -> np.ndarray:
+        """CRN estimates of E[Cmax] for a whole chromosome matrix.
+
+        One vectorised decode over the ``(K, pop, n_jobs)`` completion
+        tensor; the scenario mean is accumulated scenario-by-scenario in
+        the same order as :meth:`expected_makespan`, so the result is
+        bit-identical to the scalar loop per row.
+        """
+        seqs = np.asarray(sequences, dtype=np.int64)
+        if seqs.ndim == 1:
+            seqs = seqs[None, :]
+        if seqs.shape[0] == 0:
+            return np.zeros(0)
+        completion = batch_completion_operation_sequence_scenarios(
+            self.base, seqs, self.processing_stack)
+        cmax = completion.max(axis=2)          # (K, pop)
+        total = np.zeros(seqs.shape[0])
+        for k in range(self.n_scenarios):      # ordered sum: matches the
+            total += cmax[k]                   # scalar accumulation bitwise
         return total / self.n_scenarios
 
 
@@ -102,9 +138,6 @@ class StochasticJobShopEncoding:
 
     def __init__(self, instance: StochasticJobShopInstance):
         self.instance = instance
-        # cache scenario instances: scenario data is immutable
-        self._scenarios = [instance.scenario_instance(k)
-                           for k in range(instance.n_scenarios)]
 
     def random_genome(self, rng: np.random.Generator) -> np.ndarray:
         base = np.repeat(np.arange(self.instance.n_jobs, dtype=np.int64),
@@ -116,8 +149,10 @@ class StochasticJobShopEncoding:
         """Schedule under the *mean* scenario (for reporting/Gantt)."""
         return decode_operation_sequence(self.instance.base, genome)
 
+    def batch_makespan(self, matrix: np.ndarray) -> np.ndarray:
+        """Expected makespans of a ``(pop, n_jobs * n_stages)`` matrix."""
+        return self.instance.batch_expected_makespan(matrix)
+
     def fast_makespan(self, genome: np.ndarray) -> float:
-        total = 0.0
-        for inst in self._scenarios:
-            total += operation_sequence_makespan(inst, genome)
-        return total / len(self._scenarios)
+        mat = np.asarray(genome, dtype=np.int64)[None, :]
+        return float(self.instance.batch_expected_makespan(mat)[0])

@@ -55,6 +55,7 @@ from .instance import (FlexibleJobShopInstance, FlowShopInstance,
 
 __all__ = [
     "batch_completion_operation_sequence",
+    "batch_completion_operation_sequence_scenarios",
     "batch_makespan_operation_sequence",
     "batch_completion_permutation",
     "batch_makespan_permutation",
@@ -168,6 +169,65 @@ def batch_makespan_operation_sequence(instance: JobShopInstance,
     if completion.shape[1] == 0:
         return np.zeros(len(completion))
     return completion.max(axis=1)
+
+
+def batch_completion_operation_sequence_scenarios(
+        instance: JobShopInstance, sequences: np.ndarray,
+        processing_stack: np.ndarray,
+        validate: bool = False) -> np.ndarray:
+    """CRN completion tensor: every chromosome under every scenario.
+
+    ``sequences`` is a ``(pop_size, n_jobs * n_stages)`` permutation-with-
+    repetition matrix and ``processing_stack`` a ``(K, n_jobs, n_stages)``
+    stack of sampled duration tables sharing ``instance``'s routing and
+    release times (the common-random-numbers layout of the stochastic
+    extension).  The result is the ``(K, pop_size, n_jobs)`` float64
+    completion tensor; slice ``k`` is bit-identical to
+    :func:`batch_completion_operation_sequence` on the scenario-``k``
+    instance, and hence to the scalar decode per row.
+
+    One flattened scan covers all ``K * pop`` (scenario, individual)
+    pairs -- the stage/machine gather is computed once (scenarios share
+    routing) and only the durations differ per scenario.
+    """
+    seqs = np.asarray(sequences, dtype=np.int64)
+    if seqs.ndim == 1:
+        seqs = seqs[None, :]
+    stack = np.asarray(processing_stack, dtype=float)
+    if stack.ndim != 3 or stack.shape[1:] != instance.processing.shape:
+        raise ValueError(
+            f"processing_stack must be (K, n_jobs, n_stages) = "
+            f"(K,) + {instance.processing.shape}, got {stack.shape}")
+    pop, length = seqs.shape
+    scenarios = stack.shape[0]
+    n, m = instance.n_jobs, instance.n_machines
+    if pop == 0 or scenarios == 0:
+        return np.zeros((scenarios, pop, n))
+    stages = operation_stages(instance, seqs, validate=validate)
+    machines = instance.routing[seqs, stages]              # (pop, L)
+    durations = stack[:, seqs, stages]                     # (K, pop, L)
+
+    # The (k, p) pair is one flattened row; gather indices repeat over the
+    # scenario axis (same chromosome, same routing), durations do not.
+    base = np.arange(scenarios * pop, dtype=np.int64)[:, None]
+    seqs_all = np.tile(seqs, (scenarios, 1))               # (K * pop, L)
+    mach_all = np.tile(machines, (scenarios, 1))
+    job_idx = np.ascontiguousarray((base * n + seqs_all).T)
+    mach_idx = np.ascontiguousarray((base * m + mach_all).T)
+    dur_cols = np.ascontiguousarray(
+        durations.reshape(scenarios * pop, length).T)
+
+    job_ready = np.tile(instance.release, scenarios * pop)
+    mach_ready = np.zeros(scenarios * pop * m)
+    for i in range(length):
+        ji = job_idx[i]
+        mi = mach_idx[i]
+        start = job_ready[ji]
+        np.maximum(start, mach_ready[mi], out=start)
+        start += dur_cols[i]
+        job_ready[ji] = start
+        mach_ready[mi] = start
+    return job_ready.reshape(scenarios, pop, n)
 
 
 # ---------------------------------------------------------------------------

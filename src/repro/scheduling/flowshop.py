@@ -27,6 +27,7 @@ __all__ = [
     "flowshop_makespan",
     "flowshop_makespan_population",
     "flowshop_completion_population",
+    "flowshop_completion_tensor",
     "flowshop_schedule",
     "neh_heuristic",
 ]
@@ -122,6 +123,40 @@ def flowshop_completion_population(instance: FlowShopInstance,
             c[:, k] = np.maximum(c[:, k - 1], c[:, k]) + p_i[:, k]
         completion[rows, jobs] = c[:, m - 1]
     return completion
+
+
+def flowshop_completion_tensor(instance: FlowShopInstance,
+                               permutations: np.ndarray) -> np.ndarray:
+    """Full completion tensor ``C[p, i, k]`` of ``P`` permutations.
+
+    The whole ``(P, n, m)`` completion-time matrix family in *sequence
+    position* order (axis 1 is position ``i``, not job id); row ``p`` is
+    bit-identical to scalar :func:`flowshop_completion` on
+    ``permutations[p]``.  This is what schedule-level batch objectives
+    (energy, peak power) consume: together with the gathered processing
+    times it yields every operation's start and end without materialising
+    ``Schedule`` objects.
+    """
+    perms = np.asarray(permutations, dtype=np.int64)
+    if perms.ndim != 2:
+        raise ValueError("permutations must be (P, n)")
+    pop, n = perms.shape
+    if n != instance.n_jobs:
+        raise ValueError(
+            f"permutations must have n_jobs = {instance.n_jobs} columns")
+    m = instance.n_machines
+    proc = instance.processing
+    release = instance.release
+    c = np.zeros((pop, m))
+    out = np.zeros((pop, n, m))
+    for i in range(n):
+        jobs = perms[:, i]                 # (P,)
+        p_i = proc[jobs]                   # (P, m)
+        c[:, 0] = np.maximum(c[:, 0], release[jobs]) + p_i[:, 0]
+        for k in range(1, m):
+            c[:, k] = np.maximum(c[:, k - 1], c[:, k]) + p_i[:, k]
+        out[:, i] = c
+    return out
 
 
 def flowshop_schedule(instance: FlowShopInstance,

@@ -36,8 +36,9 @@ class TestRegistries:
 
     def test_every_encoding_registered(self):
         names = available_encodings()
-        assert len(names) == 10
+        assert len(names) == 12
         assert "operation-based" in names and "openshop-pairs" in names
+        assert "fuzzy-flowshop" in names and "stochastic-jobshop" in names
 
     def test_unknown_name_suggests_close_match(self):
         with pytest.raises(SpecError, match="did you mean"):

@@ -144,6 +144,35 @@ class TestCLISolve:
         assert "instance name or --spec" in capsys.readouterr().err
 
 
+class TestCLIDynamic:
+    def test_dynamic_warm_vs_cold_with_json(self, tmp_path, capsys):
+        out_file = tmp_path / "dynamic.json"
+        code = main(["dynamic", "ta-fs-20x5-shaped", "--events", "2",
+                     "--generations", "3", "--population", "16",
+                     "--seed", "5", "--json", str(out_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "warm:" in out and "cold:" in out
+        assert "warm-start gain:" in out
+        payload = json.loads(out_file.read_text())
+        assert set(payload["runs"]) == {"warm", "cold"}
+        for run in payload["runs"].values():
+            assert len(run["reschedules"]) == 2
+            assert run["realised_makespan"] > 0
+
+    def test_dynamic_single_mode_array_substrate(self, capsys):
+        code = main(["dynamic", "ta-fs-20x5-shaped", "--mode", "warm",
+                     "--substrate", "array", "--events", "1",
+                     "--generations", "2", "--population", "16"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "warm:" in out and "cold:" not in out
+
+    def test_dynamic_rejects_non_flowshop(self, capsys):
+        assert main(["dynamic", "ft06"]) == 2
+        assert "FlowShopInstance" in capsys.readouterr().err
+
+
 class TestCLISweep:
     def test_sweep_end_to_end_on_ft06(self, capsys):
         code = main(["sweep", "ft06", "--engines", "simple", "island",

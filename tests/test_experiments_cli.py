@@ -41,9 +41,9 @@ class TestHarness:
 
 
 class TestRegistry:
-    def test_all_24_experiments_registered(self):
-        assert len(EXPERIMENTS) == 24
-        assert sorted(EXPERIMENTS) == [f"E{i:02d}" for i in range(1, 25)]
+    def test_all_25_experiments_registered(self):
+        assert len(EXPERIMENTS) == 25
+        assert sorted(EXPERIMENTS) == [f"E{i:02d}" for i in range(1, 26)]
 
     def test_unknown_experiment(self):
         with pytest.raises(KeyError):

@@ -1,0 +1,289 @@
+"""Batch-vs-scalar conformance + property suites for the extensions.
+
+Every scenario extension (fuzzy, stochastic, energy, dynamic) now scores
+populations through array kernels; these tests pin the bit-identity
+contract against the original object paths and add hypothesis property
+suites: TFN algebra closure, CRN determinism, energy non-negativity and
+the dynamic scheduler's freeze invariants.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GAConfig
+from repro.encodings import FlowShopPermutationEncoding, Problem
+from repro.extensions import (EnergyAwareObjective, EnergyMakespanVector,
+                              JobArrival, MachineBreakdown, PowerModel,
+                              PredictiveReactiveScheduler, TFN,
+                              agreement_index, batch_agreement_index,
+                              energy_consumption, flowshop_energy_population,
+                              flowshop_peak_power_population, peak_power,
+                              power_profile)
+from repro.extensions.dynamic import EventStream, demo_event_stream
+from repro.extensions.fuzzy import (FuzzyFlowShopEncoding,
+                                    FuzzyFlowShopInstance,
+                                    fuzzy_agreement_population,
+                                    fuzzy_completion_population)
+from repro.extensions.stochastic import (StochasticJobShopEncoding,
+                                         StochasticJobShopInstance)
+from repro.instances import flow_shop, job_shop
+from repro.scheduling.flowshop import flowshop_schedule
+from repro.scheduling.schedule import Operation, Schedule
+
+
+def tfns(max_width=50.0):
+    """Strategy for valid (possibly degenerate) TFNs."""
+    return st.tuples(
+        st.floats(0.0, 100.0), st.floats(0.0, max_width),
+        st.floats(0.0, max_width)).map(
+            lambda t: TFN(t[0], t[0] + t[1], t[0] + t[1] + t[2]))
+
+
+class TestTFNClosure:
+    @given(tfns(), tfns())
+    def test_addition_closed(self, x, y):
+        s = x + y
+        assert s.a <= s.b <= s.c
+
+    @given(tfns(), tfns())
+    def test_maximum_closed(self, x, y):
+        s = x.maximum(y)
+        assert s.a <= s.b <= s.c
+
+    @given(tfns(), tfns())
+    @settings(max_examples=200)
+    def test_batch_agreement_matches_scalar(self, c, d):
+        scalar = agreement_index(c, d)
+        batch = batch_agreement_index(
+            np.array([[c.a, c.b, c.c]]), np.array([[d.a, d.b, d.c]]))
+        assert batch.shape == (1,)
+        assert batch[0] == scalar
+        assert 0.0 <= scalar <= 1.0
+
+
+class TestFuzzyBatch:
+    @pytest.fixture
+    def instance(self):
+        return FuzzyFlowShopInstance.from_crisp(flow_shop(7, 4, seed=11),
+                                                spread=0.35, seed=12)
+
+    def test_completion_tensor_matches_tfn_recurrence(self, instance):
+        rng = np.random.default_rng(3)
+        perms = np.vstack([rng.permutation(instance.n_jobs)
+                           for _ in range(12)])
+        tensor = fuzzy_completion_population(instance, perms)
+        for p, perm in enumerate(perms):
+            scalar = instance.completion_times(perm)
+            for j, tfn in enumerate(scalar):
+                assert tensor[p, j, 0] == tfn.a
+                assert tensor[p, j, 1] == tfn.b
+                assert tensor[p, j, 2] == tfn.c
+
+    def test_agreement_objective_matches_scalar(self, instance):
+        rng = np.random.default_rng(4)
+        perms = np.vstack([rng.permutation(instance.n_jobs)
+                           for _ in range(12)])
+        batch = fuzzy_agreement_population(instance, perms)
+        for p, perm in enumerate(perms):
+            completion = instance.completion_times(perm)
+            ais = np.array([agreement_index(completion[j], instance.due[j])
+                            for j in range(instance.n_jobs)])
+            assert batch[p] == 1.0 - (0.5 * ais.min() + 0.5 * ais.mean())
+
+    def test_encoding_fast_equals_batch_row(self, instance):
+        enc = FuzzyFlowShopEncoding(instance)
+        rng = np.random.default_rng(5)
+        keys = np.vstack([enc.random_genome(rng) for _ in range(8)])
+        batch = enc.batch_makespan(keys)
+        for i in range(8):
+            assert enc.fast_makespan(keys[i]) == batch[i]
+
+    def test_crisp_instance_cached(self, instance):
+        assert instance.crisp_instance() is instance.crisp_instance()
+
+
+class TestStochasticBatch:
+    @given(st.integers(0, 2 ** 16), st.floats(0.05, 0.45))
+    @settings(max_examples=20, deadline=None)
+    def test_crn_batch_deterministic(self, seed, spread):
+        base = job_shop(4, 3, seed=9)
+        a = StochasticJobShopInstance(base, spread=spread, n_scenarios=4,
+                                      seed=seed)
+        b = StochasticJobShopInstance(base, spread=spread, n_scenarios=4,
+                                      seed=seed)
+        enc = StochasticJobShopEncoding(a)
+        rng = np.random.default_rng(1)
+        mat = np.vstack([enc.random_genome(rng) for _ in range(6)])
+        assert np.array_equal(a.batch_expected_makespan(mat),
+                              b.batch_expected_makespan(mat))
+
+    def test_batch_matches_scalar_loop(self):
+        instance = StochasticJobShopInstance(job_shop(5, 4, seed=13),
+                                             spread=0.3, n_scenarios=6,
+                                             seed=14)
+        enc = StochasticJobShopEncoding(instance)
+        rng = np.random.default_rng(2)
+        mat = np.vstack([enc.random_genome(rng) for _ in range(10)])
+        batch = instance.batch_expected_makespan(mat)
+        scalar = np.array([instance.expected_makespan(g) for g in mat])
+        assert np.array_equal(batch, scalar)
+
+    def test_scenario_instances_cached(self):
+        instance = StochasticJobShopInstance(job_shop(4, 3, seed=15),
+                                             n_scenarios=3)
+        assert instance.scenario_instance(1) is instance.scenario_instance(1)
+
+
+class TestEnergyBatch:
+    @pytest.fixture
+    def case(self):
+        instance = flow_shop(8, 4, seed=17)
+        power = PowerModel.uniform(4, processing=8.0, idle=1.5)
+        rng = np.random.default_rng(6)
+        perms = np.vstack([rng.permutation(8) for _ in range(10)])
+        return instance, power, perms
+
+    def test_energy_matches_schedule_audit(self, case):
+        instance, power, perms = case
+        batch = flowshop_energy_population(instance, perms, power)
+        scalar = np.array([
+            energy_consumption(flowshop_schedule(instance, perm), power)
+            for perm in perms])
+        assert np.array_equal(batch, scalar)
+
+    def test_peak_matches_schedule_audit(self, case):
+        instance, power, perms = case
+        batch = flowshop_peak_power_population(instance, perms, power)
+        scalar = np.array([
+            peak_power(flowshop_schedule(instance, perm), power)
+            for perm in perms])
+        assert np.array_equal(batch, scalar)
+
+    @given(st.integers(2, 9), st.integers(1, 4), st.integers(0, 2 ** 16))
+    @settings(max_examples=25, deadline=None)
+    def test_energy_and_peak_non_negative(self, n, m, seed):
+        instance = flow_shop(n, m, seed=seed % 1000 + 1)
+        power = PowerModel.uniform(m, processing=7.0, idle=2.0)
+        rng = np.random.default_rng(seed)
+        perms = np.vstack([rng.permutation(n) for _ in range(4)])
+        assert (flowshop_energy_population(instance, perms, power)
+                >= 0.0).all()
+        assert (flowshop_peak_power_population(instance, perms, power)
+                >= 0.0).all()
+
+    def test_objective_batch_evaluator_matches_scalar(self, case):
+        instance, _, perms = case
+        for objective in (EnergyAwareObjective(peak_cap=30.0, penalty=5.0),
+                          EnergyMakespanVector(weights=(0.4, 0.6))):
+            problem = Problem(FlowShopPermutationEncoding(instance),
+                              objective)
+            evaluator = problem.batch_evaluator()
+            assert evaluator is not None
+            batch = evaluator(perms)
+            scalar = np.array([problem.evaluate(perm) for perm in perms])
+            assert np.array_equal(batch, scalar)
+
+    def test_exact_peak_catches_narrow_overlap(self):
+        # a 0.05-wide overlap between the two machines at t=100.5: the
+        # exact breakpoint evaluation must see both busy at once, while
+        # the 512-point plotting grid (step ~0.196) steps over it
+        ops = [Operation(job=0, stage=0, machine=0, start=0.0, end=100.55),
+               Operation(job=1, stage=1, machine=1, start=100.5,
+                         end=100.55)]
+        sched = Schedule(ops, n_jobs=2, n_machines=2)
+        power = PowerModel.uniform(2, processing=10.0, idle=0.0)
+        assert peak_power(sched, power) == 20.0
+        _, profile = power_profile(sched, power)
+        assert profile.max() < 20.0
+
+
+class TestDynamicInvariants:
+    def _spy_scheduler(self, instance, **kwargs):
+        scheduler = PredictiveReactiveScheduler(instance, **kwargs)
+        calls = []
+        original = scheduler._optimise
+
+        def spy(inst, prefix):
+            sequence, cmax = original(inst, prefix)
+            calls.append((np.asarray(prefix), sequence))
+            return sequence, cmax
+
+        scheduler._optimise = spy
+        return scheduler, calls
+
+    def test_frozen_prefix_preserved_in_every_resolve(self):
+        instance = flow_shop(10, 4, seed=23)
+        scheduler, calls = self._spy_scheduler(
+            instance, config=GAConfig(population_size=16), generations=5,
+            seed=3)
+        scheduler.run(demo_event_stream(instance, n_events=3, seed=3))
+        assert len(calls) == 4
+        for prefix, sequence in calls:
+            assert np.array_equal(sequence[:len(prefix)], prefix)
+            assert sorted(sequence.tolist()) == list(range(len(sequence)))
+
+    def test_breakdown_only_bumps_affected_unfrozen_jobs(self):
+        instance = flow_shop(6, 3, seed=29)
+        instance.processing[4, 1] = 0.0  # job 4 never touches machine 1
+        scheduler = PredictiveReactiveScheduler(
+            instance, config=GAConfig(population_size=16), generations=5,
+            seed=5)
+        event = MachineBreakdown(time=10.0, machine=1, duration=50.0)
+        frozen = np.array([2], dtype=np.int64)
+        updated = scheduler._apply_event(instance, event, frozen)
+        assert updated.release[4] == instance.release[4]  # zero processing
+        assert updated.release[2] == instance.release[2]  # frozen
+        for job in range(6):
+            if job in (2, 4):
+                continue
+            assert updated.release[job] == max(instance.release[job], 60.0)
+
+    def test_frozen_counts_recorded(self):
+        instance = flow_shop(8, 3, seed=31)
+        scheduler = PredictiveReactiveScheduler(
+            instance, config=GAConfig(population_size=16), generations=5,
+            seed=7)
+        scheduler.run(demo_event_stream(instance, n_events=2, seed=7))
+        assert all(0 <= r.frozen <= r.jobs_remaining
+                   for r in scheduler.reschedules)
+
+    def test_all_jobs_frozen_skips_ga(self):
+        instance = flow_shop(5, 3, seed=37)
+        scheduler = PredictiveReactiveScheduler(
+            instance, config=GAConfig(population_size=16), generations=5,
+            seed=9)
+        # event far past the machine-0 busy span: everything has started
+        late = float(instance.processing[:, 0].sum()) + 100.0
+        seq, cmax = scheduler.run(EventStream([
+            MachineBreakdown(time=late, machine=1, duration=10.0)]))
+        assert len(seq) == 5
+        assert scheduler.reschedules[0].frozen == 5
+        assert cmax > 0
+
+    def test_warm_start_beats_cold_on_mean_realised_makespan(self):
+        instance = flow_shop(15, 5, seed=7)
+        seeds = (0, 2, 4, 5, 7)
+        warm_cmax, cold_cmax = [], []
+        for seed in seeds:
+            for warm, sink in ((True, warm_cmax), (False, cold_cmax)):
+                scheduler = PredictiveReactiveScheduler(
+                    instance, config=GAConfig(population_size=30),
+                    generations=8, seed=seed, warm_start=warm)
+                _, cmax = scheduler.run(
+                    demo_event_stream(instance, n_events=4, seed=seed))
+                sink.append(cmax)
+        assert np.mean(warm_cmax) < np.mean(cold_cmax)
+
+    def test_array_substrate_resolves_identically_shaped(self):
+        instance = flow_shop(9, 4, seed=41)
+        scheduler = PredictiveReactiveScheduler(
+            instance, config=GAConfig(population_size=16,
+                                      substrate="array"),
+            generations=5, seed=11)
+        seq, cmax = scheduler.run(EventStream([
+            JobArrival(time=15.0, processing=(3.0, 4.0, 5.0, 6.0))]))
+        assert len(seq) == 10
+        assert sorted(seq.tolist()) == list(range(10))
+        assert cmax > 0
