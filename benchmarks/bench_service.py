@@ -1,0 +1,153 @@
+"""Benchmark: solver service wire latency -- cold solve vs cache hit.
+
+The service's idempotent result cache is its core performance promise:
+solver runs are deterministic in (resolved spec, seed), so repeat traffic
+must be answered from the :class:`~repro.service.jobs.JobStore` at wire
+latency instead of re-running the GA.  This benchmark starts a real
+:func:`~repro.service.serve_in_thread` server, measures
+
+* **cold**: POST /solve of a fresh spec through to the terminal ``done``
+  poll (worker-process dispatch + GA run + result marshalling),
+* **cached**: the same POST again, answered 200-with-result from cache
+  (one HTTP round trip, p50/p99 reported), and
+* **throughput**: a burst of distinct-seed jobs submitted concurrently,
+  drained to completion,
+
+and gates cold/cached at >=20x (env ``BENCH_MIN_CACHE_SPEEDUP``).
+Emits ``BENCH_service.json`` next to this file.
+
+Run with pytest (prints the table)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_service.py -s -q
+
+or standalone::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+"""
+
+import json
+import os
+import time
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from repro.api import SolverSpec
+from repro.service import serve_in_thread
+
+POP = 60
+GENERATIONS = 150
+COLD_REPS = 3
+CACHED_REPS = 50
+BURST = 8
+MIN_CACHE_SPEEDUP = float(os.environ.get("BENCH_MIN_CACHE_SPEEDUP", "20"))
+OUT_PATH = Path(__file__).resolve().parent / "BENCH_service.json"
+
+BASE_SPEC = SolverSpec(instance="ft06", ga={"population_size": POP},
+                       termination={"max_generations": GENERATIONS},
+                       seed=42)
+
+
+def _req(base, method, path, payload=None):
+    data = None if payload is None else json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(base + path, data=data, method=method)
+    with urllib.request.urlopen(request, timeout=120) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _solve_to_done(base, spec):
+    """POST one spec and poll it to ``done``; returns (wall s, body)."""
+    t0 = time.perf_counter()
+    _, body = _req(base, "POST", "/solve", spec.to_dict())
+    job_id = body["job_id"]
+    while body.get("state") != "done":
+        assert body.get("state") not in ("failed", "cancelled"), body
+        _, body = _req(base, "GET", f"/jobs/{job_id}")
+    return time.perf_counter() - t0, body
+
+
+def _percentile(values, q):
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def test_service_cache_speedup():
+    handle = serve_in_thread(workers=2, queue_depth=16)
+    base = handle.base_url
+    try:
+        _req(base, "GET", "/healthz")
+
+        # cold: distinct seeds, so every rep pays the full solve
+        cold_times = []
+        for i in range(COLD_REPS):
+            wall, _ = _solve_to_done(base, BASE_SPEC.replace(seed=1000 + i))
+            cold_times.append(wall)
+        cold_s = min(cold_times)
+
+        # prime the cache, then measure pure cache-hit round trips
+        _, primed = _solve_to_done(base, BASE_SPEC)
+        best = primed["result"]["best_objective"]
+        cached_times = []
+        for _ in range(CACHED_REPS):
+            t0 = time.perf_counter()
+            status, body = _req(base, "POST", "/solve", BASE_SPEC.to_dict())
+            cached_times.append(time.perf_counter() - t0)
+            assert status == 200 and body["cached"] is True
+            assert body["result"]["best_objective"] == best
+        cached_s = min(cached_times)
+        speedup = cold_s / cached_s
+
+        # burst throughput: distinct seeds submitted concurrently
+        t0 = time.perf_counter()
+        specs = [BASE_SPEC.replace(seed=2000 + i,
+                                   termination={"max_generations": 30})
+                 for i in range(BURST)]
+        with ThreadPoolExecutor(max_workers=BURST) as pool:
+            walls = list(pool.map(lambda s: _solve_to_done(base, s)[0],
+                                  specs))
+        burst_s = time.perf_counter() - t0
+
+        # the hits were served from cache, not re-solved
+        _, metrics = _req(base, "GET", "/metrics")
+        assert metrics["cache"]["hits"] == CACHED_REPS
+        assert metrics["solves_executed"] == COLD_REPS + 1 + BURST
+    finally:
+        handle.stop()
+
+    p50_ms = _percentile(cached_times, 0.50) * 1e3
+    p99_ms = _percentile(cached_times, 0.99) * 1e3
+    print(f"\n{'path':>22} {'wall s':>10}")
+    print(f"{'cold solve (best of ' + str(COLD_REPS) + ')':>22} "
+          f"{cold_s:>10.4f}")
+    print(f"{'cache hit (best of ' + str(CACHED_REPS) + ')':>22} "
+          f"{cached_s:>10.5f}")
+    print(f"cache-hit speedup: {speedup:.1f}x (gate: "
+          f">={MIN_CACHE_SPEEDUP:g}x); cached p50={p50_ms:.2f}ms "
+          f"p99={p99_ms:.2f}ms")
+    print(f"burst: {BURST} distinct jobs drained in {burst_s:.2f}s "
+          f"({BURST / burst_s:.1f} jobs/s; slowest single wait "
+          f"{max(walls):.2f}s)")
+
+    OUT_PATH.write_text(json.dumps({
+        "instance": "ft06",
+        "population": POP,
+        "generations": GENERATIONS,
+        "cold_s": cold_s,
+        "cached_s": cached_s,
+        "speedup": speedup,
+        "cached_p50_ms": p50_ms,
+        "cached_p99_ms": p99_ms,
+        "burst_jobs": BURST,
+        "burst_s": burst_s,
+        "burst_jobs_per_s": BURST / burst_s,
+        "gate_speedup": MIN_CACHE_SPEEDUP,
+    }, indent=2) + "\n")
+    print(f"wrote {OUT_PATH.name}")
+
+    assert speedup >= MIN_CACHE_SPEEDUP, (
+        f"cache-hit speedup {speedup:.1f}x below the "
+        f"{MIN_CACHE_SPEEDUP:g}x gate")
+
+
+if __name__ == "__main__":
+    test_service_cache_speedup()

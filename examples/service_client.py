@@ -1,0 +1,177 @@
+"""HTTP client for the solver service: concurrent sweep over the wire.
+
+Everything a remote client needs is stdlib ``urllib`` + ``json`` -- the
+service speaks plain HTTP.  This example submits a seed sweep
+concurrently, follows one job's per-generation Server-Sent-Events
+stream, polls the rest to completion, and prints the service's own
+cache/latency metrics.  Resubmitting the same sweep demonstrates
+idempotency: every job answers from cache in milliseconds.
+
+Start a server first (any host/port)::
+
+    PYTHONPATH=src python -m repro serve --port 8080 --workers 2
+
+then::
+
+    python examples/service_client.py --base-url http://127.0.0.1:8080
+
+``--smoke`` runs a minimal health-check round trip (wait for /healthz,
+solve one tiny spec, verify the duplicate submit hits the cache) and
+exits non-zero on any failure -- CI uses it to prove a freshly started
+``repro serve`` process is actually serving.
+"""
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+
+def request(base, method, path, payload=None, timeout=120.0):
+    """One JSON round trip; returns (status, body dict)."""
+    data = None if payload is None else json.dumps(payload).encode("utf-8")
+    req = urllib.request.Request(
+        base + path, data=data, method=method,
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read() or b"{}")
+
+
+def wait_done(base, job_id, timeout=300.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _, body = request(base, "GET", f"/jobs/{job_id}")
+        if body.get("state") in ("done", "failed", "cancelled"):
+            return body
+        time.sleep(0.1)
+    raise TimeoutError(f"job {job_id} still not terminal after {timeout}s")
+
+
+def wait_healthy(base, timeout=60.0):
+    """Poll /healthz until the server answers (it may still be booting)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            status, body = request(base, "GET", "/healthz", timeout=2.0)
+            if status == 200 and body.get("status") == "ok":
+                return body
+        except (urllib.error.URLError, OSError, TimeoutError):
+            pass
+        time.sleep(0.25)
+    raise TimeoutError(f"no healthy server at {base} within {timeout}s")
+
+
+def follow_stream(base, job_id):
+    """Print the job's SSE progress stream until its terminal event."""
+    req = urllib.request.Request(f"{base}/jobs/{job_id}/stream")
+    with urllib.request.urlopen(req, timeout=300) as resp:
+        event = None
+        for raw in resp:
+            line = raw.decode("utf-8").rstrip("\n")
+            if line.startswith("event: "):
+                event = line[len("event: "):]
+            elif line.startswith("data: ") and event == "generation":
+                d = json.loads(line[len("data: "):])
+                print(f"    gen {d['generation']:>3}  "
+                      f"best={d['best']:<8g} mean={d['mean']:.1f}")
+            elif line.startswith("data: ") and event not in (None,
+                                                             "running"):
+                print(f"    -> {event}: {line[len('data: '):]}")
+
+
+def smoke(base) -> int:
+    """Minimal end-to-end check; returns a process exit code."""
+    health = wait_healthy(base)
+    print(f"healthz ok: {health['workers']} worker(s)")
+    spec = {"instance": "ft06", "ga": {"population_size": 10},
+            "termination": {"max_generations": 2}, "seed": 3}
+    status, body = request(base, "POST", "/solve", spec)
+    if status not in (200, 202):
+        print(f"submit failed: {status} {body}", file=sys.stderr)
+        return 1
+    final = wait_done(base, body["job_id"])
+    if final["state"] != "done":
+        print(f"job did not finish: {final}", file=sys.stderr)
+        return 1
+    status, dup = request(base, "POST", "/solve", spec)
+    if status != 200 or not dup.get("cached"):
+        print(f"duplicate submit missed the cache: {status} {dup}",
+              file=sys.stderr)
+        return 1
+    print(f"smoke ok: job {body['job_id']} done, "
+          f"best={final['result']['best_objective']:g}, duplicate "
+          f"served from cache")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--base-url", default="http://127.0.0.1:8080")
+    parser.add_argument("--instance", default="ft06")
+    parser.add_argument("--seeds", type=int, default=6,
+                        help="number of distinct-seed jobs to submit")
+    parser.add_argument("--generations", type=int, default=40)
+    parser.add_argument("--smoke", action="store_true",
+                        help="health-check round trip only (CI gate)")
+    args = parser.parse_args(argv)
+    base = args.base_url.rstrip("/")
+
+    if args.smoke:
+        return smoke(base)
+
+    wait_healthy(base)
+    specs = [{"instance": args.instance, "ga": {"population_size": 48},
+              "termination": {"max_generations": args.generations},
+              "seed": seed} for seed in range(1, args.seeds + 1)]
+
+    print(f"submitting {len(specs)} jobs concurrently...")
+    with ThreadPoolExecutor(max_workers=len(specs)) as pool:
+        submitted = list(pool.map(
+            lambda s: request(base, "POST", "/solve", s), specs))
+    for status, body in submitted:
+        if status == 429:
+            print(f"  saturated (429): {body['error']}")
+        else:
+            print(f"  {body['job_id']}  {body['state']}"
+                  f"{'  (cached)' if body.get('cached') else ''}")
+
+    accepted = [body for status, body in submitted if status in (200, 202)]
+    if accepted:
+        print(f"\nstreaming progress of {accepted[0]['job_id']}:")
+        follow_stream(base, accepted[0]["job_id"])
+
+    print("\nresults:")
+    for body in accepted:
+        final = wait_done(base, body["job_id"])
+        state = final["state"]
+        best = (f"best={final['result']['best_objective']:g}"
+                if state == "done" else final.get("error", ""))
+        print(f"  {body['job_id']}  {state:<6} {best}  "
+              f"{final.get('elapsed') or 0:.2f}s")
+
+    t0 = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=len(specs)) as pool:
+        again = list(pool.map(
+            lambda s: request(base, "POST", "/solve", s), specs))
+    wall = time.perf_counter() - t0
+    hits = sum(1 for _, body in again if body.get("cached"))
+    print(f"\nresubmitted all {len(specs)} jobs: {hits} cache hit(s) "
+          f"in {wall * 1e3:.1f}ms total")
+
+    _, metrics = request(base, "GET", "/metrics")
+    cache = metrics["cache"]
+    latency = metrics["solve_latency"]
+    print(f"server metrics: hit_rate={cache['hit_rate']:.2f} "
+          f"solves={metrics['solves_executed']} "
+          f"mean_solve={latency['mean']:.2f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -89,10 +89,12 @@ def _island_config(config: GAConfig, n_islands: int,
 @register_engine(
     "simple", aliases=("serial",),
     description="Serial GA of Table II (the panmictic baseline)",
-    params={}, array_substrate=True)
+    params={}, array_substrate=True, observers=True)
 def _run_simple(problem: Problem, config: GAConfig,
-                termination: Termination, seed: int):
-    return SimpleGA(problem, config, termination, seed=seed).run()
+                termination: Termination, seed: int, *,
+                observers=()):
+    return SimpleGA(problem, config, termination, seed=seed,
+                    observers=observers).run()
 
 
 @register_engine(
@@ -101,15 +103,17 @@ def _run_simple(problem: Problem, config: GAConfig,
                 "(bit-identical to the serial GA)",
     params={"workers": 4, "backend": "process", "batch_size": 16,
             "chunks_per_worker": 1},
-    array_substrate=True)
+    array_substrate=True, observers=True)
 def _run_master_slave(problem: Problem, config: GAConfig,
                       termination: Termination, seed: int, *,
                       workers: int = 4, backend: str = "process",
-                      batch_size: int = 16, chunks_per_worker: int = 1):
+                      batch_size: int = 16, chunks_per_worker: int = 1,
+                      observers=()):
     return MasterSlaveGA(problem, config, termination, seed=seed,
                          n_workers=int(workers), backend=backend,
                          batch_size=int(batch_size),
-                         chunks_per_worker=int(chunks_per_worker)).run()
+                         chunks_per_worker=int(chunks_per_worker),
+                         observers=observers).run()
 
 
 @register_engine(
@@ -151,16 +155,17 @@ def _run_island(problem: Problem, config: GAConfig,
     description="Fine-grained cellular GA on a toroidal grid, Table IV",
     params={"rows": None, "cols": None, "neighborhood": "L5",
             "replacement": "if_better", "update": "synchronous"},
-    check_params=_check_neighborhood, array_substrate=True)
+    check_params=_check_neighborhood, array_substrate=True, observers=True)
 def _run_cellular(problem: Problem, config: GAConfig,
                   termination: Termination, seed: int, *,
                   rows: int | None = None, cols: int | None = None,
                   neighborhood: str = "L5", replacement: str = "if_better",
-                  update: str = "synchronous"):
+                  update: str = "synchronous", observers=()):
     r, c = grid_shape_for(config.population_size, rows, cols)
     return CellularGA(problem, rows=r, cols=c, neighborhood=neighborhood,
                       config=config, termination=termination, seed=seed,
-                      replacement=replacement, update=update).run()
+                      replacement=replacement, update=update,
+                      observers=observers).run()
 
 
 @register_engine(

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
@@ -158,7 +158,7 @@ def _jsonable(value: Any) -> Any:
 
 
 def solve(spec: SolverSpec | Mapping[str, Any],
-          validate: bool = True) -> SolveReport:
+          validate: bool = True, observers: Sequence[Any] = ()) -> SolveReport:
     """Run the solver a spec describes; the library's front door.
 
     Parameters
@@ -169,6 +169,14 @@ def solve(spec: SolverSpec | Mapping[str, Any],
     validate:
         run :meth:`SolverSpec.validate` first (actionable errors before
         any work starts).  Disable only on specs you already validated.
+    observers:
+        extra :class:`~repro.core.observers.Observer` instances notified
+        once per generation, forwarded to engines whose registry entry is
+        tagged ``observers=True`` (simple, master-slave, cellular); other
+        engines run unchanged and simply don't stream.  This is the
+        progress seam the solver service's SSE endpoint rides -- observers
+        are live objects, so they are call-site-only, never part of the
+        (JSON-serializable) spec.
     """
     t_start = time.perf_counter()
     if not isinstance(spec, SolverSpec):
@@ -198,8 +206,11 @@ def solve(spec: SolverSpec | Mapping[str, Any],
     entry = engine_entry(resolved.engine)
     t_resolved = time.perf_counter()
 
+    engine_kwargs = dict(resolved.engine_params)
+    if observers and entry.tags.get("observers"):
+        engine_kwargs["observers"] = tuple(observers)
     result = entry.factory(problem, config, termination, resolved.seed,
-                           **resolved.engine_params)
+                           **engine_kwargs)
     t_done = time.perf_counter()
 
     best = result.best

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import copy
 import dataclasses
+import hashlib
 import json
 from dataclasses import dataclass, field
 from typing import Any, Mapping
@@ -217,6 +218,37 @@ class SolverSpec:
     def replace(self, **changes: Any) -> "SolverSpec":
         """Copy with fields replaced (``dataclasses.replace``)."""
         return dataclasses.replace(self, **changes)
+
+    def cache_key(self) -> str:
+        """Canonical content hash identifying this solve (idempotency key).
+
+        The key is the SHA-256 of the *resolved* spec -- canonical engine
+        name (aliases normalised), concrete encoding name (per-class
+        default filled in), the engine's full parameter set (registry
+        defaults merged under the spec's overrides) -- serialized as
+        canonical JSON (sorted keys, compact separators).  Because solver
+        runs are deterministic in their spec and ``seed``, two specs with
+        equal keys produce bit-identical reports, so the key is safe to
+        use for result caching: the solver service serves repeat traffic
+        from cache, and :meth:`ScenarioSweep.specs` drops duplicate
+        expansions (e.g. an alias and its canonical name on the same
+        axis).
+
+        Stable across dict ordering and JSON round-trips:
+        ``SolverSpec.from_json(spec.to_json()).cache_key()
+        == spec.cache_key()``, and a spec hashes equal to its resolved
+        form.  A spec that cannot be resolved (unknown names) falls back
+        to hashing its raw fields -- the key never raises, so failed
+        submissions still deduplicate.
+        """
+        from .facade import resolve_spec
+        try:
+            resolved = resolve_spec(self)
+        except (SpecError, KeyError):
+            resolved = self
+        payload = json.dumps(resolved.to_dict(), sort_keys=True,
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     # -- validation --------------------------------------------------------------
     def validate(self, instance=None) -> "SolverSpec":

@@ -84,18 +84,30 @@ class ScenarioSweep:
             object.__setattr__(self, axis, tuple(getattr(self, axis)))
 
     def specs(self) -> list[SolverSpec]:
-        """The expanded spec list (validated lazily by ``solve``)."""
-        out = []
+        """The expanded, deduplicated spec list (validated lazily by ``solve``).
+
+        Expansions that resolve to the same :meth:`SolverSpec.cache_key`
+        -- a repeated axis value, or an engine alias next to its
+        canonical name -- are dropped (first occurrence wins): solver
+        runs are deterministic in their resolved spec, so duplicates
+        could only re-compute identical reports.
+        """
+        out, seen = [], set()
         for instance in self.instances or (self.base.instance,):
             for engine in self.engines or (self.base.engine,):
                 for objective in self.objectives or (self.base.objective,):
                     for seed in self.seeds or (self.base.seed,):
-                        out.append(self.base.replace(
+                        spec = self.base.replace(
                             instance=instance, engine=engine,
-                            objective=objective, seed=int(seed)))
+                            objective=objective, seed=int(seed))
+                        key = spec.cache_key()
+                        if key not in seen:
+                            seen.add(key)
+                            out.append(spec)
         return out
 
     def __len__(self) -> int:
+        """Size of the raw product (an upper bound on ``len(specs())``)."""
         return (max(1, len(self.instances)) * max(1, len(self.engines))
                 * max(1, len(self.objectives)) * max(1, len(self.seeds)))
 
@@ -157,6 +169,24 @@ def _solve_payload(payload: tuple[int, dict]) -> SweepResult:
                            elapsed=time.perf_counter() - t0)
 
 
+def _solve_isolated(payload: tuple[int, dict]) -> SweepResult:
+    """Run one payload in its own single-worker pool (crash quarantine).
+
+    Used after a shared pool broke: re-running here either completes the
+    spec normally or, if this spec is what killed the worker, converts
+    the process death into a structured failed :class:`SweepResult`
+    (error type + message) without taking anyone else down.
+    """
+    index, spec = payload
+    try:
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            return pool.submit(_solve_payload, payload).result()
+    except Exception as exc:  # noqa: BLE001 - the quarantined process died
+        return SweepResult(index=index, spec=spec, ok=False,
+                           error=f"{type(exc).__name__}: worker process "
+                                 f"died ({exc or 'no diagnostic'})")
+
+
 class SolverService:
     """Concurrent executor for batches of solver specs.
 
@@ -203,18 +233,37 @@ class SolverService:
     def _run_pool(self, payloads: Sequence[tuple[int, dict]]
                   ) -> Iterator[SweepResult]:
         with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
-            futures = {pool.submit(_solve_payload, p): p[0]
+            futures = {pool.submit(_solve_payload, p): p
                        for p in payloads}
             if self.ordered:
-                for fut in list(futures):
-                    yield fut.result()
+                for fut, payload in futures.items():
+                    yield self._outcome(fut, payload)
             else:
                 pending = set(futures)
                 while pending:
                     done, pending = wait(pending,
                                          return_when=FIRST_COMPLETED)
                     for fut in done:
-                        yield fut.result()
+                        yield self._outcome(fut, futures[fut])
+
+    @staticmethod
+    def _outcome(fut, payload: tuple[int, dict]) -> SweepResult:
+        """Result of one pooled future, surviving worker-process death.
+
+        ``_solve_payload`` converts ordinary solver exceptions into
+        ``ok=False`` results, so ``fut.result()`` only raises when the
+        worker *process* died (``BrokenProcessPool`` -- a segfault or
+        ``os._exit`` in native code) or the payload could not cross the
+        process boundary.  A dead worker poisons every future sharing the
+        pool, so each affected payload gets one retry in a fresh isolated
+        pool: the genuinely poisoned spec comes back as a structured
+        failure, the innocent bystanders complete normally, and the sweep
+        never loses results mid-iteration.
+        """
+        try:
+            return fut.result()
+        except Exception:  # noqa: BLE001 - pool breakage, not solver errors
+            return _solve_isolated(payload)
 
     def run_sweep(self, sweep: ScenarioSweep) -> Iterator[SweepResult]:
         """Expand and execute a :class:`ScenarioSweep`."""

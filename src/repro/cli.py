@@ -9,6 +9,7 @@
     repro solve --spec job.json         # declarative JSON job submission
     repro dynamic ta-fs-20x5-shaped     # rolling-horizon warm vs cold
     repro sweep ft06 la01-shaped --engines simple island --seeds 1 2 3
+    repro serve --port 8080 --workers 4 # async HTTP solver service
 
 ``solve`` and ``sweep`` are thin shells over the declarative API
 (:mod:`repro.api`): flags assemble a :class:`~repro.api.SolverSpec`,
@@ -196,6 +197,31 @@ def _cmd_dynamic(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run the async HTTP solver service until interrupted."""
+    import asyncio
+
+    from .service.server import SolverServer
+    server = SolverServer(host=args.host, port=args.port,
+                          workers=args.workers,
+                          queue_depth=args.queue_depth,
+                          cache_size=args.cache_size)
+
+    async def _serve() -> None:
+        await server.start()
+        print(f"repro service on http://{server.host}:{server.port} "
+              f"({server.pool.workers} worker(s), queue depth "
+              f"{server.pool.queue_depth}); POST /solve, GET /healthz, "
+              f"GET /metrics", flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
 def _cmd_sweep(args) -> int:
     if args.spec:
         sweep = ScenarioSweep.from_dict(_load_json(args.spec))
@@ -358,6 +384,23 @@ def main(argv: list[str] | None = None) -> int:
     p_sweep.add_argument("--json", metavar="FILE",
                          help="stream results as JSON lines to FILE")
     p_sweep.set_defaults(fn=_cmd_sweep)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the async HTTP solver service")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8080,
+                         help="bind port; 0 picks an ephemeral one "
+                              "(default: 8080)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="solver worker processes (default: 2)")
+    p_serve.add_argument("--queue-depth", type=int, default=16,
+                         help="jobs allowed to wait beyond the running "
+                              "ones before 429 (default: 16)")
+    p_serve.add_argument("--cache-size", type=int, default=256,
+                         help="idempotent result-cache capacity "
+                              "(default: 256)")
+    p_serve.set_defaults(fn=_cmd_serve)
 
     args = parser.parse_args(argv)
     try:

@@ -191,6 +191,13 @@ class PredictiveReactiveScheduler:
         self.reschedules: list[ReschedulePoint] = []
         self._round = 0
         self._incumbent: list[np.ndarray] = []
+        # event-driven session state: the instance as mutated by the
+        # events handled so far (``self.instance`` stays the initial one),
+        # the current committed plan, and its predicted makespan
+        self.current_instance = initial
+        self._sequence: np.ndarray | None = None
+        self._cmax = float("nan")
+        self._clock = float("-inf")
 
     @staticmethod
     def _repair(encoding: _SuffixEncoding, genome: np.ndarray,
@@ -303,29 +310,74 @@ class PredictiveReactiveScheduler:
             count += 1
         return seq[:count]
 
+    @property
+    def sequence(self) -> np.ndarray | None:
+        """The committed plan, or ``None`` before :meth:`start`."""
+        return self._sequence
+
+    @property
+    def predicted_makespan(self) -> float:
+        """Predicted makespan of the committed plan (NaN before start)."""
+        return self._cmax
+
+    def start(self) -> tuple[np.ndarray, float]:
+        """Build the initial predictive schedule; idempotent.
+
+        Step 1 of the predictive-reactive loop as a standalone call, so
+        event-driven callers (the service's session endpoint) can obtain
+        the baseline plan before any event exists.  Returns the committed
+        (sequence, predicted makespan).
+        """
+        if self._sequence is None:
+            self._sequence, self._cmax = self._optimise(
+                self.current_instance, np.empty(0, dtype=np.int64))
+        return self._sequence, self._cmax
+
+    def handle_event(self, event: Event) -> ReschedulePoint:
+        """React to one event: freeze started work, re-optimise the rest.
+
+        The event-driven core of steps 2-3: callers push events as they
+        happen (a service session POSTs them one at a time) and receive
+        the incremental re-solve result.  Events must arrive in
+        non-decreasing time order -- the frozen prefix of an earlier
+        event cannot be reconstructed once a later one was committed.
+        """
+        if event.time < self._clock:
+            raise ValueError(
+                f"event at t={event.time:g} arrived after an event at "
+                f"t={self._clock:g} was already handled; events must be "
+                f"pushed in non-decreasing time order")
+        self.start()
+        self._clock = event.time
+        frozen = self._frozen_prefix(self.current_instance, self._sequence,
+                                     event.time)
+        self.current_instance = self._apply_event(self.current_instance,
+                                                  event, frozen)
+        self._sequence, self._cmax = self._optimise(self.current_instance,
+                                                    frozen)
+        point = ReschedulePoint(
+            time=event.time, trigger=event,
+            jobs_remaining=self.current_instance.n_jobs,
+            predicted_makespan=self._cmax,
+            frozen=len(frozen))
+        self.reschedules.append(point)
+        return point
+
     def run(self, events: EventStream) -> tuple[np.ndarray, float]:
         """Process the event stream; returns (final sequence, makespan).
 
         The returned makespan is for the *final* instance state (all
         arrived jobs, all breakdown delays folded into release times) --
         the quantity Tang et al. [9] report as the realised schedule
-        quality.
+        quality.  Equivalent to :meth:`start` followed by
+        :meth:`handle_event` per event (the batch replay of a session).
         """
-        instance = self.instance
-        sequence, cmax = self._optimise(
-            instance, np.empty(0, dtype=np.int64))
+        self.start()
         for event in events:
-            frozen = self._frozen_prefix(instance, sequence, event.time)
-            instance = self._apply_event(instance, event, frozen)
-            sequence, cmax = self._optimise(instance, frozen)
-            self.reschedules.append(ReschedulePoint(
-                time=event.time, trigger=event,
-                jobs_remaining=instance.n_jobs,
-                predicted_makespan=cmax,
-                frozen=len(frozen)))
-        self.final_sequence = sequence
-        self.realised_makespan = cmax
-        return sequence, cmax
+            self.handle_event(event)
+        self.final_sequence = self._sequence
+        self.realised_makespan = self._cmax
+        return self._sequence, self._cmax
 
     def _apply_event(self, instance: FlowShopInstance, event: Event,
                      frozen: np.ndarray) -> FlowShopInstance:

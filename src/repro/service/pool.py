@@ -1,0 +1,194 @@
+"""Bounded process worker pool with a streamed-progress bridge.
+
+The pool runs solves through the same process-boundary contract as
+:class:`~repro.api.sweep.SolverService` -- a JSON-safe spec dict in, a
+JSON-safe outcome dict out -- but adds the two properties a server needs:
+
+* **backpressure**: admission is capped at ``workers + queue_depth``
+  in-flight jobs.  :meth:`WorkerPool.submit` raises
+  :class:`PoolSaturated` beyond that, which the HTTP layer translates
+  into ``429 Too Many Requests`` + ``Retry-After`` -- the load-balancing
+  concern of keeping workers saturated *without* accepting work that can
+  only rot in a queue.
+* **live progress**: every worker holds the write end of a shared
+  ``multiprocessing`` queue (inherited at fork through the pool
+  initializer, i.e. a pipe under the hood).  A
+  :class:`~repro.core.observers.CallbackObserver` inside the worker
+  pushes one compact stats record per generation, a drain thread in the
+  server process consumes them, and the SSE endpoint replays them to
+  clients.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Any, Callable
+
+__all__ = ["PoolSaturated", "WorkerPool"]
+
+
+class PoolSaturated(RuntimeError):
+    """The pool's admission cap (workers + queue depth) is reached."""
+
+    def __init__(self, capacity: int, pending: int):
+        super().__init__(f"worker pool saturated: {pending} job(s) "
+                         f"in flight >= capacity {capacity}")
+        self.capacity = capacity
+        self.pending = pending
+
+
+# Write end of the progress queue inside each *worker* process; installed
+# by the pool initializer (the queue rides the fork/spawn inheritance
+# channel of the worker Process, i.e. an OS pipe).
+_PROGRESS_QUEUE = None
+
+
+def _init_worker(queue) -> None:
+    global _PROGRESS_QUEUE
+    _PROGRESS_QUEUE = queue
+
+
+def _emit(event: dict[str, Any]) -> None:
+    queue = _PROGRESS_QUEUE
+    if queue is not None:
+        try:
+            queue.put(event)
+        except Exception:  # noqa: BLE001 - progress is best-effort; a full
+            pass           # or closed pipe must never fail the solve
+
+
+def _run_job(job_id: str, spec: dict[str, Any]) -> dict[str, Any]:
+    """Worker task: solve one spec, streaming per-generation stats.
+
+    Ordinary solver exceptions come back as a structured ``ok=False``
+    outcome -- the future only raises if this process dies.
+    """
+    from ..api.facade import solve
+    from ..core.observers import CallbackObserver
+
+    t0 = time.perf_counter()
+    _emit({"event": "running", "job_id": job_id})
+
+    def on_generation(generation, population, evaluations, elapsed,
+                      **extra) -> None:
+        stats = population.stats()
+        _emit({"event": "generation", "job_id": job_id,
+               "generation": int(generation),
+               "best": float(stats.best), "mean": float(stats.mean),
+               "std": float(stats.std), "worst": float(stats.worst),
+               "evaluations": int(evaluations), "elapsed": float(elapsed)})
+
+    try:
+        report = solve(spec, observers=(CallbackObserver(on_generation),))
+        return {"ok": True, "report": report.to_dict(),
+                "elapsed": time.perf_counter() - t0}
+    except Exception as exc:  # noqa: BLE001 - becomes the job's failure
+        return {"ok": False, "error": f"{type(exc).__name__}: {exc}",
+                "elapsed": time.perf_counter() - t0}
+
+
+class WorkerPool:
+    """Process pool with bounded admission and a progress drain thread.
+
+    Parameters
+    ----------
+    workers:
+        solver processes.
+    queue_depth:
+        jobs allowed to *wait* beyond the ones running; admission
+        capacity is ``workers + queue_depth``.
+    on_event:
+        callback for progress events; invoked on the drain thread, so
+        implementations must be thread-safe (the server bridges into the
+        event loop with ``call_soon_threadsafe``).
+    """
+
+    def __init__(self, workers: int = 2, queue_depth: int = 16,
+                 on_event: Callable[[dict[str, Any]], None] | None = None):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if queue_depth < 0:
+            raise ValueError("queue_depth must be >= 0")
+        self.workers = workers
+        self.queue_depth = queue_depth
+        self.capacity = workers + queue_depth
+        self.on_event = on_event
+        self._ctx = multiprocessing.get_context()
+        self._queue = self._ctx.Queue()
+        self._pool = ProcessPoolExecutor(
+            max_workers=workers, mp_context=self._ctx,
+            initializer=_init_worker, initargs=(self._queue,))
+        self._lock = threading.Lock()
+        self._pending = 0
+        self._closed = False
+        self._drain = threading.Thread(target=self._drain_loop,
+                                       name="repro-service-progress",
+                                       daemon=True)
+        self._drain.start()
+
+    # -- admission ---------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Jobs admitted and not yet finished (running + waiting)."""
+        with self._lock:
+            return self._pending
+
+    @property
+    def waiting(self) -> int:
+        """Admitted jobs beyond the worker count (the queue depth now)."""
+        with self._lock:
+            return max(0, self._pending - self.workers)
+
+    def submit(self, job_id: str, spec: dict[str, Any]) -> Future:
+        """Admit one job; raises :class:`PoolSaturated` beyond capacity."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("worker pool is shut down")
+            if self._pending >= self.capacity:
+                raise PoolSaturated(self.capacity, self._pending)
+            self._pending += 1
+        try:
+            future = self._pool.submit(_run_job, job_id, spec)
+        except BaseException:
+            with self._lock:
+                self._pending -= 1
+            raise
+        future.add_done_callback(self._release)
+        return future
+
+    def _release(self, _future: Future) -> None:
+        with self._lock:
+            self._pending -= 1
+
+    # -- progress bridge ---------------------------------------------------------
+    def _drain_loop(self) -> None:
+        while True:
+            try:
+                event = self._queue.get()
+            except (EOFError, OSError):
+                return
+            if event is None:
+                return
+            callback = self.on_event
+            if callback is not None:
+                try:
+                    callback(event)
+                except Exception:  # noqa: BLE001 - a bad consumer must not
+                    pass           # kill the drain for every other job
+
+    def shutdown(self) -> None:
+        """Stop accepting work, cancel what's queued, stop the drain."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        try:
+            self._queue.put(None)
+        except Exception:  # noqa: BLE001 - queue may already be torn down
+            pass
+        self._drain.join(timeout=2.0)
+        self._queue.close()

@@ -290,3 +290,71 @@ class TestHypothesisRoundTrip:
             spec.validate()
 
         check()
+
+
+class TestCacheKey:
+    def test_key_is_canonical_sha256_of_resolved_spec(self):
+        spec = SolverSpec(instance="ft06", seed=13)
+        key = spec.cache_key()
+        assert len(key) == 64 and int(key, 16) >= 0
+        payload = json.dumps(resolve_spec(spec).to_dict(), sort_keys=True,
+                             separators=(",", ":"))
+        import hashlib
+        assert key == hashlib.sha256(payload.encode()).hexdigest()
+
+    def test_aliases_and_resolution_hash_equal(self):
+        """An alias, its canonical name and the fully-resolved spec all
+        address the same deterministic run, so they share one key."""
+        base = SolverSpec(instance="ft06", seed=5)
+        assert base.replace(engine="serial").cache_key() == \
+            base.replace(engine="simple").cache_key()
+        assert base.replace(engine="fine-grained").cache_key() == \
+            base.replace(engine="cellular").cache_key()
+        assert resolve_spec(base).cache_key() == base.cache_key()
+
+    def test_key_distinguishes_runs_that_differ(self):
+        base = SolverSpec(instance="ft06", seed=5)
+        assert base.cache_key() != base.replace(seed=6).cache_key()
+        assert base.cache_key() != base.replace(engine="island").cache_key()
+        assert base.cache_key() != \
+            base.replace(ga={"population_size": 31}).cache_key()
+
+    def test_unresolvable_specs_never_raise_and_stay_distinct(self):
+        bad = SolverSpec(instance="no-such-instance", seed=1)
+        assert bad.cache_key() == bad.cache_key()
+        assert bad.cache_key() != bad.replace(seed=2).cache_key()
+
+    def test_cache_key_stable_under_serialization_property(self):
+        """Satellite property: for random registry specs,
+        ``from_json(to_json(spec)).cache_key() == spec.cache_key()``."""
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        encodings = available_encodings()
+
+        @st.composite
+        def specs(draw):
+            encoding = draw(st.sampled_from(encodings))
+            return SolverSpec(
+                instance=_sample_instance_for(encoding),
+                encoding=draw(st.sampled_from((None, encoding))),
+                objective=draw(st.sampled_from(
+                    ("makespan", "total-flow-time"))),
+                ga=draw(st.fixed_dictionaries({}, optional={
+                    "population_size": st.integers(4, 200),
+                    "mutation_rate": st.floats(0, 1),
+                })),
+                termination={"max_generations":
+                             draw(st.integers(1, 500))},
+                engine=draw(st.sampled_from(available_engines())),
+                seed=draw(st.integers(0, 2**31)),
+            )
+
+        @settings(max_examples=40, deadline=None)
+        @given(spec=specs())
+        def check(spec):
+            key = spec.cache_key()
+            assert SolverSpec.from_json(spec.to_json()).cache_key() == key
+            assert SolverSpec.from_dict(spec.to_dict()).cache_key() == key
+
+        check()

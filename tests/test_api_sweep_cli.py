@@ -1,6 +1,8 @@
 """Tests for the sweep service and the facade-backed CLI."""
 
 import json
+import multiprocessing
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -8,10 +10,24 @@ from pathlib import Path
 import pytest
 
 from repro.api import ScenarioSweep, SolverService, SolverSpec, SpecError
+from repro.api.sweep import _solve_payload as _real_solve_payload
 from repro.cli import main
 
 BASE = SolverSpec(instance="ft06", ga={"population_size": 10},
                   termination={"max_generations": 2}, seed=3)
+
+#: a spec carrying this seed hard-kills its worker process (os._exit
+#: skips all exception handling, modelling a segfault in native code)
+POISON_SEED = 666
+
+
+def _lethal_solve_payload(payload):
+    # module-level so the pooled future can pickle it by reference; the
+    # forked worker inherits this module and resolves the same function
+    _index, spec = payload
+    if spec.get("seed") == POISON_SEED:
+        os._exit(13)
+    return _real_solve_payload(payload)
 
 
 class TestScenarioSweep:
@@ -29,6 +45,19 @@ class TestScenarioSweep:
         specs = ScenarioSweep(base=BASE).specs()
         assert len(specs) == 1
         assert specs[0] == BASE
+
+    def test_duplicate_expansions_are_deduplicated(self):
+        """Satellite: expansions with equal cache keys -- a repeated axis
+        value or an engine alias next to its canonical name -- collapse
+        to the first occurrence; ``len(sweep)`` stays the raw product."""
+        sweep = ScenarioSweep(base=BASE, engines=("simple", "serial"),
+                              seeds=(1, 1, 2))
+        specs = sweep.specs()
+        assert len(sweep) == 6          # raw product, the upper bound
+        assert len(specs) == 2          # 'serial' is an alias of 'simple'
+        assert [s.seed for s in specs] == [1, 2]
+        assert all(s.engine == "simple" for s in specs)
+        assert len({s.cache_key() for s in specs}) == 2
 
     def test_round_trip(self):
         sweep = ScenarioSweep(base=BASE, engines=("simple", "cellular"),
@@ -97,6 +126,28 @@ class TestSolverService:
 
     def test_empty_batch(self):
         assert list(SolverService(n_workers=0).run([])) == []
+
+    @pytest.mark.skipif(
+        multiprocessing.get_start_method() != "fork",
+        reason="worker poisoning relies on fork inheriting the patched "
+               "module state")
+    def test_worker_death_becomes_structured_failure(self, monkeypatch):
+        """Satellite: a spec that kills its worker process poisons every
+        future sharing the pool; the service must retry the bystanders in
+        isolation and report the killer as a failed result -- the sweep
+        never dies and never loses results."""
+        from repro.api import sweep as sweep_mod
+        monkeypatch.setattr(sweep_mod, "_solve_payload",
+                            _lethal_solve_payload)
+        specs = [BASE.replace(seed=1), BASE.replace(seed=POISON_SEED),
+                 BASE.replace(seed=2)]
+        results = list(SolverService(n_workers=2).run(specs))
+        assert [r.index for r in results] == [0, 1, 2]
+        assert [r.ok for r in results] == [True, False, True]
+        assert "worker process died" in results[1].error
+        # the bystanders completed with their real reports
+        assert results[0].report["best_objective"] > 0
+        assert results[2].report["best_objective"] > 0
 
 
 class TestCLISolve:
