@@ -49,8 +49,9 @@ from .core import (GAConfig, GAResult, Individual, MaxEvaluations,
 from .encodings import Problem
 from .parallel import (CellularGA, IslandGA, MasterSlaveGA, MigrationPolicy)
 from .api import (ScenarioSweep, SolveReport, SolverService, SolverSpec,
-                  SpecError, available_encodings, available_engines,
-                  available_objectives, available_substrates, solve)
+                  SpecError, available_backends, available_encodings,
+                  available_engines, available_objectives,
+                  available_substrates, solve)
 
 __version__ = "1.0.0"
 
@@ -63,6 +64,6 @@ __all__ = [
     "SolverSpec", "SolveReport", "solve", "SpecError",
     "ScenarioSweep", "SolverService",
     "available_engines", "available_encodings", "available_objectives",
-    "available_substrates",
+    "available_substrates", "available_backends",
     "__version__",
 ]

@@ -22,6 +22,7 @@ Modules:
   concurrent :class:`SolverService`.
 """
 
+from ..core.backend import available_backends
 from ..core.substrate import available_substrates
 from .registry import (SpecError, available_encodings, available_engines,
                        available_objectives, encoding_entry, engine_entry,
@@ -39,7 +40,7 @@ __all__ = [
     "resolve_problem", "resolve_spec", "resolve_termination",
     "register_engine", "register_encoding", "register_objective",
     "available_engines", "available_encodings", "available_objectives",
-    "available_substrates",
+    "available_substrates", "available_backends",
     "engine_entry", "encoding_entry", "objective_entry", "first_doc_line",
     "ScenarioSweep", "SolverService", "SweepResult",
 ]

@@ -15,6 +15,8 @@ combination the registries expose.
 
 from __future__ import annotations
 
+import json
+from collections import OrderedDict
 from typing import Any
 
 from ..encodings import (DispatchRuleEncoding, FlexibleJobShopEncoding,
@@ -38,7 +40,61 @@ from .registry import (ENCODINGS, SpecError, register_encoding,
 
 __all__ = ["resolve_instance", "resolve_encoding", "resolve_objective",
            "resolve_problem", "default_encoding_name",
-           "instance_class_name"]
+           "instance_class_name", "enable_instance_cache",
+           "disable_instance_cache", "instance_cache_stats"]
+
+
+# -- per-process instance cache --------------------------------------------------
+#
+# Long-lived solver workers (see :mod:`repro.service.pool`) resolve the
+# same named instances over and over.  Instance construction itself is
+# cheap-ish (Taillard LCG loops), but the *decode tables* lazily memoised
+# on the instance object (e.g. the flattened FJSP alternative tables the
+# batch decoder attaches as ``_fjsp_batch_tables``) are not -- rebuilding
+# them per job throws away exactly the work a resident worker should
+# amortise.  The cache is opt-in and bounded: plain library use keeps the
+# documented fresh-instance contract.
+
+_INSTANCE_CACHE: OrderedDict | None = None
+_INSTANCE_CACHE_MAX = 0
+_INSTANCE_CACHE_STATS = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+def enable_instance_cache(maxsize: int = 32) -> None:
+    """Memoise resolved instances in a bounded per-process LRU.
+
+    Keyed on ``(spec.instance, spec.instance_params)``; a hit returns the
+    *same* instance object, so decode tables memoised on it survive
+    across jobs.  ``maxsize <= 0`` disables the cache.  Intended for
+    long-lived workers (the service pool enables it at worker init);
+    counters reset on every call.
+    """
+    global _INSTANCE_CACHE, _INSTANCE_CACHE_MAX
+    _INSTANCE_CACHE_STATS.update(hits=0, misses=0, evictions=0)
+    if maxsize <= 0:
+        _INSTANCE_CACHE = None
+        _INSTANCE_CACHE_MAX = 0
+    else:
+        _INSTANCE_CACHE = OrderedDict()
+        _INSTANCE_CACHE_MAX = int(maxsize)
+
+
+def disable_instance_cache() -> None:
+    """Drop the instance cache and return to fresh-instance resolution."""
+    enable_instance_cache(0)
+
+
+def instance_cache_stats() -> dict[str, int | bool]:
+    """Cache observability: enabled flag, size/capacity, hit counters."""
+    return {"enabled": _INSTANCE_CACHE is not None,
+            "size": len(_INSTANCE_CACHE or ()),
+            "maxsize": _INSTANCE_CACHE_MAX,
+            **_INSTANCE_CACHE_STATS}
+
+
+def _instance_cache_key(spec) -> tuple[str, str]:
+    return (spec.instance,
+            json.dumps(spec.instance_params, sort_keys=True, default=repr))
 
 
 # -- encodings (Section III.A) ---------------------------------------------------
@@ -308,13 +364,34 @@ def default_encoding_name(instance_or_name) -> str:
 
 
 def resolve_instance(spec):
-    """Fresh instance named by ``spec.instance``, post-processed.
+    """Instance named by ``spec.instance``, post-processed.
 
     ``instance_params.due_tau`` attaches TWK due dates (tardiness-family
     objectives need finite due dates); ``instance_params.weights`` --
     ``true`` or an ``[lo, hi]`` pair -- attaches job weights.  Both are
-    deterministic (Taillard LCG streams).
+    deterministic (Taillard LCG streams), so resolution is pure: with
+    :func:`enable_instance_cache` on (service workers), equal
+    ``(instance, instance_params)`` keys share one instance object and
+    its memoised decode tables; otherwise every call builds fresh.
     """
+    if _INSTANCE_CACHE is None:
+        return _build_instance(spec)
+    key = _instance_cache_key(spec)
+    cached = _INSTANCE_CACHE.get(key)
+    if cached is not None:
+        _INSTANCE_CACHE.move_to_end(key)
+        _INSTANCE_CACHE_STATS["hits"] += 1
+        return cached
+    _INSTANCE_CACHE_STATS["misses"] += 1
+    instance = _build_instance(spec)
+    _INSTANCE_CACHE[key] = instance
+    while len(_INSTANCE_CACHE) > _INSTANCE_CACHE_MAX:
+        _INSTANCE_CACHE.popitem(last=False)
+        _INSTANCE_CACHE_STATS["evictions"] += 1
+    return instance
+
+
+def _build_instance(spec):
     try:
         instance = get_instance(spec.instance)
     except KeyError as exc:

@@ -29,6 +29,7 @@ from typing import Any, Mapping, Sequence
 
 import numpy as np
 
+from ..core.backend import BackendUnavailable, get_backend, use_backend
 from ..core.termination import AnyOf, Termination
 from ..core.ga import GAConfig
 from ..encodings.base import Problem
@@ -204,13 +205,22 @@ def solve(spec: SolverSpec | Mapping[str, Any],
             raise SpecError(f"substrate: {exc}") from exc
     termination = resolve_termination(resolved.termination, instance)
     entry = engine_entry(resolved.engine)
+    try:
+        backend = get_backend(resolved.backend)
+    except BackendUnavailable as exc:
+        # mirror the cpsat engine: a missing optional dependency degrades
+        # to a clean SpecError naming the package, before any work starts
+        raise SpecError(f"backend: {exc}") from exc
+    except ValueError as exc:
+        raise SpecError(f"backend: {exc}") from exc
     t_resolved = time.perf_counter()
 
     engine_kwargs = dict(resolved.engine_params)
     if observers and entry.tags.get("observers"):
         engine_kwargs["observers"] = tuple(observers)
-    result = entry.factory(problem, config, termination, resolved.seed,
-                           **engine_kwargs)
+    with use_backend(backend):
+        result = entry.factory(problem, config, termination, resolved.seed,
+                               **engine_kwargs)
     t_done = time.perf_counter()
 
     best = result.best

@@ -89,7 +89,7 @@ INSTANCE_PARAM_KEYS = ("due_tau", "weights")
 _FIELD_NAMES: tuple[str, ...] = (
     "instance", "encoding", "encoding_params", "objective",
     "objective_params", "ga", "termination", "engine", "engine_params",
-    "seed", "eval_cost", "instance_params", "substrate")
+    "seed", "eval_cost", "instance_params", "substrate", "backend")
 
 
 @dataclass(frozen=True)
@@ -141,6 +141,17 @@ class SolverSpec:
         grid tensor for the cellular engines -- and every stage runs as
         a matrix kernel; see :mod:`repro.core.substrate`).  Supported by
         all six engines for single-array genome kinds.
+    backend:
+        array namespace the batch kernels run on (see
+        :mod:`repro.core.backend`): ``"numpy"`` (default, bit-identical
+        to the plain NumPy path), ``"instrumented"`` (NumPy wrapped with
+        Array-API-subset enforcement and host<->device transfer counting
+        -- the CI conformance backend), or the optional device backends
+        ``"cupy"`` / ``"jax"`` (import-guarded; a missing package
+        degrades to a clean :class:`SpecError` naming the dependency,
+        mirroring the ``cpsat`` engine).  Device backends require
+        ``substrate="array"`` -- the object substrate boxes per-Individual
+        genomes on the host.
     """
 
     instance: str
@@ -157,6 +168,7 @@ class SolverSpec:
     eval_cost: float = 0.0
     instance_params: dict[str, Any] = field(default_factory=dict)
     substrate: str = "object"
+    backend: str = "numpy"
 
     def __post_init__(self) -> None:
         # normalise: None -> {}, defensive copy so a frozen spec cannot be
@@ -188,6 +200,7 @@ class SolverSpec:
             "eval_cost": self.eval_cost,
             "instance_params": copy.deepcopy(self.instance_params),
             "substrate": self.substrate,
+            "backend": self.backend,
         }
 
     @classmethod
@@ -345,6 +358,20 @@ class SolverSpec:
                 f"substrate: engine {eng_entry.name!r} runs on the object "
                 f"substrate only; substrate='array' is supported by "
                 f"{supported}")
+
+        from ..core.backend import BACKENDS
+        if self.backend not in BACKENDS:
+            raise SpecError(
+                f"backend: unknown backend {self.backend!r}"
+                f"{suggest(self.backend, BACKENDS)}; "
+                f"known backends: {sorted(BACKENDS)} (see "
+                f"repro.available_backends() for the installed subset)")
+        if self.backend in ("cupy", "jax") and self.substrate != "array":
+            raise SpecError(
+                f"backend: device backend {self.backend!r} needs "
+                f"substrate='array' (the object substrate boxes "
+                f"per-Individual genomes on the host); got "
+                f"substrate={self.substrate!r}")
 
         if not isinstance(self.seed, int) or isinstance(self.seed, bool):
             raise SpecError(f"seed: must be an int, got {self.seed!r}")

@@ -25,10 +25,11 @@ import json
 import sys
 
 from .api import (ScenarioSweep, SolverService, SolverSpec, SpecError,
-                  available_encodings, available_engines,
+                  available_backends, available_encodings, available_engines,
                   available_objectives, available_substrates,
                   encoding_entry, engine_entry, first_doc_line,
                   objective_entry, solve)
+from .core.backend import BACKENDS
 from .experiments import EXPERIMENTS, run_all, run_experiment
 from .instances import available_instances
 
@@ -55,6 +56,11 @@ def _cmd_list(_args) -> int:
     print("  object: per-Individual operator calls (default, all engines)")
     print(f"  array: matrix-kernel generations "
           f"(engines: {', '.join(array_engines)})")
+    installed = set(available_backends())
+    print("\nbackends:")
+    for name in sorted(BACKENDS):
+        status = "installed" if name in installed else "not installed"
+        print(f"  {name}: {status}")
     print("\ninstances:")
     for name in available_instances():
         print(f"  {name}")
@@ -101,6 +107,8 @@ def _spec_from_args(args) -> SolverSpec:
         overrides["objective"] = args.objective
     if args.substrate is not None:
         overrides["substrate"] = args.substrate
+    if args.backend is not None:
+        overrides["backend"] = args.backend
     if args.seed is not None:
         overrides["seed"] = args.seed
     ga = dict(spec.ga) if spec else {}
@@ -245,6 +253,8 @@ def _cmd_sweep(args) -> int:
         changes["seed"] = args.seed
     if args.substrate is not None:
         changes["substrate"] = args.substrate
+    if args.backend is not None:
+        changes["backend"] = args.backend
     if changes:
         base = base.replace(**changes)
     sweep = ScenarioSweep(
@@ -322,6 +332,10 @@ def main(argv: list[str] | None = None) -> int:
                          choices=available_substrates(),
                          help="generation substrate: object (default) or "
                               "array (matrix-kernel generations)")
+    p_solve.add_argument("--backend", default=None, choices=sorted(BACKENDS),
+                         help="array backend for the batch kernels "
+                              "(default: numpy; see `repro list` for the "
+                              "installed subset)")
     p_solve.add_argument("--population", type=int, default=None,
                          help="total population size (default: 60)")
     p_solve.add_argument("--generations", type=int, default=None,
@@ -375,6 +389,8 @@ def main(argv: list[str] | None = None) -> int:
     p_sweep.add_argument("--substrate", default=None,
                          choices=available_substrates(),
                          help="generation substrate for every scenario")
+    p_sweep.add_argument("--backend", default=None, choices=sorted(BACKENDS),
+                         help="array backend for every scenario")
     p_sweep.add_argument("--population", type=int, default=None)
     p_sweep.add_argument("--generations", type=int, default=None)
     p_sweep.add_argument("--seed", type=int, default=None,

@@ -32,6 +32,8 @@ import numpy as np
 
 from ..operators.batch import (batch_crossover_for, batch_mutation_for,
                                batch_selection_for)
+from .backend import active_backend
+from .backend import active_namespace as _xp
 from .fitness import apply_fitness_array
 from .individual import Individual
 from .population import Population
@@ -92,17 +94,21 @@ def stable_topk(values: np.ndarray, k: int) -> np.ndarray:
     ``argpartition`` first so the common ``k << n`` elite case stays
     ``O(n + k log k)``.
     """
-    values = np.asarray(values)
+    xp = _xp()
+    values = xp.asarray(values)
     n = values.size
     if k <= 0:
-        return np.empty(0, dtype=np.int64)
+        return xp.empty(0, dtype=xp.int64)
     if k >= n:
-        return np.argsort(values, kind="stable")
-    threshold = np.partition(values, k - 1)[k - 1]
-    below = np.nonzero(values < threshold)[0]
-    at = np.nonzero(values == threshold)[0]
-    idx = np.concatenate([below, at[:k - below.size]])
-    return idx[np.argsort(values[idx], kind="stable")]
+        return xp.stable_argsort(values)
+    threshold = xp.partition(values, k - 1)[k - 1]
+    below = xp.nonzero(values < threshold)[0]
+    at = xp.nonzero(values == threshold)[0]
+    idx = xp.concatenate([below, at[:k - below.size]])
+    # gathers via xp.take: strict Array-API namespaces have no integer
+    # fancy indexing (this helper runs on the array-api-strict CI leg)
+    return xp.take(idx, xp.stable_argsort(xp.take(values, idx, axis=0)),
+                   axis=0)
 
 
 def random_matrix(problem: Any, count: int,
@@ -154,8 +160,9 @@ class ArrayState:
         """Adopt the next generation, in place when shapes allow."""
         if matrix.shape == self.matrix.shape \
                 and matrix.dtype == self.matrix.dtype:
-            np.copyto(self.matrix, matrix)
-            np.copyto(self.objectives, objectives)
+            xp = _xp()
+            xp.copyto(self.matrix, matrix)
+            xp.copyto(self.objectives, objectives)
         else:  # population size changed (not done by current engines)
             self.matrix = np.asarray(matrix)
             self.objectives = np.asarray(objectives, dtype=float)
@@ -183,8 +190,10 @@ class GridState(ArrayState):
     __slots__ = ("rows", "cols")
 
     def __init__(self, tensor: np.ndarray, objectives: np.ndarray):
-        tensor = np.ascontiguousarray(tensor)
-        objectives = np.ascontiguousarray(objectives, dtype=float)
+        xp = _xp()
+        tensor = xp.ascontiguousarray(tensor)
+        objectives = xp.ascontiguousarray(
+            xp.asarray(objectives, dtype=xp.float64))
         if tensor.ndim != 3 or objectives.shape != tensor.shape[:2]:
             raise ValueError("need a (rows, cols, n_genes) tensor and a "
                              "matching (rows, cols) objective grid")
@@ -239,7 +248,9 @@ class ArrayPopulationView(Population):
     @property
     def _members(self) -> list[Individual]:  # type: ignore[override]
         if self._cache is None or self._cache_version != self._state.version:
-            matrix, objectives = self._state.matrix, self._state.objectives
+            backend = active_backend()
+            matrix = backend.asnumpy(self._state.matrix)
+            objectives = backend.asnumpy(self._state.objectives)
             self._cache = [
                 Individual.from_row(self._problem, matrix[i], objectives[i])
                 for i in range(matrix.shape[0])
@@ -254,13 +265,17 @@ class ArrayPopulationView(Population):
         return self._state.objectives.copy()
 
     def best(self) -> Individual:
+        backend = active_backend()
         i = int(np.argmin(self._state.objectives))
-        return Individual.from_row(self._problem, self._state.matrix[i],
+        return Individual.from_row(self._problem,
+                                   backend.asnumpy(self._state.matrix[i]),
                                    self._state.objectives[i])
 
     def worst(self) -> Individual:
+        backend = active_backend()
         i = int(np.argmax(self._state.objectives))
-        return Individual.from_row(self._problem, self._state.matrix[i],
+        return Individual.from_row(self._problem,
+                                   backend.asnumpy(self._state.matrix[i]),
                                    self._state.objectives[i])
 
     def stats(self):
@@ -268,7 +283,7 @@ class ArrayPopulationView(Population):
         obj = self._state.objectives
         if obj.size == 0 or np.isnan(obj).any():
             raise ValueError("stats() requires a fully evaluated population")
-        unique = np.unique(self._state.matrix, axis=0).shape[0]
+        unique = _xp().unique(self._state.matrix, axis=0).shape[0]
         return PopulationStats(
             size=int(obj.size),
             best=float(obj.min()),
@@ -297,6 +312,7 @@ def make_offspring_matrix(state: ArrayState, config: Any, problem: Any,
     operator applications are batched.  Returns the ``(count, n_genes)``
     offspring matrix (unevaluated).
     """
+    xp = _xp()
     matrix, objectives = state.matrix, state.objectives
     fitness = apply_fitness_array(objectives, config.fitness_transform)
     n_immigrants = int(round(config.immigration_rate * count))
@@ -308,13 +324,13 @@ def make_offspring_matrix(state: ArrayState, config: Any, problem: Any,
         parents = matrix[parent_idx]
         A, B = parents[0::2], parents[1::2]
         gates = rng.random(A.shape[0]) < config.crossover_rate
-        child_a, child_b = A.copy(), B.copy()
+        child_a, child_b = xp.copy(A), xp.copy(B)
         if gates.any():
             cross = batch_crossover_for(config.crossover)
             xa, xb = cross(A[gates], B[gates], rng)
             child_a[gates] = xa
             child_b[gates] = xb
-        bred = np.empty((2 * A.shape[0], matrix.shape[1]),
+        bred = xp.empty((2 * A.shape[0], matrix.shape[1]),
                         dtype=matrix.dtype)
         bred[0::2] = child_a
         bred[1::2] = child_b
@@ -328,8 +344,8 @@ def make_offspring_matrix(state: ArrayState, config: Any, problem: Any,
         parts.append(random_matrix(problem, n_immigrants, rng)
                      .astype(matrix.dtype, copy=False))
     if not parts:
-        return np.empty((0, matrix.shape[1]), dtype=matrix.dtype)
-    return parts[0] if len(parts) == 1 else np.concatenate(parts)
+        return xp.empty((0, matrix.shape[1]), dtype=matrix.dtype)
+    return parts[0] if len(parts) == 1 else xp.concatenate(parts)
 
 
 def elitist_merge_arrays(state: ArrayState, offspring: np.ndarray,
@@ -341,6 +357,7 @@ def elitist_merge_arrays(state: ArrayState, offspring: np.ndarray,
     (+ next-best parents when offspring run short), in the same
     best-first, tie-stable order as the object substrate.
     """
+    xp = _xp()
     parent_obj = state.objectives
     elite_idx = stable_topk(parent_obj, min(n_elites, len(state)))
     n_fill = min(size - elite_idx.size, offspring.shape[0])
@@ -353,4 +370,4 @@ def elitist_merge_arrays(state: ArrayState, offspring: np.ndarray,
         backfill = order[elite_idx.size:elite_idx.size + short]
         rows.append(state.matrix[backfill])
         objs.append(parent_obj[backfill])
-    return np.concatenate(rows), np.concatenate(objs)
+    return xp.concatenate(rows), xp.concatenate(objs)

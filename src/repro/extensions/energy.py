@@ -32,6 +32,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.backend import active_namespace as _xp
 from ..scheduling.instance import FlowShopInstance, ShopInstance
 from ..scheduling.schedule import Schedule
 
@@ -155,17 +156,18 @@ def flowshop_energy_population(instance: FlowShopInstance,
     the result is bit-identical to scoring decoded schedules per row.
     """
     from ..scheduling.flowshop import flowshop_completion_tensor
-    perms = np.asarray(permutations, dtype=np.int64)
+    xp = _xp()
+    perms = xp.asarray(permutations, dtype=xp.int64)
     comp = flowshop_completion_tensor(instance, perms)     # (P, n, m)
-    p = instance.processing[perms]                         # (P, n, m)
+    p = xp.asarray(instance.processing)[perms]             # (P, n, m)
     starts = comp - p
     durations = comp - starts       # end - (end - p): matches op.duration
     pop = perms.shape[0]
-    total = np.zeros(pop)
+    total = xp.zeros(pop)
     for k in range(instance.n_machines):
-        busy = np.ascontiguousarray(durations[:, :, k]).sum(axis=1)
+        busy = xp.ascontiguousarray(durations[:, :, k]).sum(axis=1)
         horizon = comp[:, -1, k] - starts[:, 0, k]
-        idle = np.maximum(0.0, horizon - busy)
+        idle = xp.maximum(0.0, horizon - busy)
         total += busy * power.processing_power[k] + idle * power.idle_power[k]
     return total
 
@@ -182,25 +184,26 @@ def flowshop_peak_power_population(instance: FlowShopInstance,
     schedule per row.
     """
     from ..scheduling.flowshop import flowshop_completion_tensor
-    perms = np.asarray(permutations, dtype=np.int64)
+    xp = _xp()
+    perms = xp.asarray(permutations, dtype=xp.int64)
     comp = flowshop_completion_tensor(instance, perms)     # (P, n, m)
-    p = instance.processing[perms]
+    p = xp.asarray(instance.processing)[perms]
     starts = comp - p
     pop, n = perms.shape
     m = instance.n_machines
     if n == 0 or m == 0:
-        return np.zeros(pop)
-    ts = np.concatenate([starts.reshape(pop, n * m),
+        return xp.zeros(pop)
+    ts = xp.concatenate([starts.reshape(pop, n * m),
                          comp.reshape(pop, n * m)], axis=1)  # (P, T)
-    draw = np.zeros(ts.shape)
+    draw = xp.zeros(ts.shape)
     for k in range(m):
         window = ((ts >= starts[:, 0, k][:, None])
                   & (ts < comp[:, -1, k][:, None]))
-        machine_draw = np.where(window, power.idle_power[k], 0.0)
+        machine_draw = xp.where(window, power.idle_power[k], 0.0)
         for i in range(n):
             busy = ((ts >= starts[:, i, k][:, None])
                     & (ts < comp[:, i, k][:, None]))
-            machine_draw = np.where(busy, power.processing_power[k],
+            machine_draw = xp.where(busy, power.processing_power[k],
                                     machine_draw)
         draw += machine_draw
     return draw.max(axis=1)
@@ -287,14 +290,15 @@ class _FlowShopEnergyCappedEvaluator:
         self.objective = objective
 
     def __call__(self, chromosomes: np.ndarray) -> np.ndarray:
-        perms = np.asarray(chromosomes, dtype=np.int64)
+        xp = _xp()
+        perms = xp.asarray(chromosomes, dtype=xp.int64)
         if perms.shape[0] == 0:
-            return np.zeros(0)
+            return xp.zeros(0)
         power = self.objective.power_for(self.instance)
         from ..scheduling.flowshop import flowshop_makespan_population
         cmax = flowshop_makespan_population(self.instance, perms)
         peak = flowshop_peak_power_population(self.instance, perms, power)
-        overshoot = np.maximum(0.0, peak - self.objective.peak_cap)
+        overshoot = xp.maximum(0.0, peak - self.objective.peak_cap)
         return cmax + self.objective.penalty * overshoot
 
 
@@ -344,9 +348,10 @@ class _FlowShopEnergyMakespanEvaluator:
         self.objective = objective
 
     def __call__(self, chromosomes: np.ndarray) -> np.ndarray:
-        perms = np.asarray(chromosomes, dtype=np.int64)
+        xp = _xp()
+        perms = xp.asarray(chromosomes, dtype=xp.int64)
         if perms.shape[0] == 0:
-            return np.zeros(0)
+            return xp.zeros(0)
         power = self.objective.power_for(self.instance)
         from ..scheduling.flowshop import flowshop_makespan_population
         energy = flowshop_energy_population(self.instance, perms, power)

@@ -41,6 +41,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..core.backend import active_namespace as _xp
 from ..scheduling.instance import FlowShopInstance
 from ..encodings.base import GenomeKind
 
@@ -103,11 +104,12 @@ class TFN:
 def _membership(x: np.ndarray, a: np.ndarray, b: np.ndarray,
                 c: np.ndarray) -> np.ndarray:
     """Triangular membership, elementwise over broadcastable arrays."""
-    with np.errstate(over="ignore"):
-        up = np.where(b > a, (x - a) / np.where(b > a, b - a, 1.0), 1.0)
-        down = np.where(c > b, (c - x) / np.where(c > b, c - b, 1.0), 1.0)
-    mu = np.clip(np.minimum(up, down), 0.0, 1.0)
-    return np.where((x < a) | (x > c), 0.0, mu)
+    xp = _xp()
+    with xp.errstate(over="ignore"):
+        up = xp.where(b > a, (x - a) / xp.where(b > a, b - a, 1.0), 1.0)
+        down = xp.where(c > b, (c - x) / xp.where(c > b, c - b, 1.0), 1.0)
+    mu = xp.clip(xp.minimum(up, down), 0.0, 1.0)
+    return xp.where((x < a) | (x > c), 0.0, mu)
 
 
 def _edge_cross(num: np.ndarray, den: np.ndarray,
@@ -115,9 +117,10 @@ def _edge_cross(num: np.ndarray, den: np.ndarray,
     """``num / den`` with non-finite results (parallel/degenerate edges)
     replaced by ``fallback`` -- a spurious breakpoint candidate never
     changes a piecewise-linear integral, so no special-casing is needed."""
-    with np.errstate(divide="ignore", invalid="ignore"):
+    xp = _xp()
+    with xp.errstate(divide="ignore", invalid="ignore"):
         x = num / den
-    return np.where(np.isfinite(x), x, fallback)
+    return xp.where(xp.isfinite(x), x, fallback)
 
 
 def batch_agreement_index(completion: np.ndarray,
@@ -134,11 +137,12 @@ def batch_agreement_index(completion: np.ndarray,
     Degenerate completions with ``Area(C) = 0`` score 0, matching the
     historical grid-based behaviour.
     """
-    comp, d = np.broadcast_arrays(np.asarray(completion, dtype=float),
-                                  np.asarray(due, dtype=float))
+    xp = _xp()
+    comp, d = xp.broadcast_arrays(xp.asarray(completion, dtype=xp.float64),
+                                  xp.asarray(due, dtype=xp.float64))
     ca, cb, cc = comp[..., 0], comp[..., 1], comp[..., 2]
     da, db, dc = d[..., 0], d[..., 1], d[..., 2]
-    candidates = np.stack([
+    candidates = xp.stack([
         ca, cb, cc, da, db, dc,
         # rising(C) x falling(D)
         _edge_cross(ca * (dc - db) + dc * (cb - ca),
@@ -153,19 +157,19 @@ def batch_agreement_index(completion: np.ndarray,
         _edge_cross(cc * (dc - db) - dc * (cc - cb),
                     (cc - cb) - (dc - db), ca),
     ], axis=-1)
-    xs = np.sort(candidates, axis=-1)
+    xs = xp.sort(candidates, axis=-1)
     widths = xs[..., 1:] - xs[..., :-1]
     mids = 0.5 * (xs[..., :-1] + xs[..., 1:])
-    mu = np.minimum(
+    mu = xp.minimum(
         _membership(mids, ca[..., None], cb[..., None], cc[..., None]),
         _membership(mids, da[..., None], db[..., None], dc[..., None]))
-    inter = np.zeros(ca.shape)
+    inter = xp.zeros(ca.shape)
     for i in range(mu.shape[-1]):           # fixed 9 intervals, kept as an
         inter += widths[..., i] * mu[..., i]  # ordered sum for bit-stability
     area_c = 0.5 * (cc - ca)
-    ai = np.divide(inter, area_c, out=np.zeros_like(inter),
+    ai = xp.divide(inter, area_c, out=xp.zeros_like(inter),
                    where=area_c > 0)
-    return np.clip(ai, 0.0, 1.0)
+    return xp.clip(ai, 0.0, 1.0)
 
 
 def agreement_index(completion: TFN, due: TFN) -> float:
@@ -285,7 +289,8 @@ def fuzzy_completion_population(instance: FuzzyFlowShopInstance,
     population axis; row ``p`` is bit-identical to the scalar recurrence
     on ``permutations[p]``.
     """
-    perms = np.asarray(permutations, dtype=np.int64)
+    xp = _xp()
+    perms = xp.asarray(permutations, dtype=xp.int64)
     if perms.ndim != 2:
         raise ValueError("permutations must be (P, n)")
     pop, n = perms.shape
@@ -293,17 +298,17 @@ def fuzzy_completion_population(instance: FuzzyFlowShopInstance,
         raise ValueError(
             f"permutations must have n_jobs = {instance.n_jobs} columns")
     m = instance.n_machines
-    proc = instance.processing_tensor
-    rows = np.arange(pop)
-    prev = np.zeros((pop, m, 3))
-    completion = np.zeros((pop, n, 3))
+    proc = xp.asarray(instance.processing_tensor)
+    rows = xp.arange(pop, dtype=xp.int64)
+    prev = xp.zeros((pop, m, 3))
+    completion = xp.zeros((pop, n, 3))
     for i in range(n):
         jobs = perms[:, i]
         p_i = proc[jobs]                        # (P, m, 3)
         t = prev[:, 0] + p_i[:, 0]
         prev[:, 0] = t
         for k in range(1, m):
-            t = np.maximum(t, prev[:, k]) + p_i[:, k]
+            t = xp.maximum(t, prev[:, k]) + p_i[:, k]
             prev[:, k] = t
         completion[rows, jobs] = t
     return completion
@@ -354,8 +359,9 @@ class FuzzyFlowShopEncoding:
         return np.argsort(np.asarray(genome), kind="stable").astype(np.int64)
 
     def permutation_matrix(self, matrix: np.ndarray) -> np.ndarray:
-        return np.argsort(np.asarray(matrix), axis=1,
-                          kind="stable").astype(np.int64)
+        xp = _xp()
+        return xp.stable_argsort(xp.asarray(matrix),
+                                 axis=1).astype(xp.int64)
 
     def decode(self, genome: np.ndarray):
         """Decode via the cached crisp (defuzzified) flow shop schedule."""

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.backend import active_namespace as _xp
 from ..encodings.base import GenomeKind
 from ..scheduling.batch import batch_completion_operation_sequence_scenarios
 from ..scheduling.instance import JobShopInstance
@@ -117,15 +118,16 @@ class StochasticJobShopInstance:
         the same order as :meth:`expected_makespan`, so the result is
         bit-identical to the scalar loop per row.
         """
-        seqs = np.asarray(sequences, dtype=np.int64)
+        xp = _xp()
+        seqs = xp.asarray(sequences, dtype=xp.int64)
         if seqs.ndim == 1:
             seqs = seqs[None, :]
         if seqs.shape[0] == 0:
-            return np.zeros(0)
+            return xp.zeros(0)
         completion = batch_completion_operation_sequence_scenarios(
             self.base, seqs, self.processing_stack)
         cmax = completion.max(axis=2)          # (K, pop)
-        total = np.zeros(seqs.shape[0])
+        total = xp.zeros(seqs.shape[0])
         for k in range(self.n_scenarios):      # ordered sum: matches the
             total += cmax[k]                   # scalar accumulation bitwise
         return total / self.n_scenarios

@@ -5,9 +5,17 @@ parent pair) per call; this module provides their population-wide twins
 for the array substrate (:mod:`repro.core.substrate`): every function
 takes whole ``(rows, n_genes)`` chromosome matrices and performs the
 same transformation as ``rows`` scalar calls, with all per-gene work as
-NumPy array operations -- the "keep the entire generation in flat array
+array operations -- the "keep the entire generation in flat array
 form" substrate of Luo & El Baz's island/GPU follow-up papers
 (arXiv:1903.10722, arXiv:1903.10741).
+
+Every kernel routes its array math through the active backend namespace
+(:func:`repro.core.backend.active_namespace`), so the same code runs on
+``numpy`` (the default, byte-identical to calling NumPy directly), the
+CI ``instrumented`` backend (which enforces the Array-API subset), or a
+device namespace.  RNG draws stay on the ``np.random.Generator``-shaped
+``rng`` argument -- the stream contracts below are defined in terms of
+its call sequence, backend-independently.
 
 Three conformance contracts hold throughout (pinned by
 ``tests/test_substrate.py``):
@@ -43,6 +51,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..core.backend import active_namespace as _xp
 from .crossover import (ArithmeticCrossover, Crossover, JobBasedCrossover,
                         NPointCrossover, OrderCrossover,
                         ParameterizedUniformCrossover, PMXCrossover,
@@ -84,16 +93,17 @@ def row_occurrence(X: np.ndarray, n_values: int) -> np.ndarray:
     group is exactly the left-to-right occurrence counter the scalar
     operators maintain one element at a time.
     """
+    xp = _xp()
     m, n = X.shape
-    keys = (X + np.arange(m, dtype=np.int64)[:, None] * n_values).ravel()
-    order = np.argsort(keys, kind="stable")
+    keys = (X + xp.arange(m, dtype=xp.int64)[:, None] * n_values).ravel()
+    order = xp.stable_argsort(keys)
     sorted_keys = keys[order]
-    pos = np.arange(keys.size, dtype=np.int64)
-    starts = np.empty(keys.size, dtype=bool)
+    pos = xp.arange(keys.size, dtype=xp.int64)
+    starts = xp.empty(keys.size, dtype=bool)
     starts[0] = True
-    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=starts[1:])
-    group_start = np.maximum.accumulate(np.where(starts, pos, 0))
-    occ = np.empty(keys.size, dtype=np.int64)
+    starts[1:] = sorted_keys[1:] != sorted_keys[:-1]
+    group_start = xp.maximum_accumulate(xp.where(starts, pos, 0))
+    occ = xp.empty(keys.size, dtype=xp.int64)
     occ[order] = pos - group_start
     return occ.reshape(m, n)
 
@@ -104,11 +114,12 @@ def row_bincount(X: np.ndarray, n_values: int,
 
     ``mask`` restricts counting to selected positions.
     """
+    xp = _xp()
     m, n = X.shape
-    keys = X + np.arange(m, dtype=np.int64)[:, None] * n_values
+    keys = X + xp.arange(m, dtype=xp.int64)[:, None] * n_values
     if mask is not None:
         keys = keys[mask]
-    return np.bincount(keys.ravel(),
+    return xp.bincount(keys.ravel(),
                        minlength=m * n_values).reshape(m, n_values)
 
 
@@ -125,15 +136,16 @@ def batch_repair_to_multiset(children: np.ndarray, counts: np.ndarray,
     scalar repair.  Requires each donor row to cover its row's missing
     values (true whenever parents share a multiset, the GA invariant).
     """
+    xp = _xp()
     m, n = children.shape
     n_values = counts.shape[1]
     occ_child = row_occurrence(children, n_values)
-    rows = np.arange(m)[:, None]
+    rows = xp.arange(m, dtype=xp.int64)[:, None]
     legal = occ_child < counts[rows, children]
     if legal.all():
         return children.copy()
     child_counts = row_bincount(children, n_values)
-    missing = counts - np.minimum(child_counts, counts)
+    missing = counts - xp.minimum(child_counts, counts)
     occ_donor = row_occurrence(donors, n_values)
     take = occ_donor < missing[rows, donors]
     out = children.copy()
@@ -147,11 +159,12 @@ def _sorted_distinct_pairs(n: int, rows: int, rng: np.random.Generator,
                            high: int | None = None
                            ) -> tuple[np.ndarray, np.ndarray]:
     """Per-row uniform distinct index pairs ``lo < hi`` in ``[0, n)``."""
+    xp = _xp()
     high = n if high is None else high
     i = rng.integers(0, high, size=rows)
     j = rng.integers(0, high - 1, size=rows)
     j = j + (j >= i)
-    return np.minimum(i, j), np.maximum(i, j)
+    return xp.minimum(i, j), xp.maximum(i, j)
 
 
 # -- crossover kernels (deterministic given cuts/masks) --------------------------
@@ -163,10 +176,11 @@ def ox_kernel(A: np.ndarray, B: np.ndarray, lo: np.ndarray,
     Bit-identical to ``OrderCrossover._ox_child`` per row (multiset-safe,
     wrap-around fill order).
     """
+    xp = _xp()
     m, n = A.shape
     n_values = _value_range(A, B)
-    rows = np.arange(m)[:, None]
-    pos = np.arange(n)
+    rows = xp.arange(m, dtype=xp.int64)[:, None]
+    pos = xp.arange(n, dtype=xp.int64)
     seg = (pos >= lo[:, None]) & (pos < hi[:, None])
     counts = row_bincount(A, n_values)
     used = row_bincount(A, n_values, mask=seg)
@@ -174,13 +188,13 @@ def ox_kernel(A: np.ndarray, B: np.ndarray, lo: np.ndarray,
     # rotated frame: slot t holds original position (hi + t) mod n, so
     # slots 0 .. n-seg_len-1 enumerate hi..n-1, 0..lo-1 -- the OX fill order
     rot_idx = (hi[:, None] + pos) % n
-    B_rot = np.take_along_axis(B, rot_idx, axis=1)
+    B_rot = xp.take_along_axis(B, rot_idx, axis=1)
     occ = row_occurrence(B_rot, n_values)
     take = occ < need[rows, B_rot]
     seg_len = hi - lo
     fill_slots = pos < (n - seg_len)[:, None]
     child = A.copy()
-    child[np.nonzero(fill_slots)[0], rot_idx[fill_slots]] = B_rot[take]
+    child[xp.nonzero(fill_slots)[0], rot_idx[fill_slots]] = B_rot[take]
     return child
 
 
@@ -193,23 +207,24 @@ def pmx_kernel(A: np.ndarray, B: np.ndarray, lo: np.ndarray,
     they leave the segment's value set (chains resolved iteratively, all
     rows at once).
     """
+    xp = _xp()
     m, n = A.shape
-    rows = np.arange(m)[:, None]
-    pos = np.arange(n)
+    rows = xp.arange(m, dtype=xp.int64)[:, None]
+    pos = xp.arange(n, dtype=xp.int64)
     seg = (pos >= lo[:, None]) & (pos < hi[:, None])
-    seg_rows = np.nonzero(seg)[0]
-    mapping = np.tile(np.arange(n, dtype=np.int64), (m, 1))
+    seg_rows = xp.nonzero(seg)[0]
+    mapping = xp.tile(xp.arange(n, dtype=xp.int64), (m, 1))
     mapping[seg_rows, B[seg]] = A[seg]
-    in_b_seg = np.zeros((m, n), dtype=bool)
+    in_b_seg = xp.zeros((m, n), dtype=bool)
     in_b_seg[seg_rows, B[seg]] = True
     values = A.copy()
     conflict = in_b_seg[rows, values] & ~seg
     for _ in range(n):
         if not conflict.any():
             break
-        values = np.where(conflict, mapping[rows, values], values)
+        values = xp.where(conflict, mapping[rows, values], values)
         conflict = in_b_seg[rows, values] & ~seg
-    return np.where(seg, B, values)
+    return xp.where(seg, B, values)
 
 
 def jox_kernel(A: np.ndarray, B: np.ndarray, keep: np.ndarray) -> np.ndarray:
@@ -218,9 +233,10 @@ def jox_kernel(A: np.ndarray, B: np.ndarray, keep: np.ndarray) -> np.ndarray:
 
     Bit-identical to ``JobBasedCrossover._jox_child`` per row.
     """
-    rows = np.arange(A.shape[0])[:, None]
+    xp = _xp()
+    rows = xp.arange(A.shape[0], dtype=xp.int64)[:, None]
     mask_a = keep[rows, A]
-    child = np.where(mask_a, A, -1)
+    child = xp.where(mask_a, A, -1)
     child[~mask_a] = B[~keep[rows, B]]
     return child
 
@@ -232,20 +248,22 @@ def npoint_kernel(A: np.ndarray, B: np.ndarray,
     Returns the raw (pre-repair) children; segment parity starts at
     parent A exactly like ``NPointCrossover``.
     """
+    xp = _xp()
     m, n = A.shape
-    delta = np.zeros((m, n), dtype=np.int64)
-    np.add.at(delta, (np.arange(m)[:, None], cuts), 1)
-    mask = (np.cumsum(delta, axis=1) % 2).astype(bool)
-    return np.where(mask, B, A), np.where(mask, A, B)
+    delta = xp.zeros((m, n), dtype=xp.int64)
+    xp.scatter_add(delta, (xp.arange(m, dtype=xp.int64)[:, None], cuts), 1)
+    mask = (xp.cumsum(delta, axis=1) % 2).astype(bool)
+    return xp.where(mask, B, A), xp.where(mask, A, B)
 
 
 def inversion_kernel(X: np.ndarray, lo: np.ndarray,
                      hi: np.ndarray) -> np.ndarray:
     """Reverse the inclusive segment ``[lo, hi]`` of every row."""
-    pos = np.arange(X.shape[1])
+    xp = _xp()
+    pos = xp.arange(X.shape[1], dtype=xp.int64)
     seg = (pos >= lo[:, None]) & (pos <= hi[:, None])
-    idx = np.where(seg, lo[:, None] + hi[:, None] - pos, pos)
-    return np.take_along_axis(X, idx, axis=1)
+    idx = xp.where(seg, lo[:, None] + hi[:, None] - pos, pos)
+    return xp.take_along_axis(X, idx, axis=1)
 
 
 def shift_kernel(X: np.ndarray, src: np.ndarray,
@@ -254,14 +272,15 @@ def shift_kernel(X: np.ndarray, src: np.ndarray,
 
     Bit-identical to ``ShiftMutation``'s delete-then-insert per row.
     """
+    xp = _xp()
     m, n = X.shape
-    pos = np.arange(n)[None, :]
+    pos = xp.arange(n, dtype=xp.int64)[None, :]
     s, d = src[:, None], dst[:, None]
     after_delete = pos - (pos > s)
     dest = after_delete + (after_delete >= d)
-    dest = np.where(pos == s, d, dest)
-    out = np.empty_like(X)
-    out[np.arange(m)[:, None], dest] = X
+    dest = xp.where(pos == s, d, dest)
+    out = xp.empty_like(X)
+    out[xp.arange(m, dtype=xp.int64)[:, None], dest] = X
     return out
 
 
@@ -316,18 +335,19 @@ def _repair_pair(A, B, CA, CB):
 @register_batch_crossover(NPointCrossover)
 def _batch_npoint(op: NPointCrossover, A: np.ndarray, B: np.ndarray,
                   rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    xp = _xp()
     m, n = A.shape
     if n < 2:
         return A.copy(), B.copy()
     k = min(op.points, n - 1)
     if k == n - 1:
-        cuts = np.tile(np.arange(1, n, dtype=np.int64), (m, 1))
+        cuts = xp.tile(xp.arange(1, n, dtype=xp.int64), (m, 1))
     else:
         # k smallest random keys over positions 1..n-1 = a uniform
         # k-subset without replacement, like the scalar rng.choice
         keys = rng.random((m, n - 1))
-        cuts = np.sort(np.argpartition(keys, k - 1, axis=1)[:, :k],
-                       axis=1) + 1
+        cuts = xp.sort(xp.argpartition(keys, k - 1, axis=1)[:, :k],
+                       axis=1).astype(xp.int64) + 1
     CA, CB = npoint_kernel(A, B, cuts)
     if op.repair and np.issubdtype(A.dtype, np.integer):
         CA, CB = _repair_pair(A, B, CA, CB)
@@ -337,9 +357,10 @@ def _batch_npoint(op: NPointCrossover, A: np.ndarray, B: np.ndarray,
 @register_batch_crossover(UniformCrossover)
 def _batch_uniform(op: UniformCrossover, A: np.ndarray, B: np.ndarray,
                    rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    xp = _xp()
     mask = rng.random(A.shape) < op.swap_prob
-    CA = np.where(mask, B, A)
-    CB = np.where(mask, A, B)
+    CA = xp.where(mask, B, A)
+    CB = xp.where(mask, A, B)
     if op.repair and np.issubdtype(A.dtype, np.integer):
         CA, CB = _repair_pair(A, B, CA, CB)
     return CA, CB
@@ -349,18 +370,20 @@ def _batch_uniform(op: UniformCrossover, A: np.ndarray, B: np.ndarray,
 def _batch_param_uniform(op: ParameterizedUniformCrossover, A: np.ndarray,
                          B: np.ndarray, rng: np.random.Generator
                          ) -> tuple[np.ndarray, np.ndarray]:
-    A = np.asarray(A, dtype=float)
-    B = np.asarray(B, dtype=float)
+    xp = _xp()
+    A = xp.asarray(A, dtype=xp.float64)
+    B = xp.asarray(B, dtype=xp.float64)
     take_a = rng.random(A.shape) < op.bias
-    return np.where(take_a, A, B), np.where(take_a, B, A)
+    return xp.where(take_a, A, B), xp.where(take_a, B, A)
 
 
 @register_batch_crossover(ArithmeticCrossover)
 def _batch_arithmetic(op: ArithmeticCrossover, A: np.ndarray, B: np.ndarray,
                       rng: np.random.Generator
                       ) -> tuple[np.ndarray, np.ndarray]:
-    A = np.asarray(A, dtype=float)
-    B = np.asarray(B, dtype=float)
+    xp = _xp()
+    A = xp.asarray(A, dtype=xp.float64)
+    B = xp.asarray(B, dtype=xp.float64)
     if op.fixed_weight is not None:
         w = op.fixed_weight
     else:
@@ -381,11 +404,12 @@ def register_batch_mutation(scalar_cls: type):
 @register_batch_mutation(SwapMutation)
 def _batch_swap(op: SwapMutation, X: np.ndarray,
                 rng: np.random.Generator) -> np.ndarray:
+    xp = _xp()
     m, n = X.shape
     out = X.copy()
     if n < 2:
         return out
-    rows = np.arange(m)
+    rows = xp.arange(m, dtype=xp.int64)
     for _ in range(op.pairs):
         i, j = _sorted_distinct_pairs(n, m, rng)
         vi = out[rows, i].copy()
@@ -418,11 +442,12 @@ def _batch_inversion(op: InversionMutation, X: np.ndarray,
 @register_batch_mutation(GaussianKeyMutation)
 def _batch_gaussian(op: GaussianKeyMutation, X: np.ndarray,
                     rng: np.random.Generator) -> np.ndarray:
-    out = np.asarray(X, dtype=float).copy()
+    xp = _xp()
+    out = xp.asarray(X, dtype=xp.float64).copy()
     mask = rng.random(out.shape) < op.rate
     hits = int(mask.sum())
     if hits:
-        out[mask] = np.clip(out[mask] + rng.normal(0, op.sigma, hits),
+        out[mask] = xp.clip(out[mask] + rng.normal(0, op.sigma, hits),
                             0.0, 1.0 - 1e-12)
     return out
 
@@ -443,59 +468,66 @@ def register_batch_selection(scalar_cls: type):
 
 @register_batch_selection(RouletteWheelSelection)
 def _batch_roulette(op, fitness, objectives, k, rng) -> np.ndarray:
+    xp = _xp()
     probs = _normalised_probs(fitness)
-    return np.asarray(
+    return xp.asarray(
         rng.choice(fitness.size, size=k, replace=True, p=probs),
-        dtype=np.int64)
+        dtype=xp.int64)
 
 
 @register_batch_selection(StochasticUniversalSampling)
 def _batch_sus(op, fitness, objectives, k, rng) -> np.ndarray:
+    xp = _xp()
     probs = _normalised_probs(fitness)
-    cum = np.cumsum(probs)
+    cum = xp.cumsum(probs)
     start = rng.random() / k
-    pointers = start + np.arange(k) / k
-    idx = np.searchsorted(cum, pointers, side="right")
-    idx = np.clip(idx, 0, fitness.size - 1)
+    pointers = start + xp.arange(k, dtype=xp.int64) / k
+    idx = xp.searchsorted(cum, pointers, side="right")
+    idx = xp.clip(idx, 0, fitness.size - 1)
     # the scalar twin shuffles a Python list of chosen individuals; use a
     # list here too so the Fisher-Yates draws (and permutation) match
     chosen = [int(i) for i in idx]
     rng.shuffle(chosen)
-    return np.asarray(chosen, dtype=np.int64)
+    return xp.asarray(chosen, dtype=xp.int64)
 
 
 @register_batch_selection(TournamentSelection)
 def _batch_tournament(op: TournamentSelection, fitness, objectives, k,
                       rng) -> np.ndarray:
+    xp = _xp()
     n = fitness.size
     entrants = rng.integers(0, n, size=(k, op.size))
-    winners = entrants[np.arange(k), np.argmax(fitness[entrants], axis=1)]
-    return winners.astype(np.int64)
+    winners = entrants[xp.arange(k, dtype=xp.int64),
+                       xp.argmax(fitness[entrants], axis=1)]
+    return winners.astype(xp.int64)
 
 
 @register_batch_selection(ElitistRouletteSelection)
 def _batch_elitist_roulette(op: ElitistRouletteSelection, fitness,
                             objectives, k, rng) -> np.ndarray:
+    xp = _xp()
     n_elite = min(k, int(round(op.elite_fraction * k)))
-    elites = np.argsort(objectives, kind="stable")[:n_elite]
+    elites = xp.stable_argsort(objectives)[:n_elite]
     rest = _batch_roulette(op._roulette, fitness, objectives, k - n_elite,
                            rng)
-    return np.concatenate([elites.astype(np.int64), rest])
+    return xp.concatenate([elites.astype(xp.int64), rest])
 
 
 @register_batch_selection(RandomSelection)
 def _batch_random(op, fitness, objectives, k, rng) -> np.ndarray:
-    return np.asarray(rng.integers(0, fitness.size, size=k), dtype=np.int64)
+    xp = _xp()
+    return xp.asarray(rng.integers(0, fitness.size, size=k), dtype=xp.int64)
 
 
 @register_batch_selection(RankSelection)
 def _batch_rank(op, fitness, objectives, k, rng) -> np.ndarray:
-    order = np.argsort(np.argsort(fitness))  # 0 = worst
-    weights = (order + 1).astype(float)
+    xp = _xp()
+    order = xp.argsort(xp.argsort(fitness))  # 0 = worst
+    weights = (order + 1).astype(xp.float64)
     probs = weights / weights.sum()
-    return np.asarray(
+    return xp.asarray(
         rng.choice(fitness.size, size=k, replace=True, p=probs),
-        dtype=np.int64)
+        dtype=xp.int64)
 
 
 # -- dispatch --------------------------------------------------------------------

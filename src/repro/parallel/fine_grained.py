@@ -49,6 +49,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..core.backend import active_namespace as _xp
 from ..core.ga import GAConfig, GAResult
 from ..core.individual import Individual
 from ..core.observers import HistoryRecorder, Observer
@@ -94,10 +95,11 @@ def grid_neighbor_table(rows: int, cols: int,
     substrate turns neighbourhood selection into one gather through this
     table; it is position-only, so one table serves the whole run.
     """
-    r = np.arange(rows, dtype=np.int64)[:, None, None]
-    c = np.arange(cols, dtype=np.int64)[None, :, None]
-    dr = np.asarray([o[0] for o in offsets], dtype=np.int64)
-    dc = np.asarray([o[1] for o in offsets], dtype=np.int64)
+    xp = _xp()
+    r = xp.arange(rows, dtype=xp.int64)[:, None, None]
+    c = xp.arange(cols, dtype=xp.int64)[None, :, None]
+    dr = xp.asarray([o[0] for o in offsets], dtype=xp.int64)
+    dc = xp.asarray([o[1] for o in offsets], dtype=xp.int64)
     flat = ((r + dr) % rows) * cols + (c + dc) % cols
     return flat.reshape(rows * cols, len(offsets))
 
@@ -213,7 +215,8 @@ class CellularGA:
             objectives = self.problem.evaluate_many(
                 [self.problem.unstack_row(row) for row in matrix])
         self.state.evaluations += matrix.shape[0]
-        return np.asarray(objectives, dtype=float)
+        xp = _xp()
+        return xp.asarray(objectives, dtype=xp.float64)
 
     def initialize(self) -> None:
         """Random grid, fully evaluated."""
@@ -294,13 +297,14 @@ class CellularGA:
             mate_rows.append(integers(0, n_nbr, size=2))
             cross_draws.append(random())
             mut_draws.append(random())
-        mates = np.asarray(mate_rows, dtype=np.int64)
-        cross_gate = np.asarray(cross_draws) < cross_rate
-        mut_gate = np.asarray(mut_draws) < mut_rate
-        cand = np.take_along_axis(table, mates, axis=1)
+        xp = _xp()
+        mates = xp.asarray(mate_rows, dtype=xp.int64)
+        cross_gate = xp.asarray(cross_draws) < cross_rate
+        mut_gate = xp.asarray(mut_draws) < mut_rate
+        cand = xp.take_along_axis(table, mates, axis=1)
         a, b = cand[:, 0], cand[:, 1]
-        mate_idx = np.where(objectives[a] <= objectives[b], a, b)
-        children = matrix.copy()
+        mate_idx = xp.where(objectives[a] <= objectives[b], a, b)
+        children = xp.copy(matrix)
         if cross_gate.any():
             cross = batch_crossover_for(cfg.crossover)
             child_a, _child_b = cross(matrix[cross_gate],
@@ -311,7 +315,7 @@ class CellularGA:
             children[mut_gate] = mutate(children[mut_gate], rng)
         child_objectives = self._evaluate_matrix(children)
         if self.replacement == "always":
-            accept = np.ones(n, dtype=bool)
+            accept = xp.ones(n, dtype=bool)
         else:
             accept = child_objectives < objectives
         matrix[accept] = children[accept]

@@ -24,6 +24,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from ..core.backend import active_namespace as _xp
 from ..core.ga import GAConfig
 from ..core.individual import Individual
 from ..core.observers import HistoryRecorder
@@ -90,9 +91,10 @@ class IslandOfCellularGA:
         slice view, per-generation updates copy in place, and migration
         becomes row assignment on the shared tensor.
         """
-        self._tensor = np.stack([isl.grid_state.matrix
+        xp = _xp()
+        self._tensor = xp.stack([isl.grid_state.matrix
                                  for isl in self.islands])
-        self._tensor_objectives = np.stack([isl.grid_state.objectives
+        self._tensor_objectives = xp.stack([isl.grid_state.objectives
                                             for isl in self.islands])
         for i, isl in enumerate(self.islands):
             isl.grid_state.matrix = self._tensor[i]
@@ -157,8 +159,9 @@ class IslandOfCellularGA:
         for tgt, ship in shipments.items():
             if not ship:
                 continue
-            rows = np.concatenate([r for r, _ in ship])
-            objs = np.concatenate([o for _, o in ship])
+            xp = _xp()
+            rows = xp.concatenate([r for r, _ in ship])
+            objs = xp.concatenate([o for _, o in ship])
             integrate_immigrant_rows(self.islands[tgt].grid_state, rows,
                                      objs, integrate_policy,
                                      self._migration_rng)
@@ -294,13 +297,14 @@ class TwoLevelIslandGA:
         """Array-substrate broadcast: best rows gathered, worst replaced."""
         from .migration import integrate_immigrant_rows
         inner = self.inner
+        xp = _xp()
         states = [inner.islands[i].arrays for i in inner._active]
         best_idx = [int(np.argmin(s.objectives)) for s in states]
-        rows = np.stack([s.matrix[b].copy()
+        rows = xp.stack([xp.copy(s.matrix[b])
                          for s, b in zip(states, best_idx)])
-        objs = np.array([float(s.objectives[b])
-                         for s, b in zip(states, best_idx)])
-        keep = np.arange(len(states))
+        objs = xp.asarray([float(s.objectives[b])
+                           for s, b in zip(states, best_idx)])
+        keep = xp.arange(len(states), dtype=xp.int64)
         for k, i in enumerate(inner._active):
             others = keep != k
             integrate_immigrant_rows(

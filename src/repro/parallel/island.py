@@ -56,6 +56,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from ..core.backend import active_namespace as _xp
 from ..core.ga import GAConfig, SimpleGA
 from ..core.individual import Individual
 from ..core.observers import HistoryRecorder
@@ -239,8 +240,9 @@ class IslandGA:
         shapes = {isl.arrays.matrix.shape for isl in self.islands}
         if len(shapes) != 1:
             return
-        self._tensor = np.stack([isl.arrays.matrix for isl in self.islands])
-        self._tensor_objectives = np.stack(
+        xp = _xp()
+        self._tensor = xp.stack([isl.arrays.matrix for isl in self.islands])
+        self._tensor_objectives = xp.stack(
             [isl.arrays.objectives for isl in self.islands])
         for i, isl in enumerate(self.islands):
             isl.arrays.matrix = self._tensor[i]
@@ -258,11 +260,12 @@ class IslandGA:
             # concatenate the island arrays instead of boxing every
             # member: the view's stats()/best() stay fully vectorised
             from ..core.substrate import ArrayPopulationView, ArrayState
+            xp = _xp()
             states = [isl.arrays for isl in self.islands
                       if isl.arrays is not None]
             merged = ArrayPopulationView(self.problem, ArrayState(
-                np.concatenate([s.matrix for s in states]),
-                np.concatenate([s.objectives for s in states])))
+                xp.concatenate([s.matrix for s in states]),
+                xp.concatenate([s.objectives for s in states])))
         else:
             merged = Population([ind for isl in self.islands
                                  if isl.population is not None
@@ -350,8 +353,9 @@ class IslandGA:
         for tgt, shipments in outbox.items():
             if not shipments:
                 continue
-            rows = np.concatenate([r for r, _ in shipments])
-            objs = np.concatenate([o for _, o in shipments])
+            xp = _xp()
+            rows = xp.concatenate([r for r, _ in shipments])
+            objs = xp.concatenate([o for _, o in shipments])
             integrate_immigrant_rows(self.islands[tgt].arrays, rows, objs,
                                      self.migration, self._migration_rng)
         return moved

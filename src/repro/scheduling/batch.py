@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.backend import active_namespace as _xp
 from .flowshop import (flowshop_completion_population,
                        flowshop_makespan_population)
 from .instance import (FlexibleJobShopInstance, FlowShopInstance,
@@ -78,25 +79,26 @@ def operation_stages(instance: JobShopInstance,
     exactly ``n_stages`` times the within-group position of sorted slot
     ``k`` is simply ``k % n_stages``.
     """
-    seqs = np.asarray(sequences, dtype=np.int64)
+    xp = _xp()
+    seqs = xp.asarray(sequences, dtype=xp.int64)
     if seqs.ndim != 2:
         raise ValueError("sequences must be a (pop_size, n_genes) matrix")
     n, g = instance.n_jobs, instance.n_stages
     if seqs.shape[1] != n * g:
         raise ValueError(
             f"sequences must have n_jobs * n_stages = {n * g} columns")
-    order = np.argsort(seqs, axis=1, kind="stable")
+    order = xp.stable_argsort(seqs, axis=1)
     if validate:
-        sorted_jobs = np.take_along_axis(seqs, order, axis=1)
-        expected = np.repeat(np.arange(n, dtype=np.int64), g)
+        sorted_jobs = xp.take_along_axis(seqs, order, axis=1)
+        expected = xp.repeat(xp.arange(n, dtype=xp.int64), g)
         bad = (sorted_jobs != expected).any(axis=1)
         if bad.any():
             raise ValueError(
                 f"rows {np.flatnonzero(bad).tolist()} are not permutations "
                 "with repetition (each job exactly n_stages times)")
-    stages = np.empty_like(seqs)
-    within = (np.arange(n * g, dtype=np.int64) % g)[None, :]
-    np.put_along_axis(stages, order, within, axis=1)
+    stages = xp.empty_like(seqs)
+    within = (xp.arange(n * g, dtype=xp.int64) % g)[None, :]
+    xp.put_along_axis(stages, order, within, axis=1)
     return stages
 
 
@@ -121,31 +123,34 @@ def batch_completion_operation_sequence(instance: JobShopInstance,
     ``(pop, machines)`` state arrays.  For invalid chromosomes the result is
     undefined unless ``validate=True`` (which raises).
     """
-    seqs = np.asarray(sequences, dtype=np.int64)
+    xp = _xp()
+    seqs = xp.asarray(sequences, dtype=xp.int64)
     if seqs.ndim == 1:
         seqs = seqs[None, :]
     pop, length = seqs.shape
     n, m = instance.n_jobs, instance.n_machines
     if pop == 0:
-        return np.zeros((0, n))
+        return xp.zeros((0, n))
     stages = operation_stages(instance, seqs, validate=validate)
-    durations = instance.processing[seqs, stages]          # (pop, L)
-    machines = instance.routing[seqs, stages]              # (pop, L)
+    proc = xp.asarray(instance.processing)
+    routing = xp.asarray(instance.routing)
+    durations = proc[seqs, stages]                         # (pop, L)
+    machines = routing[seqs, stages]                       # (pop, L)
 
     # Flattened per-individual state + column-contiguous (L, pop) index
     # tables so each scan step is a zero-copy row view.
-    base = np.arange(pop, dtype=np.int64)[:, None]
-    job_idx = np.ascontiguousarray((base * n + seqs).T)
-    mach_idx = np.ascontiguousarray((base * m + machines).T)
-    dur_cols = np.ascontiguousarray(durations.T)
+    base = xp.arange(pop, dtype=xp.int64)[:, None]
+    job_idx = xp.ascontiguousarray((base * n + seqs).T)
+    mach_idx = xp.ascontiguousarray((base * m + machines).T)
+    dur_cols = xp.ascontiguousarray(durations.T)
 
-    job_ready = np.tile(instance.release, pop)             # (pop * n,)
-    mach_ready = np.zeros(pop * m)                         # (pop * m,)
+    job_ready = xp.tile(xp.asarray(instance.release), pop)  # (pop * n,)
+    mach_ready = xp.zeros(pop * m)                          # (pop * m,)
     for i in range(length):
         ji = job_idx[i]
         mi = mach_idx[i]
         start = job_ready[ji]
-        np.maximum(start, mach_ready[mi], out=start)
+        xp.maximum(start, mach_ready[mi], out=start)
         start += dur_cols[i]
         job_ready[ji] = start
         mach_ready[mi] = start
@@ -190,10 +195,11 @@ def batch_completion_operation_sequence_scenarios(
     pairs -- the stage/machine gather is computed once (scenarios share
     routing) and only the durations differ per scenario.
     """
-    seqs = np.asarray(sequences, dtype=np.int64)
+    xp = _xp()
+    seqs = xp.asarray(sequences, dtype=xp.int64)
     if seqs.ndim == 1:
         seqs = seqs[None, :]
-    stack = np.asarray(processing_stack, dtype=float)
+    stack = xp.asarray(processing_stack, dtype=xp.float64)
     if stack.ndim != 3 or stack.shape[1:] != instance.processing.shape:
         raise ValueError(
             f"processing_stack must be (K, n_jobs, n_stages) = "
@@ -202,28 +208,29 @@ def batch_completion_operation_sequence_scenarios(
     scenarios = stack.shape[0]
     n, m = instance.n_jobs, instance.n_machines
     if pop == 0 or scenarios == 0:
-        return np.zeros((scenarios, pop, n))
+        return xp.zeros((scenarios, pop, n))
     stages = operation_stages(instance, seqs, validate=validate)
-    machines = instance.routing[seqs, stages]              # (pop, L)
+    routing = xp.asarray(instance.routing)
+    machines = routing[seqs, stages]                       # (pop, L)
     durations = stack[:, seqs, stages]                     # (K, pop, L)
 
     # The (k, p) pair is one flattened row; gather indices repeat over the
     # scenario axis (same chromosome, same routing), durations do not.
-    base = np.arange(scenarios * pop, dtype=np.int64)[:, None]
-    seqs_all = np.tile(seqs, (scenarios, 1))               # (K * pop, L)
-    mach_all = np.tile(machines, (scenarios, 1))
-    job_idx = np.ascontiguousarray((base * n + seqs_all).T)
-    mach_idx = np.ascontiguousarray((base * m + mach_all).T)
-    dur_cols = np.ascontiguousarray(
+    base = xp.arange(scenarios * pop, dtype=xp.int64)[:, None]
+    seqs_all = xp.tile(seqs, (scenarios, 1))               # (K * pop, L)
+    mach_all = xp.tile(machines, (scenarios, 1))
+    job_idx = xp.ascontiguousarray((base * n + seqs_all).T)
+    mach_idx = xp.ascontiguousarray((base * m + mach_all).T)
+    dur_cols = xp.ascontiguousarray(
         durations.reshape(scenarios * pop, length).T)
 
-    job_ready = np.tile(instance.release, scenarios * pop)
-    mach_ready = np.zeros(scenarios * pop * m)
+    job_ready = xp.tile(xp.asarray(instance.release), scenarios * pop)
+    mach_ready = xp.zeros(scenarios * pop * m)
     for i in range(length):
         ji = job_idx[i]
         mi = mach_idx[i]
         start = job_ready[ji]
-        np.maximum(start, mach_ready[mi], out=start)
+        xp.maximum(start, mach_ready[mi], out=start)
         start += dur_cols[i]
         job_ready[ji] = start
         mach_ready[mi] = start
@@ -348,8 +355,9 @@ def batch_completion_fjsp(instance: FlexibleJobShopInstance,
     assignment gene through the eligible-machine table -- which is what
     makes the FJSP batchable at all.
     """
-    A = np.asarray(assignments, dtype=np.int64)
-    S = np.asarray(sequences, dtype=np.int64)
+    xp = _xp()
+    A = xp.asarray(assignments, dtype=xp.int64)
+    S = xp.asarray(sequences, dtype=xp.int64)
     if A.ndim == 1:
         A = A[None, :]
     if S.ndim == 1:
@@ -359,64 +367,71 @@ def batch_completion_fjsp(instance: FlexibleJobShopInstance,
     pop, length = S.shape
     n, m = instance.n_jobs, instance.n_machines
     if pop == 0:
-        return np.zeros((0, n))
+        return xp.zeros((0, n))
     offsets, job_of, n_alts, elig_mach, elig_dur, lag_after, setup_flat = \
         _fjsp_tables(instance)
     n_ops = int(offsets[-1])
     if length != n_ops:
         raise ValueError(f"genomes must have total_operations = {n_ops} "
                          "columns")
+    n_alts = xp.asarray(n_alts)
+    elig_mach = xp.asarray(elig_mach)
+    elig_dur = xp.asarray(elig_dur)
+    lag_after = xp.asarray(lag_after)
+    if setup_flat is not None:
+        setup_flat = xp.asarray(setup_flat)
 
     # Gene i of row p schedules the next stage of job S[p, i]; a stable
     # argsort groups genes job-major, so sorted slot k IS flattened
     # operation k and scattering arange back gives each gene's op index.
-    order = np.argsort(S, axis=1, kind="stable")
+    order = xp.stable_argsort(S, axis=1)
     if validate:
-        sorted_jobs = np.take_along_axis(S, order, axis=1)
-        bad = (sorted_jobs != job_of[None, :]).any(axis=1)
+        sorted_jobs = xp.take_along_axis(S, order, axis=1)
+        bad = (sorted_jobs != xp.asarray(job_of)[None, :]).any(axis=1)
         if bad.any():
             raise ValueError(
                 f"rows {np.flatnonzero(bad).tolist()} are not valid FJSP "
                 "sequences (job j exactly stages_of(j) times)")
-    op_idx = np.empty_like(S)
-    np.put_along_axis(op_idx, order,
-                      np.broadcast_to(np.arange(n_ops, dtype=np.int64),
+    op_idx = xp.empty_like(S)
+    xp.put_along_axis(op_idx, order,
+                      xp.broadcast_to(xp.arange(n_ops, dtype=xp.int64),
                                       (pop, n_ops)), axis=1)
 
     # machine choice: gather the op's assignment gene through its sorted
     # eligible-machine list (scalar: alts[assignment[op] % len(alts)])
-    a_gene = np.take_along_axis(A, op_idx, axis=1)         # (pop, L)
+    a_gene = xp.take_along_axis(A, op_idx, axis=1)         # (pop, L)
     sel = a_gene % n_alts[op_idx]
     machines = elig_mach[op_idx, sel]                      # (pop, L)
     durations = elig_dur[op_idx, sel]                      # (pop, L)
     lags = lag_after[op_idx]                               # (pop, L)
 
-    base = np.arange(pop, dtype=np.int64)[:, None]
-    job_cols = np.ascontiguousarray(S.T)                   # raw job ids
-    job_idx = np.ascontiguousarray((base * n + S).T)
-    mach_idx = np.ascontiguousarray((base * m + machines).T)
-    dur_cols = np.ascontiguousarray(durations.T)
-    lag_cols = np.ascontiguousarray(lags.T)
+    base = xp.arange(pop, dtype=xp.int64)[:, None]
+    job_cols = xp.ascontiguousarray(S.T)                   # raw job ids
+    job_idx = xp.ascontiguousarray((base * n + S).T)
+    mach_idx = xp.ascontiguousarray((base * m + machines).T)
+    dur_cols = xp.ascontiguousarray(durations.T)
+    lag_cols = xp.ascontiguousarray(lags.T)
 
-    job_ready = np.tile(instance.release, pop)             # (pop * n,)
-    mach_ready = np.tile(instance.machine_release, pop)    # (pop * m,)
+    job_ready = xp.tile(xp.asarray(instance.release), pop)  # (pop * n,)
+    mach_ready = xp.tile(xp.asarray(instance.machine_release),
+                         pop)                               # (pop * m,)
     if setup_flat is not None:
-        last_job = np.full(pop * m, -1, dtype=np.int64)
-        mach_cols = np.ascontiguousarray(machines.T)
+        last_job = xp.full(pop * m, -1, dtype=xp.int64)
+        mach_cols = xp.ascontiguousarray(machines.T)
     for i in range(length):
         ji = job_idx[i]
         mi = mach_idx[i]
         jr = job_ready[ji]
         mr = mach_ready[mi]
         if setup_flat is None:
-            end = np.maximum(jr, mr)
+            end = xp.maximum(jr, mr)
         else:
             st = setup_flat[(mach_cols[i] * (n + 1) + last_job[mi] + 1) * n
                             + job_cols[i]]
             if instance.setup_attached:
-                end = np.maximum(jr, mr) + st
+                end = xp.maximum(jr, mr) + st
             else:
-                end = np.maximum(jr, mr + st)
+                end = xp.maximum(jr, mr + st)
         end += dur_cols[i]
         job_ready[ji] = end + lag_cols[i]
         mach_ready[mi] = end
@@ -491,27 +506,31 @@ def batch_completion_pair_sequence(instance: OpenShopInstance,
             f"sequences must have n_jobs * n_machines = {n * m} columns")
     if validate:
         expected = np.arange(n * m, dtype=np.int64)
-        bad = (np.sort(seqs, axis=1) != expected[None, :]).any(axis=1)
+        bad = (np.sort(np.asarray(seqs), axis=1)
+               != expected[None, :]).any(axis=1)
         if bad.any():
             raise ValueError(
                 f"rows {np.flatnonzero(bad).tolist()} do not list every "
                 "(job, machine) operation exactly once")
+    xp = _xp()
+    seqs = xp.asarray(seqs, dtype=xp.int64)
+    proc = xp.asarray(instance.processing)
     jobs = seqs // m                                       # (pop, L)
     machines = seqs % m                                    # (pop, L)
-    durations = instance.processing[jobs, machines]        # (pop, L)
+    durations = proc[jobs, machines]                       # (pop, L)
 
-    base = np.arange(pop, dtype=np.int64)[:, None]
-    job_idx = np.ascontiguousarray((base * n + jobs).T)
-    mach_idx = np.ascontiguousarray((base * m + machines).T)
-    dur_cols = np.ascontiguousarray(durations.T)
+    base = xp.arange(pop, dtype=xp.int64)[:, None]
+    job_idx = xp.ascontiguousarray((base * n + jobs).T)
+    mach_idx = xp.ascontiguousarray((base * m + machines).T)
+    dur_cols = xp.ascontiguousarray(durations.T)
 
-    job_ready = np.tile(instance.release, pop)             # (pop * n,)
-    mach_ready = np.zeros(pop * m)                         # (pop * m,)
+    job_ready = xp.tile(xp.asarray(instance.release), pop)  # (pop * n,)
+    mach_ready = xp.zeros(pop * m)                          # (pop * m,)
     for i in range(length):
         ji = job_idx[i]
         mi = mach_idx[i]
         start = job_ready[ji]
-        np.maximum(start, mach_ready[mi], out=start)
+        xp.maximum(start, mach_ready[mi], out=start)
         start += dur_cols[i]
         job_ready[ji] = start
         mach_ready[mi] = start

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.backend import active_namespace as _xp
 from .instance import FlowShopInstance
 from .schedule import Operation, Schedule
 
@@ -73,22 +74,28 @@ def flowshop_makespan_population(instance: FlowShopInstance,
     (n * m) scan in Python and all arithmetic vectorised over the population
     axis, which is orders of magnitude faster than a per-individual loop for
     the population sizes the surveyed papers use (hundreds to thousands).
+
+    Written against the strict Array-API subset (gathers via ``xp.take``,
+    basic-slice stores only), so it runs unchanged on any registered
+    backend -- this is the kernel the ``array-api-strict`` CI leg drives.
     """
-    perms = np.asarray(permutations, dtype=np.int64)
+    xp = _xp()
+    perms = xp.asarray(permutations, dtype=xp.int64)
     if perms.ndim != 2:
         raise ValueError("permutations must be (P, n)")
     pop, n = perms.shape
     m = instance.n_machines
-    proc = instance.processing
-    release = instance.release
-    c = np.zeros((pop, m))
+    proc = xp.asarray(instance.processing)
+    release = xp.asarray(instance.release)
+    c = xp.zeros((pop, m))
     for i in range(n):
         jobs = perms[:, i]                 # (P,)
-        p_i = proc[jobs]                   # (P, m)
-        c[:, 0] = np.maximum(c[:, 0], release[jobs]) + p_i[:, 0]
+        p_i = xp.take(proc, jobs, axis=0)  # (P, m)
+        c[:, 0] = xp.maximum(c[:, 0], xp.take(release, jobs, axis=0)) \
+            + p_i[:, 0]
         for k in range(1, m):
-            c[:, k] = np.maximum(c[:, k - 1], c[:, k]) + p_i[:, k]
-    return c[:, -1].copy()
+            c[:, k] = xp.maximum(c[:, k - 1], c[:, k]) + p_i[:, k]
+    return xp.copy(c[:, -1])
 
 
 def flowshop_completion_population(instance: FlowShopInstance,
@@ -102,7 +109,8 @@ def flowshop_completion_population(instance: FlowShopInstance,
     the scalar :func:`flowshop_completion` puts in ``C[i, m-1]``, so the
     matrix is bit-identical to per-row scalar decoding.
     """
-    perms = np.asarray(permutations, dtype=np.int64)
+    xp = _xp()
+    perms = xp.asarray(permutations, dtype=xp.int64)
     if perms.ndim != 2:
         raise ValueError("permutations must be (P, n)")
     pop, n = perms.shape
@@ -110,18 +118,19 @@ def flowshop_completion_population(instance: FlowShopInstance,
         raise ValueError(
             f"permutations must have n_jobs = {instance.n_jobs} columns")
     m = instance.n_machines
-    proc = instance.processing
-    release = instance.release
-    rows = np.arange(pop)
-    c = np.zeros((pop, m))
-    completion = np.zeros((pop, n))
+    proc = xp.asarray(instance.processing)
+    release = xp.asarray(instance.release)
+    c = xp.zeros((pop, m))
+    completion = xp.zeros((pop, n))
     for i in range(n):
         jobs = perms[:, i]                 # (P,)
-        p_i = proc[jobs]                   # (P, m)
-        c[:, 0] = np.maximum(c[:, 0], release[jobs]) + p_i[:, 0]
+        p_i = xp.take(proc, jobs, axis=0)  # (P, m)
+        c[:, 0] = xp.maximum(c[:, 0], xp.take(release, jobs, axis=0)) \
+            + p_i[:, 0]
         for k in range(1, m):
-            c[:, k] = np.maximum(c[:, k - 1], c[:, k]) + p_i[:, k]
-        completion[rows, jobs] = c[:, m - 1]
+            c[:, k] = xp.maximum(c[:, k - 1], c[:, k]) + p_i[:, k]
+        # scatter the last-machine exit time back to each row's job id
+        xp.put_along_axis(completion, jobs[:, None], c[:, m - 1:m], axis=1)
     return completion
 
 
@@ -137,7 +146,8 @@ def flowshop_completion_tensor(instance: FlowShopInstance,
     times it yields every operation's start and end without materialising
     ``Schedule`` objects.
     """
-    perms = np.asarray(permutations, dtype=np.int64)
+    xp = _xp()
+    perms = xp.asarray(permutations, dtype=xp.int64)
     if perms.ndim != 2:
         raise ValueError("permutations must be (P, n)")
     pop, n = perms.shape
@@ -145,16 +155,17 @@ def flowshop_completion_tensor(instance: FlowShopInstance,
         raise ValueError(
             f"permutations must have n_jobs = {instance.n_jobs} columns")
     m = instance.n_machines
-    proc = instance.processing
-    release = instance.release
-    c = np.zeros((pop, m))
-    out = np.zeros((pop, n, m))
+    proc = xp.asarray(instance.processing)
+    release = xp.asarray(instance.release)
+    c = xp.zeros((pop, m))
+    out = xp.zeros((pop, n, m))
     for i in range(n):
         jobs = perms[:, i]                 # (P,)
-        p_i = proc[jobs]                   # (P, m)
-        c[:, 0] = np.maximum(c[:, 0], release[jobs]) + p_i[:, 0]
+        p_i = xp.take(proc, jobs, axis=0)  # (P, m)
+        c[:, 0] = xp.maximum(c[:, 0], xp.take(release, jobs, axis=0)) \
+            + p_i[:, 0]
         for k in range(1, m):
-            c[:, k] = np.maximum(c[:, k - 1], c[:, k]) + p_i[:, k]
+            c[:, k] = xp.maximum(c[:, k - 1], c[:, k]) + p_i[:, k]
         out[:, i] = c
     return out
 

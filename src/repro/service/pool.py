@@ -49,6 +49,11 @@ _PROGRESS_QUEUE = None
 def _init_worker(queue) -> None:
     global _PROGRESS_QUEUE
     _PROGRESS_QUEUE = queue
+    # Workers are long-lived: memoise resolved instances (and with them
+    # the decode tables lazily attached to instance objects) so repeat
+    # jobs on the same instance skip table construction entirely.
+    from ..api.components import enable_instance_cache
+    enable_instance_cache(maxsize=32)
 
 
 def _emit(event: dict[str, Any]) -> None:

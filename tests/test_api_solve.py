@@ -12,6 +12,7 @@ from repro import (GAConfig, IslandGA, MasterSlaveGA, MaxGenerations,
 from repro.api import available_engines, available_substrates, engine_entry
 from repro.api.engines import grid_shape_for
 from repro.api.registry import SpecError
+from repro.core.backend import get_backend
 from repro.encodings import OperationBasedEncoding
 from repro.exact import ortools_available
 from repro.instances import get_instance
@@ -50,16 +51,33 @@ class TestEngineSubstrateSweep:
     JSON and reproduces the run exactly.
     """
 
+    @pytest.mark.parametrize("backend", ["numpy", "instrumented"])
     @pytest.mark.parametrize("substrate", available_substrates())
     @pytest.mark.parametrize("engine", available_engines())
-    def test_engine_substrate_conformance(self, engine, substrate):
+    def test_engine_substrate_conformance(self, engine, substrate, backend):
         assert engine in SWEEP_PARAMS, (
             f"new engine {engine!r}: add it to the conformance sweep")
         if engine == "cpsat" and not ortools_available():
             pytest.skip("optional ortools dependency not installed")
+        if backend == "instrumented":
+            get_backend("instrumented").reset_transfers()
         report = solve(_spec(engine, engine_params=SWEEP_PARAMS[engine],
-                             substrate=substrate))
+                             substrate=substrate, backend=backend))
         assert report.engine == engine
+        if backend == "instrumented":
+            # the run is bit-identical to the numpy backend (the
+            # instrumented namespace forwards to NumPy) and never crossed
+            # an explicit host<->device seam mid-run
+            baseline = solve(_spec(engine,
+                                   engine_params=SWEEP_PARAMS[engine],
+                                   substrate=substrate))
+            assert report.best_objective == baseline.best_objective
+            assert report.evaluations == baseline.evaluations
+            assert report.to_dict()["best_genome"] == \
+                baseline.to_dict()["best_genome"]
+            transfers = get_backend("instrumented").transfers
+            assert transfers["to_device"] == 0
+            assert transfers["to_host"] == 0
         assert report.best_objective > 0
         assert report.evaluations > 0
         assert report.generations > 0

@@ -1,0 +1,382 @@
+"""Tests for the pluggable array backend (``repro.core.backend``).
+
+Covers the registry and availability contract, the instrumented
+namespace's Array-API-subset enforcement, the transfer-counting seams
+(zero transfers inside a generation, proven without a GPU), int64 index
+pinning, and hypothesis property tests that the :class:`ArrayRNG`
+adapter reproduces ``np.random.Generator`` streams bit-for-bit.
+"""
+
+import importlib.util
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.api import SolverSpec, solve
+from repro.api.registry import SpecError
+from repro.core.backend import (ARRAY_API_NAMES, BACKENDS, COMPAT_NAMES,
+                                EXTENSION_NAMES, ArrayBackend, ArrayRNG,
+                                BackendPortabilityError, BackendUnavailable,
+                                active_backend, active_namespace,
+                                available_backends, get_backend, use_backend)
+from repro.core.ga import GAConfig
+from repro.core.substrate import (ArrayState, make_offspring_matrix,
+                                  stable_topk)
+from repro.encodings import OperationBasedEncoding, Problem
+from repro.instances import get_instance
+from repro.parallel.fine_grained import CellularGA, grid_neighbor_table
+
+
+def _cupy_missing():
+    return importlib.util.find_spec("cupy") is None
+
+
+def _jax_missing():
+    return importlib.util.find_spec("jax") is None
+
+
+# -- registry and availability ----------------------------------------------------
+
+class TestRegistry:
+    def test_known_backends(self):
+        assert BACKENDS == ("numpy", "instrumented", "cupy", "jax")
+
+    def test_numpy_and_instrumented_always_available(self):
+        names = available_backends()
+        assert "numpy" in names and "instrumented" in names
+        assert repro.available_backends() == names  # package-level export
+
+    def test_get_backend_returns_cached_singletons(self):
+        assert get_backend("numpy") is get_backend("numpy")
+        assert get_backend("numpy").name == "numpy"
+        assert get_backend() is get_backend("numpy")  # default
+
+    def test_unknown_backend_is_value_error(self):
+        with pytest.raises(ValueError, match="unknown backend 'tpu'"):
+            get_backend("tpu")
+
+    @pytest.mark.skipif(not _cupy_missing(), reason="cupy is installed")
+    def test_missing_cupy_degrades_to_backend_unavailable(self):
+        assert "cupy" not in available_backends()
+        with pytest.raises(BackendUnavailable,
+                           match=r"pip install cupy") as err:
+            get_backend("cupy")
+        assert err.value.backend == "cupy"
+        # the message names what *is* usable here
+        assert "numpy" in str(err.value)
+
+    @pytest.mark.skipif(not _jax_missing(), reason="jax is installed")
+    def test_missing_jax_degrades_to_backend_unavailable(self):
+        with pytest.raises(BackendUnavailable, match="jax"):
+            get_backend("jax")
+
+
+class TestSpecIntegration:
+    def test_unknown_backend_in_spec_is_spec_error(self):
+        spec = SolverSpec(instance="ft06", backend="tpu",
+                          termination={"max_generations": 1})
+        with pytest.raises(SpecError, match="backend"):
+            spec.validate()
+
+    def test_device_backend_requires_array_substrate(self):
+        spec = SolverSpec(instance="ft06", backend="cupy",
+                          termination={"max_generations": 1})
+        with pytest.raises(SpecError, match="substrate='array'"):
+            spec.validate()
+
+    @pytest.mark.skipif(not _cupy_missing(), reason="cupy is installed")
+    def test_missing_optional_backend_solves_to_spec_error(self):
+        # same degradation contract as the cpsat engine: a clean
+        # SpecError naming the missing package, before any work starts
+        spec = SolverSpec(instance="ft06", backend="cupy",
+                          substrate="array",
+                          termination={"max_generations": 1})
+        with pytest.raises(SpecError, match="pip install cupy"):
+            solve(spec)
+
+    def test_backend_round_trips_through_spec_json(self):
+        spec = SolverSpec(instance="ft06", backend="instrumented",
+                          termination={"max_generations": 1})
+        again = SolverSpec.from_json(spec.to_json())
+        assert again.backend == "instrumented" and again == spec
+
+    def test_backend_changes_cache_key(self):
+        base = SolverSpec(instance="ft06",
+                          termination={"max_generations": 1})
+        other = base.replace(backend="instrumented")
+        assert base.cache_key() != other.cache_key()
+
+
+# -- the active-backend context ----------------------------------------------------
+
+class TestActiveBackend:
+    def test_default_is_numpy(self):
+        assert active_backend().name == "numpy"
+        assert active_namespace() is get_backend("numpy").xp
+
+    def test_use_backend_scopes_and_restores(self):
+        with use_backend("instrumented") as backend:
+            assert backend is get_backend("instrumented")
+            assert active_backend() is backend
+            assert active_namespace() is backend.xp
+        assert active_backend().name == "numpy"
+
+    def test_use_backend_accepts_backend_objects(self):
+        backend = ArrayBackend("custom", get_backend("numpy").xp)
+        with use_backend(backend):
+            assert active_backend() is backend
+
+    def test_nested_contexts(self):
+        with use_backend("instrumented"):
+            with use_backend("numpy"):
+                assert active_backend().name == "numpy"
+            assert active_backend().name == "instrumented"
+
+
+# -- the instrumented namespace ----------------------------------------------------
+
+class TestInstrumentedNamespace:
+    def test_allowed_names_forward_to_numpy(self):
+        xp = get_backend("instrumented").xp
+        assert xp.sum is np.sum  # literal forwarding => bit-identity
+        assert xp.int64 is np.int64
+        np.testing.assert_array_equal(
+            xp.stable_argsort(np.asarray([2.0, 1.0, 1.0, 0.5])),
+            [3, 1, 2, 0])
+
+    def test_numpy_only_names_raise_portability_error(self):
+        xp = get_backend("instrumented").xp
+        for name in ("flatnonzero", "vectorize", "frombuffer", "matrix",
+                     "argwhere"):
+            with pytest.raises(BackendPortabilityError,
+                               match="Array-API subset"):
+                getattr(xp, name)
+        # the error message points at the portability docs
+        with pytest.raises(BackendPortabilityError,
+                           match="backend-portable"):
+            xp.nansum
+
+    def test_used_names_are_recorded(self):
+        xp = get_backend("instrumented").xp
+        xp.arange  # noqa: B018 - touching the attribute is the point
+        assert "arange" in xp.used
+        assert xp.used <= (ARRAY_API_NAMES | EXTENSION_NAMES | COMPAT_NAMES)
+
+    def test_extension_helpers_match_numpy_spellings(self):
+        xp = get_backend("instrumented").xp
+        rng = np.random.default_rng(7)
+        x = rng.integers(0, 50, size=40)
+        np.testing.assert_array_equal(
+            xp.stable_argsort(x), np.argsort(x, kind="stable"))
+        np.testing.assert_array_equal(
+            xp.bincount(x, minlength=60), np.bincount(x, minlength=60))
+        np.testing.assert_array_equal(
+            xp.maximum_accumulate(x), np.maximum.accumulate(x))
+        np.testing.assert_array_equal(
+            sorted(xp.partition(np.copy(x), 5)[:5]), np.sort(x)[:5])
+        acc = np.zeros(8)
+        xp.scatter_add(acc, x % 8, np.ones_like(x, dtype=float))
+        np.testing.assert_array_equal(acc, np.bincount(x % 8, minlength=8))
+        copied = xp.copy(x)
+        assert copied is not x
+        np.testing.assert_array_equal(copied, x)
+
+
+# -- transfer counting -------------------------------------------------------------
+
+def _toy_problem():
+    return Problem(OperationBasedEncoding(get_instance("ft06")))
+
+
+class TestTransferSeams:
+    def test_counters_increment_and_reset(self):
+        backend = get_backend("instrumented")
+        backend.reset_transfers()
+        x = np.arange(4)
+        backend.to_device(x)
+        backend.to_host(x)
+        backend.to_host(x)
+        backend.asnumpy(x)
+        assert backend.transfers == {"to_device": 1, "to_host": 2,
+                                     "asnumpy": 1}
+        assert backend.total_transfers() == 4
+        backend.reset_transfers()
+        assert backend.total_transfers() == 0
+
+    def test_make_offspring_matrix_is_transfer_free(self):
+        """A whole breeding step never crosses a host<->device seam."""
+        problem = _toy_problem()
+        config = GAConfig(population_size=16).resolved(problem)
+        rng = np.random.default_rng(3)
+        matrix = problem.random_matrix(16, rng)
+        state = ArrayState(matrix, np.arange(16, dtype=float))
+        backend = get_backend("instrumented")
+        with use_backend(backend):
+            backend.reset_transfers()
+            offspring = make_offspring_matrix(state, config, problem, rng,
+                                              count=16)
+            assert backend.total_transfers() == 0
+        assert offspring.shape == matrix.shape
+
+    def test_cellular_grid_generation_is_transfer_free(self):
+        """One synchronous cellular generation stays device-resident."""
+        problem = _toy_problem()
+        ga = CellularGA(problem, rows=4, cols=4,
+                        config=GAConfig(substrate="array"), seed=5)
+        backend = get_backend("instrumented")
+        with use_backend(backend):
+            ga.initialize()
+            backend.reset_transfers()
+            ga._step_grid()
+            assert backend.total_transfers() == 0
+
+    def test_full_instrumented_solve_never_moves_mid_run(self):
+        backend = get_backend("instrumented")
+        backend.reset_transfers()
+        report = solve(SolverSpec(instance="ft06", backend="instrumented",
+                                  substrate="array",
+                                  ga={"population_size": 16},
+                                  termination={"max_generations": 3},
+                                  seed=8))
+        assert report.best_objective > 0
+        assert backend.transfers["to_device"] == 0
+        assert backend.transfers["to_host"] == 0
+
+
+# -- bit identity ------------------------------------------------------------------
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("substrate", ["object", "array"])
+    def test_instrumented_equals_numpy(self, substrate):
+        base = SolverSpec(instance="ft06", substrate=substrate,
+                          ga={"population_size": 20},
+                          termination={"max_generations": 4}, seed=13)
+        a = solve(base)
+        b = solve(base.replace(backend="instrumented"))
+        assert a.best_objective == b.best_objective
+        assert a.evaluations == b.evaluations
+        np.testing.assert_array_equal(a.best_genome, b.best_genome)
+
+
+# -- int64 index pinning (platform-independent dtypes) -----------------------------
+
+class TestInt64Pinning:
+    """Index arrays are pinned to int64 regardless of the platform's
+    default int (Windows/32-bit would otherwise produce int32)."""
+
+    def test_stable_topk_returns_int64(self):
+        values = np.asarray([3.0, 1.0, 2.0, 1.0])
+        assert stable_topk(values, 2).dtype == np.int64
+        assert stable_topk(values, 0).dtype == np.int64
+        assert stable_topk(values, 4).dtype == np.int64
+
+    def test_grid_neighbor_table_is_int64(self):
+        table = grid_neighbor_table(3, 4, ((0, 1), (1, 0)))
+        assert table.dtype == np.int64
+
+    def test_operation_stages_is_int64(self):
+        from repro.scheduling.batch import operation_stages
+        instance = get_instance("ft06")
+        rng = np.random.default_rng(4)
+        seqs = np.stack([rng.permutation(np.repeat(
+            np.arange(instance.n_jobs), instance.n_machines))
+            for _ in range(3)])
+        assert operation_stages(instance, seqs).dtype == np.int64
+
+    def test_permutation_matrix_decode_is_int64(self):
+        from repro.extensions.fuzzy import (FuzzyFlowShopEncoding,
+                                            FuzzyFlowShopInstance)
+        fuzzy = FuzzyFlowShopInstance.from_crisp(
+            get_instance("ta-fs-20x5-shaped"), seed=1)
+        keys = np.random.default_rng(2).random((5, fuzzy.n_jobs))
+        perms = FuzzyFlowShopEncoding(fuzzy).permutation_matrix(keys)
+        assert perms.dtype == np.int64
+
+
+# -- the RNG adapter ---------------------------------------------------------------
+
+SEEDS = st.integers(min_value=0, max_value=2**32 - 1)
+SIZES = st.integers(min_value=0, max_value=64)
+
+
+class TestArrayRNGStreams:
+    """ArrayRNG must reproduce np.random.Generator streams bit-for-bit:
+    draw-for-draw equality for every forwarded method, including
+    interleaved call sequences (stream position advances identically)."""
+
+    @given(seed=SEEDS, size=SIZES)
+    @settings(max_examples=25, deadline=None)
+    def test_random_stream_identity(self, seed, size):
+        ref = np.random.default_rng(seed)
+        adapted = ArrayRNG(np.random.default_rng(seed))
+        np.testing.assert_array_equal(adapted.random(size), ref.random(size))
+
+    @given(seed=SEEDS, size=SIZES, low=st.integers(0, 100),
+           span=st.integers(1, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_integers_stream_identity(self, seed, size, low, span):
+        ref = np.random.default_rng(seed)
+        adapted = ArrayRNG(np.random.default_rng(seed))
+        np.testing.assert_array_equal(
+            adapted.integers(low, low + span, size=size),
+            ref.integers(low, low + span, size=size))
+
+    @given(seed=SEEDS, size=SIZES)
+    @settings(max_examples=25, deadline=None)
+    def test_uniform_and_normal_stream_identity(self, seed, size):
+        ref = np.random.default_rng(seed)
+        adapted = ArrayRNG(np.random.default_rng(seed))
+        np.testing.assert_array_equal(adapted.uniform(-2.0, 3.0, size=size),
+                                      ref.uniform(-2.0, 3.0, size=size))
+        np.testing.assert_array_equal(adapted.normal(1.0, 0.5, size=size),
+                                      ref.normal(1.0, 0.5, size=size))
+
+    @given(seed=SEEDS, n=st.integers(1, 40))
+    @settings(max_examples=25, deadline=None)
+    def test_permutation_choice_shuffle_identity(self, seed, n):
+        ref = np.random.default_rng(seed)
+        adapted = ArrayRNG(np.random.default_rng(seed))
+        np.testing.assert_array_equal(adapted.permutation(n),
+                                      ref.permutation(n))
+        np.testing.assert_array_equal(
+            adapted.choice(n, size=n, replace=True),
+            ref.choice(n, size=n, replace=True))
+        a = np.arange(n)
+        b = np.arange(n)
+        adapted.shuffle(a)
+        ref.shuffle(b)
+        np.testing.assert_array_equal(a, b)
+
+    @given(seed=SEEDS)
+    @settings(max_examples=20, deadline=None)
+    def test_interleaved_sequence_identity(self, seed):
+        """Mixed draw sequences advance both streams identically."""
+        ref = np.random.default_rng(seed)
+        adapted = ArrayRNG(np.random.default_rng(seed))
+        for _ in range(3):
+            np.testing.assert_array_equal(adapted.random(5), ref.random(5))
+            np.testing.assert_array_equal(adapted.integers(0, 9, size=4),
+                                          ref.integers(0, 9, size=4))
+            np.testing.assert_array_equal(adapted.permutation(6),
+                                          ref.permutation(6))
+
+    @given(seed=SEEDS)
+    @settings(max_examples=10, deadline=None)
+    def test_spawn_children_match(self, seed):
+        ref_children = np.random.default_rng(seed).spawn(3)
+        adapted_children = ArrayRNG(np.random.default_rng(seed)).spawn(3)
+        assert all(isinstance(c, ArrayRNG) for c in adapted_children)
+        for ref_child, adapted_child in zip(ref_children, adapted_children):
+            np.testing.assert_array_equal(adapted_child.random(8),
+                                          ref_child.random(8))
+
+    def test_backend_rng_factories(self):
+        # numpy backend hands out the raw Generator; instrumented wraps it
+        assert isinstance(get_backend("numpy").rng(5), np.random.Generator)
+        wrapped = get_backend("instrumented").rng(5)
+        assert isinstance(wrapped, ArrayRNG)
+        np.testing.assert_array_equal(
+            wrapped.random(6), np.random.default_rng(5).random(6))

@@ -14,6 +14,9 @@ import urllib.request
 import pytest
 
 from repro.api import SolverSpec, solve
+from repro.api.components import (disable_instance_cache,
+                                  enable_instance_cache,
+                                  instance_cache_stats, resolve_instance)
 from repro.core.ga import GAConfig
 from repro.extensions.dynamic import (JobArrival, MachineBreakdown,
                                       PredictiveReactiveScheduler,
@@ -21,7 +24,7 @@ from repro.extensions.dynamic import (JobArrival, MachineBreakdown,
 from repro.instances import get_instance
 from repro.service import SolverServer, serve_in_thread
 from repro.service.jobs import JobStore, job_id_for
-from repro.service.pool import PoolSaturated, WorkerPool
+from repro.service.pool import PoolSaturated, WorkerPool, _init_worker
 from repro.service.sessions import event_from_dict
 from repro.api.registry import SpecError
 
@@ -438,6 +441,64 @@ class TestWorkerPoolAdmission:
             WorkerPool(workers=0)
         with pytest.raises(ValueError, match="queue_depth"):
             WorkerPool(queue_depth=-1)
+
+
+# -- unit: per-worker instance cache ----------------------------------------------
+
+class TestWorkerInstanceCache:
+    """Long-lived workers memoise resolved instances (and with them the
+    decode tables lazily attached to instance objects) in a bounded LRU."""
+
+    def teardown_method(self):
+        disable_instance_cache()
+
+    def test_init_worker_enables_the_cache(self):
+        _init_worker(None)
+        stats = instance_cache_stats()
+        assert stats["enabled"] is True and stats["maxsize"] == 32
+
+    def test_repeat_resolution_is_a_cache_hit_sharing_decode_tables(self):
+        enable_instance_cache(maxsize=4)
+        spec = SolverSpec(instance="fjsp-8x5-shaped",
+                          termination={"max_generations": 1})
+        first = resolve_instance(spec)
+        sentinel = object()  # stand-in for the memoised FJSP decode tables
+        first._fjsp_batch_tables = sentinel
+        second = resolve_instance(spec)
+        assert second is first  # same object => memoised tables survive
+        assert second._fjsp_batch_tables is sentinel
+        stats = instance_cache_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_key_includes_instance_params(self):
+        enable_instance_cache(maxsize=4)
+        plain = SolverSpec(instance="ft06",
+                           termination={"max_generations": 1})
+        due = plain.replace(instance_params={"due_tau": 1.5})
+        assert resolve_instance(plain) is not resolve_instance(due)
+        assert instance_cache_stats()["misses"] == 2
+        assert resolve_instance(due) is resolve_instance(due)
+        assert instance_cache_stats()["hits"] >= 2
+
+    def test_lru_bound_evicts_oldest(self):
+        enable_instance_cache(maxsize=2)
+        names = ["ft06", "ta-fs-20x5-shaped", "ta-os-5x5-shaped"]
+        for name in names:
+            resolve_instance(SolverSpec(
+                instance=name, termination={"max_generations": 1}))
+        stats = instance_cache_stats()
+        assert stats["size"] == 2 and stats["evictions"] == 1
+        # the evicted (oldest) entry resolves fresh -> a miss, not a hit
+        resolve_instance(SolverSpec(instance="ft06",
+                                    termination={"max_generations": 1}))
+        assert instance_cache_stats()["misses"] == 4
+
+    def test_disabled_cache_resolves_fresh(self):
+        disable_instance_cache()
+        spec = SolverSpec(instance="ft06",
+                          termination={"max_generations": 1})
+        assert resolve_instance(spec) is not resolve_instance(spec)
+        assert instance_cache_stats()["enabled"] is False
 
 
 # -- unit: event parsing ----------------------------------------------------------
