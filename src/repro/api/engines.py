@@ -222,6 +222,41 @@ def _run_cpsat(problem: Problem, config: GAConfig,
                             backend="cpsat", time_limit=time_limit)
 
 
+def _register_heuristic(name: str, aliases: tuple[str, ...],
+                        description: str) -> None:
+    """Register one constructive rule as a deterministic engine.
+
+    Heuristic engines accept any substrate (they never iterate a
+    population, so the flag is vacuous but valid) and carry the
+    ``heuristic=True`` tag the solver service's fast-answer tier keys
+    on: deterministic millisecond solves are answered inline instead of
+    paying a worker-pool round trip.
+    """
+    @register_engine(name, aliases=aliases, description=description,
+                     params={}, array_substrate=True, heuristic=True)
+    def _run(problem: Problem, config: GAConfig,
+             termination: Termination, seed: int, *, _rule=name):
+        from ..heuristics import run_heuristic_engine
+        return run_heuristic_engine(problem, config, termination, seed,
+                                    rule=_rule)
+
+
+for _name, _aliases, _desc in (
+    ("neh", ("nawaz-enscore-ham",),
+     "NEH insertion heuristic: decreasing-work seed, best-position "
+     "insertion (the classical flow shop baseline)"),
+    ("johnson", (),
+     "Johnson's rule: optimal for 2-machine flow shops; modified "
+     "virtual-machine variant for 3+ stages"),
+    ("spt", ("shortest-processing-time",),
+     "Shortest total processing time dispatch order"),
+    ("edd", ("earliest-due-date",),
+     "Earliest due date dispatch order (identity order without due "
+     "dates)"),
+):
+    _register_heuristic(_name, _aliases, _desc)
+
+
 @register_engine(
     "two-level", aliases=("two_level", "two-level-island"),
     description="Two-level island hybrid: frequent ring + rare broadcast "

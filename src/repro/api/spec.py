@@ -36,7 +36,7 @@ __all__ = ["SolverSpec", "SpecError", "GA_KEYS", "TERMINATION_KEYS",
 #: spec-addressable: they resolve to the per-genome-kind defaults, which
 #: keeps every spec JSON-serializable.
 GA_KEYS = ("population_size", "crossover_rate", "mutation_rate", "n_elites",
-           "immigration_rate", "generation_gap")
+           "immigration_rate", "generation_gap", "seeding")
 
 def _termination_builders(instance=None) -> dict:
     """Criterion name -> constructor; the single termination vocabulary.

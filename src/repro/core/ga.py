@@ -81,6 +81,12 @@ class GAConfig:
         ``(pop, n_genes)`` chromosome matrix and runs every stage as a
         matrix kernel (see :mod:`repro.core.substrate`).  The object
         substrate's behaviour is bit-for-bit unchanged by this knob.
+    seeding:
+        name of a constructive heuristic (``"neh"``, ``"johnson"``,
+        ``"spt"``, ``"edd"``; see :mod:`repro.heuristics`) whose solution
+        replaces one member of the random initial population -- the
+        heuristic-seeded initialisation used by the load-balancing
+        flow-shop GAs.  ``None`` (default) keeps the fully random init.
     selection / crossover / mutation:
         operator instances; ``None`` picks a default for the problem's
         genome kind.
@@ -95,6 +101,7 @@ class GAConfig:
     immigration_rate: float = 0.0
     generation_gap: float = 1.0
     substrate: str = "object"
+    seeding: str | None = None
     selection: Selection | None = None
     crossover: Crossover | None = None
     mutation: Mutation | None = None
@@ -114,17 +121,26 @@ class GAConfig:
                              f"got {self.substrate!r}")
         if not 0 <= self.n_elites <= self.population_size:
             raise ValueError("n_elites must be in [0, population_size]")
+        if self.seeding is not None:
+            from ..heuristics import HEURISTIC_NAMES
+            if self.seeding not in HEURISTIC_NAMES:
+                raise ValueError(
+                    f"seeding must be one of {list(HEURISTIC_NAMES)} or "
+                    f"None, got {self.seeding!r}")
 
     def resolved(self, problem: Problem) -> "GAConfig":
         """Copy with operator defaults filled in for ``problem``."""
         part_kinds = getattr(problem.encoding, "part_kinds", ())
+        part_spans = getattr(problem.encoding, "part_spans", None)
+        if part_spans is not None:
+            part_spans = tuple(int(w) for w in part_spans)
         return replace(
             self,
             selection=self.selection or RouletteWheelSelection(),
             crossover=self.crossover or default_crossover_for(
-                problem.kind, part_kinds),
+                problem.kind, part_kinds, part_spans),
             mutation=self.mutation or default_mutation_for(
-                problem.kind, part_kinds),
+                problem.kind, part_kinds, part_spans),
             fitness_transform=self.fitness_transform or HeuristicOffsetFitness(),
         )
 
@@ -195,18 +211,39 @@ class SimpleGA:
             check_array_support(problem, self.config)
 
     # -- building blocks ---------------------------------------------------------
+    def _seed_genomes(self) -> list:
+        """Constructive-heuristic genomes for ``config.seeding`` (or [])."""
+        if not self.config.seeding:
+            return []
+        from ..heuristics import heuristic_genome
+        return [heuristic_genome(self.config.seeding, self.problem)]
+
     def initialize(self) -> Population:
-        """Line 1 of Table II: random initial population, evaluated."""
+        """Line 1 of Table II: random initial population, evaluated.
+
+        With ``config.seeding`` set, member 0 of the random draw is
+        replaced by the named constructive heuristic's solution (on both
+        substrates) before evaluation.
+        """
+        seeds = self._seed_genomes()
         if self.substrate == "array":
             matrix = random_matrix(self.problem,
                                    self.config.population_size, self.rng)
+            for i, genome in enumerate(seeds):
+                row = self.problem.stack_genomes([genome])
+                if row is None:
+                    raise ValueError(
+                        "seeding produced a genome that does not stack "
+                        "into the chromosome matrix")
+                matrix[i] = row[0].astype(matrix.dtype, copy=False)
             self.adopt_arrays(matrix, self._evaluate_matrix(matrix))
             self._notify()
             return self.population
-        pop = Population(
-            Individual(self.problem.random_genome(self.rng))
-            for _ in range(self.config.population_size)
-        )
+        members = [Individual(self.problem.random_genome(self.rng))
+                   for _ in range(self.config.population_size)]
+        for i, genome in enumerate(seeds):
+            members[i] = Individual(genome)
+        pop = Population(members)
         self._evaluate(pop.members)
         self.population = pop
         self._notify()

@@ -56,8 +56,11 @@ def available_substrates() -> tuple[str, ...]:
 
 
 #: Genome kinds the array substrate can evolve: one fixed-length ndarray
-#: per individual.  Composite (tuple) genomes need per-part column
-#: slicing, which stays on the object substrate for now.
+#: per individual.  Composite (tuple) genomes qualify only when their
+#: encoding publishes ``part_spans`` (fixed per-part column widths in the
+#: stacked row) so composite operators can slice the matrix per part;
+#: ragged composites (e.g. the FJSP's padded eligible-machine lists) stay
+#: on the object substrate.
 _ARRAY_KINDS = ("permutation", "repetition", "real")
 
 
@@ -65,7 +68,8 @@ def check_array_support(problem: Any, config: Any,
                         selection: bool = True) -> None:
     """Raise ``ValueError`` when ``problem``/``config`` cannot run array-native.
 
-    Checks the genome kind (single fixed-length array) and that every
+    Checks the genome kind (single fixed-length array, or a composite
+    whose encoding publishes ``part_spans`` column widths) and that every
     resolved operator has a registered batch twin.  ``config`` must be a
     resolved :class:`~repro.core.ga.GAConfig` (operators filled in).
     ``selection=False`` skips the selection twin -- the cellular engines
@@ -73,7 +77,10 @@ def check_array_support(problem: Any, config: Any,
     tournament), so a custom selection without a batch twin must not
     block their grid path.
     """
-    if problem.kind not in _ARRAY_KINDS:
+    composite_ok = (problem.kind == "composite"
+                    and getattr(problem.encoding, "part_spans", None)
+                    is not None)
+    if problem.kind not in _ARRAY_KINDS and not composite_ok:
         raise ValueError(
             f"substrate='array' supports genome kinds {_ARRAY_KINDS}, but "
             f"the {type(problem.encoding).__name__} encoding is "

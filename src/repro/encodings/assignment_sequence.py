@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..scheduling.batch import batch_completion_fjsp
+from ..scheduling.batch import (batch_completion_fjsp,
+                                batch_completion_hybrid_flowshop)
 from ..scheduling.flexible import (LotStreamingPlan, decode_fjsp,
                                    decode_hybrid_flowshop,
                                    decode_lot_streaming, fjsp_random_genome)
@@ -100,16 +101,26 @@ class HybridFlowShopEncoding:
     """(assignment matrix, job permutation) for hybrid flow shops [37].
 
     ``use_assignment=False`` degrades to a pure permutation genome decoded
-    with earliest-finish machine selection, the common simplification.
+    with earliest-finish machine selection, the common simplification; the
+    assignment part is kept as a zero placeholder so the genome shape (and
+    the stacked-matrix layout) is mode-independent, but it is declared
+    ``"frozen"`` so composite variation operators never touch it.
     """
 
     kind = GenomeKind.COMPOSITE
-    part_kinds = ("assignment", "permutation")
 
     def __init__(self, instance: FlexibleFlowShopInstance,
                  use_assignment: bool = True):
         self.instance = instance
         self.use_assignment = use_assignment
+        self.part_kinds = (("assignment", "permutation") if use_assignment
+                           else ("frozen", "permutation"))
+
+    @property
+    def part_spans(self) -> tuple[int, ...]:
+        """Column widths of the parts in a stacked chromosome row."""
+        n = self.instance.n_jobs
+        return (n * self.instance.n_stages, n)
 
     def random_genome(self, rng: np.random.Generator
                       ) -> tuple[np.ndarray, np.ndarray]:
@@ -131,6 +142,62 @@ class HybridFlowShopEncoding:
 
     def fast_makespan(self, genome: tuple[np.ndarray, np.ndarray]) -> float:
         return self.decode(genome).makespan
+
+    # -- batch path: (assignment, permutation) flattens to one row ----------
+    def stack_genomes(self, genomes) -> np.ndarray | None:
+        """Stack genome tuples into a (pop, n_jobs * (n_stages + 1)) matrix.
+
+        The assignment matrix ravels row-major (job-major) ahead of the
+        permutation, mirroring :class:`FlexibleJobShopEncoding`.  Returns
+        ``None`` for anything that is not a well-formed HFS genome list.
+        """
+        n, n_stages = self.instance.n_jobs, self.instance.n_stages
+        width = n * n_stages + n
+        if isinstance(genomes, np.ndarray):
+            return genomes if (genomes.ndim == 2
+                               and genomes.shape[1] == width) else None
+        genomes = list(genomes)
+        if not genomes:
+            return None
+        rows = []
+        for g in genomes:
+            if not (isinstance(g, tuple) and len(g) == 2):
+                return None
+            assign, perm = g
+            if not (isinstance(assign, np.ndarray)
+                    and isinstance(perm, np.ndarray)
+                    and assign.shape == (n, n_stages)
+                    and perm.shape == (n,)):
+                return None
+            rows.append(np.concatenate([assign.ravel(), perm]))
+        return np.stack(rows).astype(np.int64, copy=False)
+
+    def unstack_row(self, row: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Split one stacked row back into (assignment, permutation)."""
+        n, n_stages = self.instance.n_jobs, self.instance.n_stages
+        row = np.asarray(row, dtype=np.int64)
+        return row[:n * n_stages].reshape(n, n_stages), row[n * n_stages:]
+
+    def batch_completion(self, chromosomes: np.ndarray) -> np.ndarray:
+        matrix = np.asarray(chromosomes, dtype=np.int64)
+        if matrix.ndim == 1:
+            matrix = matrix[None, :]
+        n, n_stages = self.instance.n_jobs, self.instance.n_stages
+        perms = matrix[:, n * n_stages:]
+        assigns = None
+        if self.use_assignment:
+            assigns = matrix[:, :n * n_stages].reshape(-1, n, n_stages)
+        return batch_completion_hybrid_flowshop(self.instance, perms,
+                                                assigns)
+
+    def assignment_domain_sizes(self) -> np.ndarray:
+        """Stage machine-count per assignment gene (for mutation).
+
+        The assignment part ravels job-major, so gene ``i`` belongs to
+        stage ``i % n_stages`` -- exactly the modulo
+        :class:`~repro.operators.mutation.AssignmentMutation` applies.
+        """
+        return np.asarray(self.instance.machines_per_stage, dtype=np.int64)
 
 
 class LotStreamingEncoding:

@@ -1,0 +1,33 @@
+"""Constructive scheduling heuristics and their engine adapters.
+
+The survey's GA baselines are always measured against the classical
+constructive rules -- Johnson's algorithm for (near-)optimal flow shop
+seeds, NEH insertion, and the SPT/EDD dispatch orders.  This package
+provides them in two forms:
+
+* **orders** -- :func:`heuristic_order` builds the job order a rule
+  produces for a problem, and :func:`heuristic_genome` maps that order
+  onto the problem's chromosome encoding, which is what GA population
+  seeding (``GAConfig.seeding``) consumes;
+* **engines** -- :func:`run_heuristic_engine` wraps a rule as a
+  ``SolverSpec`` engine (``engine="neh"``, ``"johnson"``, ``"spt"``,
+  ``"edd"``), returning a result the facade normalises exactly like a
+  GA run, so reports, Gantt audits and the CLI work unchanged.
+"""
+
+from .constructive import (HEURISTIC_NAMES, edd_order, heuristic_genome,
+                           heuristic_order, johnson_order, neh_order,
+                           spt_order)
+from .engine import HeuristicRunResult, run_heuristic_engine
+
+__all__ = [
+    "HEURISTIC_NAMES",
+    "johnson_order",
+    "neh_order",
+    "spt_order",
+    "edd_order",
+    "heuristic_order",
+    "heuristic_genome",
+    "HeuristicRunResult",
+    "run_heuristic_engine",
+]

@@ -1,0 +1,290 @@
+"""Constructive order rules and their genome mappings.
+
+Every rule here produces a *job order*; :func:`heuristic_genome` then
+expresses that order in whatever chromosome encoding the problem uses
+(direct permutation, random keys, operation repetition, two-part
+flexible-shop tuples).  Keeping the two steps separate means one NEH
+implementation seeds every encoding of the same instance.
+
+Rules
+-----
+``johnson``
+    Johnson's rule: provably optimal for 2-machine flow shops; for
+    ``m > 2`` machines the modified (Campbell--Dudek--Smith-style)
+    variant runs Johnson on two virtual machines -- the sum of the first
+    ``m - 1`` columns vs. the sum of the last ``m - 1`` -- which at
+    ``m = 3`` is the classic ``p1 + p2`` vs. ``p2 + p3`` 3-machine rule.
+``neh``
+    Nawaz--Enscore--Ham insertion: jobs sorted by decreasing total work,
+    inserted one at a time at the makespan-minimising position.
+``spt``
+    shortest total processing time first (dispatch order).
+``edd``
+    earliest due date first; with no due dates (all ``+inf``) this
+    degrades to the identity order, stably.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from ..scheduling.flexible import decode_hybrid_flowshop
+from ..scheduling.flowshop import flowshop_completion
+from ..scheduling.instance import (FlexibleFlowShopInstance,
+                                   FlexibleJobShopInstance, FlowShopInstance)
+
+__all__ = ["HEURISTIC_NAMES", "johnson_order", "neh_order", "spt_order",
+           "edd_order", "heuristic_order", "heuristic_genome"]
+
+#: Rule names the seeding hook and the engine registry accept.
+HEURISTIC_NAMES = ("johnson", "neh", "spt", "edd")
+
+
+# -- order rules (pure: duration/due arrays in, job order out) ---------------
+
+def johnson_order(durations: np.ndarray) -> np.ndarray:
+    """Johnson's rule on a 2-column duration matrix (optimal for F2||Cmax).
+
+    Jobs with ``p1 <= p2`` go first in ascending ``p1``; the rest go last
+    in descending ``p2``.  Ties break stably on job index, so the order
+    is deterministic.
+    """
+    p = np.asarray(durations, dtype=float)
+    if p.ndim != 2 or p.shape[1] != 2:
+        raise ValueError("johnson_order needs an (n_jobs, 2) duration matrix")
+    head = np.flatnonzero(p[:, 0] <= p[:, 1])
+    tail = np.flatnonzero(p[:, 0] > p[:, 1])
+    head = head[np.argsort(p[head, 0], kind="stable")]
+    tail = tail[np.argsort(-p[tail, 1], kind="stable")]
+    return np.concatenate([head, tail]).astype(np.int64)
+
+
+def _johnson_virtual(durations: np.ndarray) -> np.ndarray:
+    """Modified Johnson for ``m > 2``: two virtual machines.
+
+    Virtual machine 1 sums columns ``0..m-2``, virtual machine 2 sums
+    ``1..m-1``; at ``m = 3`` this is the classical 3-machine rule.
+    """
+    p = np.asarray(durations, dtype=float)
+    virt = np.column_stack([p[:, :-1].sum(axis=1), p[:, 1:].sum(axis=1)])
+    return johnson_order(virt)
+
+
+def spt_order(durations: np.ndarray) -> np.ndarray:
+    """Shortest total processing time first (stable)."""
+    p = np.asarray(durations, dtype=float)
+    totals = p.sum(axis=1) if p.ndim == 2 else p
+    return np.argsort(totals, kind="stable").astype(np.int64)
+
+
+def edd_order(due: np.ndarray) -> np.ndarray:
+    """Earliest due date first (stable; all-``inf`` keeps index order)."""
+    return np.argsort(np.asarray(due, dtype=float),
+                      kind="stable").astype(np.int64)
+
+
+def neh_order(durations: np.ndarray,
+              order_objective: Callable[[np.ndarray], float] | None = None
+              ) -> np.ndarray:
+    """NEH insertion order; ``order_objective`` scores partial job orders.
+
+    The default objective treats ``durations`` as a permutation flow shop
+    and evaluates the partial makespan directly; problem-aware callers
+    (see :func:`heuristic_order`) pass their own evaluator so the same
+    insertion loop optimises hybrid flow shops or any genome-decodable
+    objective.
+    """
+    p = np.asarray(durations, dtype=float)
+    if order_objective is None:
+        inst = FlowShopInstance(processing=p)
+
+        def order_objective(cand: np.ndarray) -> float:
+            c = flowshop_completion(inst, cand)
+            return float(c[-1, -1]) if c.size else 0.0
+
+    seed = np.argsort(-p.sum(axis=1), kind="stable")
+    seq: list[int] = []
+    for job in seed:
+        best_seq, best_val = None, np.inf
+        for pos in range(len(seq) + 1):
+            cand = seq[:pos] + [int(job)] + seq[pos:]
+            val = float(order_objective(np.asarray(cand, dtype=np.int64)))
+            if val < best_val:
+                best_seq, best_val = cand, val
+        seq = best_seq
+    return np.asarray(seq, dtype=np.int64)
+
+
+# -- problem-facing glue ------------------------------------------------------
+
+def _stage_durations(instance: Any) -> np.ndarray:
+    """(n_jobs, n_stages) nominal duration matrix of an instance.
+
+    Rectangular instances expose ``processing`` directly; the flexible
+    job shop has per-operation machine alternatives, so its nominal
+    duration is the best (minimum) eligible-machine time per stage,
+    padded with zeros for jobs with fewer stages.
+    """
+    processing = getattr(instance, "processing", None)
+    if processing is not None:
+        return np.asarray(processing, dtype=float)
+    if isinstance(instance, FlexibleJobShopInstance):
+        g = max(instance.stages_of(j) for j in range(instance.n_jobs))
+        table = np.zeros((instance.n_jobs, g))
+        for j in range(instance.n_jobs):
+            for s in range(instance.stages_of(j)):
+                table[j, s] = min(instance.duration(j, s, m)
+                                  for m in instance.eligible_machines(j, s))
+        return table
+    raise ValueError(
+        f"no duration matrix available for "
+        f"{type(instance).__name__}; constructive heuristics need "
+        f"per-job stage durations")
+
+
+class _CountingEvaluator:
+    """Wrap an order objective, counting how often it is called."""
+
+    def __init__(self, fn: Callable[[np.ndarray], float]):
+        self.fn = fn
+        self.count = 0
+
+    def __call__(self, cand: np.ndarray) -> float:
+        self.count += 1
+        return self.fn(cand)
+
+
+def _partial_order_objective(problem: Any) -> Callable[[np.ndarray], float]:
+    """Makespan of a *partial* job order for NEH's insertion loop.
+
+    Flow-shop-like instances evaluate the partial schedule natively
+    (their decoders accept any job subset); everything else completes
+    the order with the missing jobs in index order and evaluates the
+    full genome -- slower, but correct for any encoding.
+    """
+    instance = problem.encoding.instance
+    if isinstance(instance, FlowShopInstance):
+        def objective(cand: np.ndarray) -> float:
+            c = flowshop_completion(instance, cand)
+            return float(c[-1, -1]) if c.size else 0.0
+        return objective
+    if isinstance(instance, FlexibleFlowShopInstance):
+        def objective(cand: np.ndarray) -> float:
+            return decode_hybrid_flowshop(instance, cand, None).makespan
+        return objective
+
+    n = instance.n_jobs
+
+    def objective(cand: np.ndarray) -> float:
+        present = set(int(j) for j in cand)
+        full = np.concatenate([
+            np.asarray(cand, dtype=np.int64),
+            np.asarray([j for j in range(n) if j not in present],
+                       dtype=np.int64)])
+        return float(problem.evaluate(order_to_genome(problem, full)))
+    return objective
+
+
+def heuristic_order(name: str, problem: Any) -> tuple[np.ndarray, int]:
+    """Job order of rule ``name`` on ``problem``; returns (order, n_evals).
+
+    ``n_evals`` counts full/partial objective evaluations the rule spent
+    (0 for the closed-form dispatch rules, ``O(n^2)`` for NEH), which
+    the engine adapter reports as ``evaluations``.
+    """
+    instance = problem.encoding.instance
+    rule = str(name).lower()
+    if rule == "edd":
+        return edd_order(instance.due), 0
+    durations = _stage_durations(instance)
+    if rule == "spt":
+        return spt_order(durations), 0
+    if rule == "johnson":
+        if durations.shape[1] < 2:
+            raise ValueError("johnson needs at least 2 stages")
+        if durations.shape[1] == 2:
+            return johnson_order(durations), 0
+        return _johnson_virtual(durations), 0
+    if rule == "neh":
+        objective = _CountingEvaluator(_partial_order_objective(problem))
+        order = neh_order(durations, objective)
+        return order, objective.count
+    raise ValueError(
+        f"unknown heuristic {name!r}; available: {list(HEURISTIC_NAMES)}")
+
+
+def order_to_genome(problem: Any, order: np.ndarray) -> Any:
+    """Express a job order as a genome of ``problem``'s encoding.
+
+    The mapping is exact: decoding the returned genome schedules jobs in
+    exactly ``order`` (per stage for repetition encodings).  Encodings
+    whose decoders cannot express an arbitrary job order raise
+    ``ValueError``.
+    """
+    # late imports: encodings import scheduling, heuristics imports both
+    from ..encodings.assignment_sequence import (FlexibleJobShopEncoding,
+                                                 HybridFlowShopEncoding)
+    from ..encodings.operation_based import OperationBasedEncoding
+    from ..encodings.permutation import (FlowShopPermutationEncoding,
+                                         OpenShopPairSequenceEncoding,
+                                         OpenShopPermutationEncoding)
+    from ..encodings.random_keys import RandomKeysFlowShopEncoding
+
+    enc = problem.encoding
+    order = np.asarray(order, dtype=np.int64)
+    if isinstance(enc, FlowShopPermutationEncoding):
+        return order
+    if isinstance(enc, RandomKeysFlowShopEncoding):
+        # keys whose stable ascending argsort reproduces the order
+        keys = np.empty(order.size, dtype=float)
+        keys[order] = np.arange(order.size, dtype=float) / max(1, order.size)
+        return keys
+    if isinstance(enc, OpenShopPermutationEncoding):
+        return np.tile(order, enc.instance.n_machines)
+    if isinstance(enc, OpenShopPairSequenceEncoding):
+        m = enc.instance.n_machines
+        return (order[:, None] * m + np.arange(m, dtype=np.int64)).ravel()
+    if isinstance(enc, OperationBasedEncoding):
+        return np.tile(order, enc.instance.n_stages)
+    if isinstance(enc, HybridFlowShopEncoding):
+        instance = enc.instance
+        if enc.use_assignment:
+            # record the earliest-finish machine choices so the pinned
+            # replay reproduces the identical schedule
+            sched = decode_hybrid_flowshop(instance, order, None)
+            stage_base = np.concatenate(
+                [[0], np.cumsum(instance.machines_per_stage)])
+            assign = np.zeros((instance.n_jobs, instance.n_stages),
+                              dtype=np.int64)
+            for op in sched.operations:
+                assign[op.job, op.stage] = op.machine - stage_base[op.stage]
+        else:
+            assign = np.zeros((instance.n_jobs, instance.n_stages),
+                              dtype=np.int64)
+        return assign, order
+    if isinstance(enc, FlexibleJobShopEncoding):
+        instance = enc.instance
+        # greedy assignment: fastest eligible machine per operation
+        assign = []
+        for j in range(instance.n_jobs):
+            for s in range(instance.stages_of(j)):
+                durs = [instance.duration(j, s, m)
+                        for m in instance.eligible_machines(j, s)]
+                assign.append(int(np.argmin(durs)))
+        g = max(instance.stages_of(j) for j in range(instance.n_jobs))
+        seq = [int(j) for r in range(g) for j in order
+               if instance.stages_of(int(j)) > r]
+        return (np.asarray(assign, dtype=np.int64),
+                np.asarray(seq, dtype=np.int64))
+    raise ValueError(
+        f"no heuristic genome mapping for encoding {type(enc).__name__}; "
+        f"supported: permutation, random-keys, repetition, open-shop "
+        f"pairs, and the flexible-shop composites")
+
+
+def heuristic_genome(name: str, problem: Any) -> Any:
+    """Genome of rule ``name``'s solution (the GA seeding entry point)."""
+    order, _ = heuristic_order(name, problem)
+    return order_to_genome(problem, order)

@@ -52,11 +52,12 @@ from typing import Callable
 import numpy as np
 
 from ..core.backend import active_namespace as _xp
-from .crossover import (ArithmeticCrossover, Crossover, JobBasedCrossover,
-                        NPointCrossover, OrderCrossover,
+from .crossover import (ArithmeticCrossover, CompositeCrossover, Crossover,
+                        JobBasedCrossover, NPointCrossover, OrderCrossover,
                         ParameterizedUniformCrossover, PMXCrossover,
                         UniformCrossover)
-from .mutation import (GaussianKeyMutation, InversionMutation, Mutation,
+from .mutation import (AssignmentMutation, CompositeMutation,
+                       GaussianKeyMutation, InversionMutation, Mutation,
                        ShiftMutation, SwapMutation)
 from .selection import (ElitistRouletteSelection, RandomSelection,
                         RankSelection, RouletteWheelSelection, Selection,
@@ -377,6 +378,35 @@ def _batch_param_uniform(op: ParameterizedUniformCrossover, A: np.ndarray,
     return xp.where(take_a, A, B), xp.where(take_a, B, A)
 
 
+@register_batch_crossover(CompositeCrossover)
+def _batch_composite_crossover(op: CompositeCrossover, A: np.ndarray,
+                               B: np.ndarray, rng: np.random.Generator
+                               ) -> tuple[np.ndarray, np.ndarray]:
+    """Column-sliced composite: each part's registered twin on its span.
+
+    Needs ``op.spans`` (the encoding's ``part_spans``) to know where each
+    part lives in the stacked row; ``None`` parts copy through.  Part
+    twins must preserve their slice's dtype (true for all integer-genome
+    operators -- the composite encodings stack to int64 rows).
+    """
+    if op.spans is None:
+        raise ValueError(
+            "composite crossover has no part spans; the encoding must "
+            "publish part_spans for the array substrate (or use "
+            "substrate='object')")
+    CA, CB = A.copy(), B.copy()
+    col = 0
+    for part_op, width in zip(op.parts, op.spans):
+        lo, hi = col, col + width
+        if part_op is not None and width > 0:
+            ca, cb = _lookup(_BATCH_CROSSOVERS, part_op, "crossover")(
+                part_op, A[:, lo:hi], B[:, lo:hi], rng)
+            CA[:, lo:hi] = ca
+            CB[:, lo:hi] = cb
+        col = hi
+    return CA, CB
+
+
 @register_batch_crossover(ArithmeticCrossover)
 def _batch_arithmetic(op: ArithmeticCrossover, A: np.ndarray, B: np.ndarray,
                       rng: np.random.Generator
@@ -437,6 +467,45 @@ def _batch_inversion(op: InversionMutation, X: np.ndarray,
         return X.copy()
     lo, hi = _sorted_distinct_pairs(n, m, rng)
     return inversion_kernel(X, lo, hi)
+
+
+@register_batch_mutation(AssignmentMutation)
+def _batch_assignment(op: AssignmentMutation, X: np.ndarray,
+                      rng: np.random.Generator) -> np.ndarray:
+    """Row-wise assignment reset: mutated genes redraw in their domain.
+
+    Gene ``j`` belongs to domain ``domain_sizes[j % len(domain_sizes)]``,
+    the same modulo the scalar operator applies; the redraw itself is
+    vectorised (distribution-equivalent, like every batch mutation).
+    """
+    out = X.copy()
+    mask = rng.random(out.shape) < op.rate
+    if mask.any():
+        # domain table is host-side operator state, like op.domain_sizes
+        sizes = np.maximum(np.asarray(op.domain_sizes, dtype=np.int64), 1)
+        hi = sizes[np.arange(out.shape[1]) % sizes.size]
+        out[mask] = rng.integers(0, np.broadcast_to(hi, out.shape)[mask])
+    return out
+
+
+@register_batch_mutation(CompositeMutation)
+def _batch_composite_mutation(op: CompositeMutation, X: np.ndarray,
+                              rng: np.random.Generator) -> np.ndarray:
+    """Column-sliced composite: each part's registered twin on its span."""
+    if op.spans is None:
+        raise ValueError(
+            "composite mutation has no part spans; the encoding must "
+            "publish part_spans for the array substrate (or use "
+            "substrate='object')")
+    out = X.copy()
+    col = 0
+    for part_op, width in zip(op.parts, op.spans):
+        lo, hi = col, col + width
+        if part_op is not None and width > 0:
+            out[:, lo:hi] = _lookup(_BATCH_MUTATIONS, part_op, "mutation")(
+                part_op, X[:, lo:hi], rng)
+        col = hi
+    return out
 
 
 @register_batch_mutation(GaussianKeyMutation)

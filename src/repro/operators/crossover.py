@@ -455,10 +455,18 @@ class CompositeCrossover:
     """Apply one crossover per part of a tuple genome (flexible shops).
 
     ``parts[k]`` may be ``None`` to copy part k from the parents unchanged.
+    ``spans`` (optional) records each part's column width in a stacked
+    chromosome row; the batch twin slices the population matrix with it,
+    so composites whose encodings publish ``part_spans`` can run on the
+    array substrate.
     """
 
-    def __init__(self, parts: Sequence[Crossover | None]):
+    def __init__(self, parts: Sequence[Crossover | None],
+                 spans: Sequence[int] | None = None):
         self.parts = list(parts)
+        self.spans = None if spans is None else tuple(int(w) for w in spans)
+        if self.spans is not None and len(self.spans) != len(self.parts):
+            raise ValueError("spans must give one column width per part")
 
     def __call__(self, a, b, rng):
         if not isinstance(a, tuple) or len(a) != len(self.parts):
@@ -476,9 +484,14 @@ class CompositeCrossover:
         return tuple(outs_a), tuple(outs_b)
 
 
-def default_crossover_for(kind: str, part_kinds: tuple[str, ...] = ()
+def default_crossover_for(kind: str, part_kinds: tuple[str, ...] = (),
+                          part_spans: tuple[int, ...] | None = None
                           ) -> Crossover:
-    """A sensible default crossover per genome kind."""
+    """A sensible default crossover per genome kind.
+
+    ``part_spans`` (composite kinds only) forwards the encoding's stacked
+    column widths so the composite operator is array-substrate capable.
+    """
     from ..encodings.base import GenomeKind
     if kind == GenomeKind.PERMUTATION:
         return OrderCrossover()
@@ -495,7 +508,9 @@ def default_crossover_for(kind: str, part_kinds: tuple[str, ...] = ()
                 sub.append(JobBasedCrossover())
             elif pk == "assignment":
                 sub.append(UniformCrossover(repair=False))
+            elif pk == "frozen":  # dead placeholder part: copy through
+                sub.append(None)
             else:  # real
                 sub.append(ParameterizedUniformCrossover(bias=0.6))
-        return CompositeCrossover(sub)
+        return CompositeCrossover(sub, spans=part_spans)
     raise ValueError(f"unknown genome kind {kind!r}")

@@ -168,10 +168,19 @@ class IntegerResetMutation:
 
 
 class CompositeMutation:
-    """One mutation per part of a tuple genome; ``None`` copies the part."""
+    """One mutation per part of a tuple genome; ``None`` copies the part.
 
-    def __init__(self, parts: Sequence[Mutation | None]):
+    ``spans`` (optional) records each part's column width in a stacked
+    chromosome row for the batch twin (see
+    :class:`~repro.operators.crossover.CompositeCrossover`).
+    """
+
+    def __init__(self, parts: Sequence[Mutation | None],
+                 spans: Sequence[int] | None = None):
         self.parts = list(parts)
+        self.spans = None if spans is None else tuple(int(w) for w in spans)
+        if self.spans is not None and len(self.spans) != len(self.parts):
+            raise ValueError("spans must give one column width per part")
 
     def __call__(self, genome, rng):
         if not isinstance(genome, tuple) or len(genome) != len(self.parts):
@@ -182,9 +191,14 @@ class CompositeMutation:
         return tuple(out)
 
 
-def default_mutation_for(kind: str, part_kinds: tuple[str, ...] = ()
+def default_mutation_for(kind: str, part_kinds: tuple[str, ...] = (),
+                         part_spans: tuple[int, ...] | None = None
                          ) -> Mutation:
-    """A sensible default mutation per genome kind."""
+    """A sensible default mutation per genome kind.
+
+    ``part_spans`` (composite kinds only) forwards the encoding's stacked
+    column widths so the composite operator is array-substrate capable.
+    """
     from ..encodings.base import GenomeKind
     if kind in (GenomeKind.PERMUTATION, GenomeKind.REPETITION):
         return SwapMutation()
@@ -197,7 +211,9 @@ def default_mutation_for(kind: str, part_kinds: tuple[str, ...] = ()
                 sub.append(SwapMutation())
             elif pk == "assignment":
                 sub.append(None)  # caller should supply AssignmentMutation
+            elif pk == "frozen":  # dead placeholder part: copy through
+                sub.append(None)
             else:
                 sub.append(GaussianKeyMutation())
-        return CompositeMutation(sub)
+        return CompositeMutation(sub, spans=part_spans)
     raise ValueError(f"unknown genome kind {kind!r}")

@@ -15,6 +15,7 @@ from .jobshop import (DISPATCH_RULES, decode_blocking,
                       decode_operation_sequence, giffler_thompson,
                       operation_sequence_makespan, priority_rule_schedule)
 from .batch import (batch_completion_fjsp,
+                    batch_completion_hybrid_flowshop,
                     batch_completion_operation_sequence,
                     batch_completion_pair_sequence,
                     batch_completion_permutation,
@@ -42,7 +43,8 @@ __all__ = [
     "DISPATCH_RULES",
     "batch_makespan_operation_sequence", "batch_makespan_permutation",
     "batch_completion_operation_sequence", "batch_completion_permutation",
-    "batch_completion_fjsp", "batch_completion_pair_sequence",
+    "batch_completion_fjsp", "batch_completion_hybrid_flowshop",
+    "batch_completion_pair_sequence",
     "operation_stages", "pairs_to_op_ids",
     "decode_job_repetition_lpt_task", "decode_job_repetition_lpt_machine",
     "decode_pair_sequence", "openshop_makespan",

@@ -27,6 +27,7 @@ operations per individual as its scalar counterpart
 (:func:`~repro.scheduling.jobshop.operation_sequence_makespan`,
 :func:`~repro.scheduling.flowshop.flowshop_makespan`,
 :func:`~repro.scheduling.flexible.decode_fjsp`,
+:func:`~repro.scheduling.flexible.decode_hybrid_flowshop`,
 :func:`~repro.scheduling.openshop.decode_pair_sequence`), so the results
 are bit-identical -- swapping the scalar path for the batch path never
 changes GA behaviour, only wall-clock time.  The test suite asserts this.
@@ -41,7 +42,11 @@ The scalar decoders remain authoritative whenever a full
 :class:`~repro.scheduling.schedule.Schedule` is needed (Gantt charts,
 feasibility audits) and for decoding modes with data-dependent control flow
 (Giffler-Thompson active scheduling, blocking job shops, dispatch rules,
-LPT-Machine open-shop decoding, earliest-finish hybrid flow shops).
+LPT-Machine open-shop decoding).  The hybrid flow shop's earliest-finish
+machine choice *is* batchable: per (stage, position) the candidate finish
+times of all k stage machines form a ``(pop, k)`` panel whose row-wise
+first-minimum reproduces the scalar lowest-index tie-break exactly
+(:func:`batch_completion_hybrid_flowshop`).
 """
 
 from __future__ import annotations
@@ -51,8 +56,8 @@ import numpy as np
 from ..core.backend import active_namespace as _xp
 from .flowshop import (flowshop_completion_population,
                        flowshop_makespan_population)
-from .instance import (FlexibleJobShopInstance, FlowShopInstance,
-                       JobShopInstance, OpenShopInstance)
+from .instance import (FlexibleFlowShopInstance, FlexibleJobShopInstance,
+                       FlowShopInstance, JobShopInstance, OpenShopInstance)
 
 __all__ = [
     "batch_completion_operation_sequence",
@@ -61,6 +66,7 @@ __all__ = [
     "batch_completion_permutation",
     "batch_makespan_permutation",
     "batch_completion_fjsp",
+    "batch_completion_hybrid_flowshop",
     "batch_completion_pair_sequence",
     "operation_stages",
     "pairs_to_op_ids",
@@ -440,6 +446,149 @@ def batch_completion_fjsp(instance: FlexibleJobShopInstance,
     # lag_after is 0 on each job's last stage, so the final ready time is
     # the end of the job's last operation, i.e. C_j
     return job_ready.reshape(pop, n)
+
+
+# ---------------------------------------------------------------------------
+# hybrid flow shop (permutation, optional assignment chromosome)
+# ---------------------------------------------------------------------------
+
+def _hfs_tables(instance: FlexibleFlowShopInstance):
+    """Dense per-stage gather tables for a hybrid flow shop.
+
+    Returns ``(stage_base, dur_tables, setup_tables)``: ``stage_base`` is
+    the global machine-id offset per stage; ``dur_tables[s]`` is the
+    ``(n_jobs, k_s)`` float64 duration table of stage ``s`` built through
+    :meth:`~repro.scheduling.instance.FlexibleFlowShopInstance.duration`
+    (so uniform speeds / unrelated machines reproduce the scalar decoder's
+    exact float64 values); ``setup_tables[s]`` is stage ``s``'s flattened
+    ``(n_jobs + 1, n_jobs)`` sequence-dependent setup matrix (row 0 = from
+    idle) or ``None`` when the instance has no setups.  Init-time instance
+    structure only, so memoized on the instance.
+    """
+    cached = getattr(instance, "_hfs_batch_tables", None)
+    if cached is not None:
+        return cached
+    n, n_stages = instance.n_jobs, instance.n_stages
+    stage_base = np.concatenate(
+        [[0], np.cumsum(instance.machines_per_stage)]).astype(np.int64)
+    dur_tables = []
+    for s in range(n_stages):
+        k = instance.machines_per_stage[s]
+        table = np.empty((n, k))
+        for j in range(n):
+            for q in range(k):
+                table[j, q] = instance.duration(j, s, q)
+        dur_tables.append(table)
+    setup_tables = None
+    if instance.setup is not None:
+        setup_tables = [np.ascontiguousarray(
+            np.asarray(instance.setup[s], dtype=float)).ravel()
+            for s in range(n_stages)]
+    tables = (stage_base, dur_tables, setup_tables)
+    instance._hfs_batch_tables = tables
+    return tables
+
+
+def batch_completion_hybrid_flowshop(instance: FlexibleFlowShopInstance,
+                                     permutations: np.ndarray,
+                                     assignments: np.ndarray | None = None,
+                                     validate: bool = False) -> np.ndarray:
+    """Per-job completion times of a population of HFS chromosomes.
+
+    ``permutations`` is a ``(pop_size, n_jobs)`` int matrix of stage-0 job
+    orders; ``assignments`` is ``None`` (earliest-finish machine choice)
+    or a ``(pop_size, n_jobs, n_stages)`` int tensor of pinned machine
+    indices (modulo stage size), the two genome modes of
+    :func:`~repro.scheduling.flexible.decode_hybrid_flowshop` -- whose
+    schedule's completion times this reproduces bit-identically per row,
+    including per-stage FIFO re-ordering and sequence-dependent setups.
+
+    The decode scans stage by stage, position by position: position ``i``
+    of every individual's current order is handled in one vectorised step.
+    On the earliest-finish path the candidate finish times of all ``k``
+    stage machines form a ``(pop, k)`` panel (identical float64 op order
+    to the scalar loop: ``max(job_ready, mach_ready + setup) + dur``) and
+    ``argmin`` along the machine axis picks the first minimum -- exactly
+    the scalar ``end < best`` lowest-index tie-break.  The between-stage
+    FIFO hand-off is a batched stable argsort of the realised finish
+    times, matching the scalar ``np.argsort(finish[order], kind="stable")``.
+    """
+    xp = _xp()
+    P = xp.asarray(permutations, dtype=xp.int64)
+    if P.ndim == 1:
+        P = P[None, :]
+    pop, length = P.shape
+    n, n_stages = instance.n_jobs, instance.n_stages
+    m = instance.n_machines
+    if pop == 0:
+        return xp.zeros((0, n))
+    if length != n:
+        raise ValueError(f"permutations must have n_jobs = {n} columns")
+    if validate:
+        bad = (xp.sort(P, axis=1)
+               != xp.arange(n, dtype=xp.int64)[None, :]).any(axis=1)
+        if bad.any():
+            raise ValueError(
+                f"rows {np.flatnonzero(bad).tolist()} are not permutations "
+                "of range(n_jobs)")
+    A = None
+    if assignments is not None:
+        A = xp.asarray(assignments, dtype=xp.int64)
+        if A.ndim == 2:
+            A = A[None, :, :]
+        if A.shape != (pop, n, n_stages):
+            raise ValueError(
+                f"assignments must be (pop, n_jobs, n_stages) = "
+                f"({pop}, {n}, {n_stages}), got {A.shape}")
+    stage_base, dur_tables, setup_tables = _hfs_tables(instance)
+
+    rows = xp.arange(pop, dtype=xp.int64)
+    job_ready = xp.tile(xp.asarray(instance.release), pop).reshape(pop, n)
+    mach_ready = xp.zeros((pop, m))
+    if setup_tables is not None:
+        last_job = xp.full((pop, m), -1, dtype=xp.int64)
+    finish = xp.empty((pop, n))
+    order = P
+    for s in range(n_stages):
+        k = instance.machines_per_stage[s]
+        base = int(stage_base[s])
+        durs = xp.asarray(dur_tables[s])                    # (n, k)
+        setup_s = (None if setup_tables is None
+                   else xp.asarray(setup_tables[s]))
+        for i in range(n):
+            jobs_i = order[:, i]                            # (pop,)
+            jr = job_ready[rows, jobs_i]
+            if A is not None:
+                # pinned machine: one gather per step, no panel
+                q = A[rows, jobs_i, s] % k
+                mach = base + q
+                mr = mach_ready[rows, mach]
+                if setup_s is not None:
+                    mr = mr + setup_s[(last_job[rows, mach] + 1) * n
+                                      + jobs_i]
+                end = xp.maximum(jr, mr) + durs[jobs_i, q]
+            else:
+                # earliest finish over the stage's machine block; argmin's
+                # first-minimum IS the scalar lowest-index tie-break
+                mr_k = mach_ready[:, base:base + k]         # (pop, k)
+                if setup_s is not None:
+                    mr_k = mr_k + setup_s[
+                        (last_job[:, base:base + k] + 1) * n
+                        + jobs_i[:, None]]
+                end_k = xp.maximum(jr[:, None], mr_k) + durs[jobs_i]
+                q = xp.argmin(end_k, axis=1)
+                mach = base + q
+                end = end_k[rows, q]
+            job_ready[rows, jobs_i] = end
+            mach_ready[rows, mach] = end
+            if setup_s is not None:
+                last_job[rows, mach] = jobs_i
+            finish[rows, jobs_i] = end
+        # next stage processes jobs in completion order of this stage
+        fin = xp.take_along_axis(finish, order, axis=1)
+        order = xp.take_along_axis(order, xp.stable_argsort(fin, axis=1),
+                                   axis=1)
+    return job_ready
 
 
 # ---------------------------------------------------------------------------

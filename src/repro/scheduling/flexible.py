@@ -150,15 +150,18 @@ def decode_hybrid_flowshop(instance: FlexibleFlowShopInstance,
         finish = np.empty(n)
         for job in order:
             base = stage_base[s]
-            dur_candidates = [instance.duration(int(job), s, q) for q in range(k)]
             if assignment is not None:
+                # pinned machine: only its duration is ever needed
                 q = int(assignment[int(job), s]) % k
                 choices = [q]
+                dur_candidates = {q: instance.duration(int(job), s, q)}
             else:
                 choices = range(k)
+                dur_candidates = {q: instance.duration(int(job), s, q)
+                                  for q in choices}
             best = None
             for q in choices:
-                setup = _hfs_setup(instance, s, q, last_job_on[base + q], int(job))
+                setup = _hfs_setup(instance, s, last_job_on[base + q], int(job))
                 start = max(job_ready[job], mach_ready[base + q] + setup)
                 end = start + dur_candidates[q]
                 if best is None or end < best[0]:
@@ -175,8 +178,15 @@ def decode_hybrid_flowshop(instance: FlexibleFlowShopInstance,
     return Schedule(ops, n, instance.n_machines)
 
 
-def _hfs_setup(instance: FlexibleFlowShopInstance, stage: int, local_mach: int,
+def _hfs_setup(instance: FlexibleFlowShopInstance, stage: int,
                prev_job: int | None, job: int) -> float:
+    """Sequence-dependent setup before ``job`` on a stage-``stage`` machine.
+
+    HFS setups are *per stage*, not per machine: every machine of stage s
+    shares the matrix ``instance.setup[stage]``, and the relevant context
+    is which job ran last *on the chosen machine* (``prev_job``) -- row
+    ``prev_job + 1``, with row 0 the initial setup from idle.
+    """
     if instance.setup is None:
         return 0.0
     row = 0 if prev_job is None else prev_job + 1

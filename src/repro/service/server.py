@@ -12,7 +12,11 @@ Endpoints
     body = a :class:`~repro.api.SolverSpec` JSON dict.  202 with
     ``{job_id, state, cached}`` (200 when idempotency already has the
     result), 400 on spec errors, 429 + ``Retry-After`` when the worker
-    pool is saturated.
+    pool is saturated.  Engines tagged ``heuristic=True`` (``neh``,
+    ``johnson``, ``spt``, ``edd``) take the *fast-answer tier*: the
+    deterministic millisecond solve runs inline and the response is an
+    immediate 200 with the finished result -- no worker-pool round trip,
+    no queue slot consumed.
 ``POST /sweep``
     body = a :class:`~repro.api.ScenarioSweep` JSON dict; expands,
     deduplicates, submits every spec.  All-or-nothing admission: 429 when
@@ -177,6 +181,13 @@ class SolverServer:
         job, created = self.jobs.submit(spec.to_dict(), spec.cache_key())
         if not created:
             return job, False
+        if self._is_heuristic(spec.engine):
+            # fast-answer tier: constructive heuristics are deterministic
+            # millisecond solves, so running them inline (and answering
+            # POST /solve with the finished result) beats paying a worker
+            # process round trip; the pool stays free for real GA runs
+            self._run_inline(job)
+            return job, True
         try:
             future = self.pool.submit(job.id, job.spec)
         except PoolSaturated as exc:
@@ -190,6 +201,30 @@ class SolverServer:
         future.add_done_callback(
             lambda fut, job_id=job.id: self._on_job_done(job_id, fut))
         return job, True
+
+    @staticmethod
+    def _is_heuristic(engine: str) -> bool:
+        """True for engines tagged ``heuristic=True`` (fast-tier eligible)."""
+        from ..api.registry import engine_entry
+        try:
+            return bool(engine_entry(engine).tags.get("heuristic"))
+        except SpecError:
+            return False
+
+    def _run_inline(self, job: Job) -> None:
+        """Solve a fast-tier job on the serving thread, worker-outcome shaped."""
+        from ..api.facade import solve
+        self.jobs.mark_running(job.id)
+        t0 = time.perf_counter()
+        try:
+            report = solve(job.spec, validate=False)
+            outcome = {"ok": True, "report": report.to_dict(),
+                       "elapsed": time.perf_counter() - t0}
+        except Exception as exc:  # noqa: BLE001 - becomes the job's failure
+            outcome = {"ok": False, "error": f"{type(exc).__name__}: {exc}",
+                       "elapsed": time.perf_counter() - t0}
+        self.jobs.finish(job.id, outcome)
+        self._notify_job(job.id)
 
     # -- routes ------------------------------------------------------------------
     async def _route(self, method: str, path: str, body: bytes,
@@ -231,6 +266,8 @@ class SolverServer:
         # clean 429
         need = 0
         for spec in specs:
+            if self._is_heuristic(spec.engine):
+                continue  # fast tier: answered inline, needs no pool slot
             job = self.jobs.get(job_id_for(spec.cache_key()))
             if job is None or job.state in ("failed", "cancelled"):
                 need += 1

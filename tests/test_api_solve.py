@@ -39,6 +39,10 @@ SWEEP_PARAMS = {
                   "broadcast_interval": 4},
     "exact": {},
     "cpsat": {},
+    "neh": {},
+    "johnson": {},
+    "spt": {},
+    "edd": {},
 }
 
 

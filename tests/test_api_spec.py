@@ -14,10 +14,12 @@ from repro.instances import available_instances
 
 class TestRegistries:
     def test_all_registered_engines(self):
-        # six GA engines + the two exact oracle backends
-        assert available_engines() == ["cellular", "cpsat", "exact",
-                                       "hybrid", "island", "master-slave",
-                                       "simple", "two-level"]
+        # six GA engines + two exact oracle backends + four constructive
+        # heuristics
+        assert available_engines() == ["cellular", "cpsat", "edd", "exact",
+                                       "hybrid", "island", "johnson",
+                                       "master-slave", "neh", "simple",
+                                       "spt", "two-level"]
 
     def test_engine_aliases_resolve(self):
         assert engine_entry("fine-grained").name == "cellular"

@@ -124,6 +124,25 @@ class TestSolveEndpoint:
         assert after["solves_executed"] == before["solves_executed"]
         assert after["cache"]["hits"] == before["cache"]["hits"] + 1
 
+    def test_heuristic_engine_takes_fast_answer_tier(self, server):
+        # heuristic engines are answered inline: POST /solve returns 200
+        # with the finished result, no pool round trip, no polling needed
+        spec = SolverSpec(instance="hfs-10x3x2-shaped", engine="neh",
+                          termination={"max_generations": 1})
+        _, _, before = req(server, "GET", "/metrics")
+        status, _, body = req(server, "POST", "/solve", spec.to_dict())
+        assert status == 200
+        assert body["state"] == "done" and body["cached"] is False
+        assert body["result"]["best_objective"] == \
+            solve(spec).best_objective
+        _, _, after = req(server, "GET", "/metrics")
+        assert after["solves_executed"] == before["solves_executed"] + 1
+        # no worker slot was consumed at any point
+        assert after["queue"]["pending"] == before["queue"]["pending"]
+        # resubmission is a plain cache hit
+        status, _, again = req(server, "POST", "/solve", spec.to_dict())
+        assert status == 200 and again["cached"] is True
+
     def test_stream_replays_generations_then_done(self, server):
         spec = FAST.replace(seed=17, termination={"max_generations": 3})
         _, _, body = req(server, "POST", "/solve", spec.to_dict())

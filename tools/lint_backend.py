@@ -35,8 +35,15 @@ ROOT = Path(__file__).resolve().parent.parent
 #: Audited ``np.`` reference count per kernel module.  Raising a number
 #: here requires a justification in the same commit.
 BASELINES = {
-    "src/repro/operators/batch.py": 103,
-    "src/repro/scheduling/batch.py": 60,
+    # 103 -> 119: composite/assignment mutation twins -- np.ndarray /
+    # np.random.Generator signatures plus host-side rng draws (RNG stays
+    # on the host by design, mirroring every other mutation twin)
+    "src/repro/operators/batch.py": 119,
+    # 60 -> 71: batch_completion_hybrid_flowshop -- signature hints,
+    # docstring references and the validate-path error reporting; the
+    # decode itself runs entirely on the active namespace (the
+    # instrumented-backend conformance sweep pins zero transfers)
+    "src/repro/scheduling/batch.py": 71,
     "src/repro/scheduling/flowshop.py": 24,
     "src/repro/core/substrate.py": 31,
     "src/repro/parallel/fine_grained.py": 5,
